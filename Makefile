@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test race cover bench bench-paper vet fmt examples clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# testing.B benches for every paper table/figure (scaled datasets).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's tables at full scale (see EXPERIMENTS.md).
+bench-paper:
+	$(GO) run ./cmd/recdb-bench -md
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/movies
+	$(GO) run ./examples/poi
+	$(GO) run ./examples/caching
+	$(GO) run ./examples/analytics
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,151 @@
+// Command recdb-bench regenerates every table and figure of the paper's
+// evaluation (§VI) plus the ablation studies listed in DESIGN.md, printing
+// each as a text (or Markdown) table.
+//
+//	recdb-bench                      # all experiments at defaults
+//	recdb-bench -exp fig6,fig10      # a subset
+//	recdb-bench -scale 0.25          # scaled-down datasets (quick run)
+//	recdb-bench -neighborhood 0      # full similarity lists (paper setting)
+//	recdb-bench -md                  # Markdown output for EXPERIMENTS.md
+//
+// Experiment ids: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
+// ablations (or individual a1..a6), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"recdb/internal/bench"
+	"recdb/internal/dataset"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = the paper's sizes)")
+	neighborhood := flag.Int("neighborhood", 64, "similarity-list cap (0 = full lists, the paper's setting; 64 keeps full-scale OnTopDB runs tractable)")
+	reps := flag.Int("reps", 3, "repetitions per RecDB-side measurement")
+	md := flag.Bool("md", false, "emit Markdown tables")
+	flag.Parse()
+
+	bench.Reps = *reps
+	spec := func(s dataset.Spec) dataset.Spec {
+		if *scale != 1.0 {
+			return s.Scaled(*scale)
+		}
+		return s
+	}
+
+	type experiment struct {
+		id  string
+		run func() (bench.Table, error)
+	}
+	experiments := []experiment{
+		{"table2", func() (bench.Table, error) { return bench.RunTable2(*scale, *neighborhood) }},
+		{"fig6", func() (bench.Table, error) {
+			return bench.RunSelectivity("Fig. 6", spec(dataset.MovieLens), *neighborhood)
+		}},
+		{"fig7", func() (bench.Table, error) {
+			return bench.RunSelectivity("Fig. 7", spec(dataset.Yelp), *neighborhood)
+		}},
+		{"fig8", func() (bench.Table, error) {
+			return bench.RunJoin("Fig. 8", spec(dataset.MovieLens), *neighborhood)
+		}},
+		{"fig9", func() (bench.Table, error) {
+			return bench.RunJoin("Fig. 9", spec(dataset.LDOS), *neighborhood)
+		}},
+		{"fig10", func() (bench.Table, error) {
+			return bench.RunTopK("Fig. 10", spec(dataset.MovieLens), *neighborhood)
+		}},
+		{"fig11", func() (bench.Table, error) {
+			return bench.RunTopK("Fig. 11", spec(dataset.LDOS), *neighborhood)
+		}},
+		{"fig12", func() (bench.Table, error) {
+			return bench.RunTopK("Fig. 12", spec(dataset.Yelp), *neighborhood)
+		}},
+		{"a1", func() (bench.Table, error) {
+			return bench.RunAblationFilterPushdown(spec(dataset.MovieLens), *neighborhood)
+		}},
+		{"a2", func() (bench.Table, error) {
+			return bench.RunAblationJoinRecommend(spec(dataset.MovieLens), *neighborhood)
+		}},
+		{"a3", func() (bench.Table, error) {
+			return bench.RunAblationRecScoreIndex(spec(dataset.MovieLens), *neighborhood)
+		}},
+		{"a4", func() (bench.Table, error) {
+			return bench.RunAblationNeighborhood(spec(dataset.MovieLens))
+		}},
+		{"a5", func() (bench.Table, error) {
+			return bench.RunAblationHotness(spec(dataset.MovieLens), *neighborhood)
+		}},
+		{"a6", func() (bench.Table, error) {
+			return bench.RunPageIO(spec(dataset.MovieLens), *neighborhood)
+		}},
+	}
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		switch id {
+		case "all":
+			for _, e := range experiments {
+				wanted[e.id] = true
+			}
+		case "ablations":
+			for _, e := range experiments {
+				if strings.HasPrefix(e.id, "a") && len(e.id) == 2 {
+					wanted[e.id] = true
+				}
+			}
+		case "":
+		default:
+			wanted[id] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !wanted[e.id] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recdb-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		render(tab, *md)
+		fmt.Printf("  (experiment wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "recdb-bench: no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func render(t bench.Table, md bool) {
+	fmt.Printf("== %s — %s ==\n", t.ID, t.Title)
+	if md {
+		fmt.Printf("| %s |\n", strings.Join(t.Header, " | "))
+		seps := make([]string, len(t.Header))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		fmt.Printf("|%s|\n", strings.Join(seps, "|"))
+		for _, row := range t.Rows {
+			fmt.Printf("| %s |\n", strings.Join(row, " | "))
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+}

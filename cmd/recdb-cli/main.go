@@ -1,0 +1,318 @@
+// Command recdb-cli is an interactive SQL shell for RecDB-Go. It supports
+// the full dialect including CREATE/DROP RECOMMENDER and the RECOMMEND
+// clause, plus a few backslash meta-commands:
+//
+//	\d                     list tables
+//	\rec                   list recommenders
+//	\materialize NAME      pre-compute the RecScoreIndex for a recommender
+//	\maintain NAME         run one cache-maintenance pass (Algorithm 4)
+//	\save DIR              snapshot the database to a directory
+//	\evaluate NAME [K]     hold out every K-th rating (default 10), retrain,
+//	                       and report RMSE/MAE
+//	\stats                 show page-I/O counters
+//	\timing                toggle per-statement timing
+//	\q                     quit
+//
+// Flags can preload a synthetic dataset:
+//
+//	recdb-cli -dataset movielens -scale 0.25
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"recdb/internal/dataset"
+	"recdb/internal/engine"
+	"recdb/internal/persist"
+	"recdb/internal/rec"
+)
+
+func main() {
+	datasetName := flag.String("dataset", "", "preload a synthetic dataset: movielens, ldos, or yelp")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	script := flag.String("f", "", "run a SQL script file and exit")
+	open := flag.String("open", "", "open a database snapshot directory (see \\save)")
+	loadCSV := flag.String("load", "", "import a CSV dataset directory (as written by recdb-datagen)")
+	flag.Parse()
+
+	var eng *engine.Engine
+	if *open != "" {
+		loaded, err := persist.Load(*open, engine.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		eng = loaded
+		fmt.Printf("opened snapshot %s\n", *open)
+	} else {
+		eng = engine.New(engine.Config{})
+	}
+	defer eng.Close()
+
+	if *datasetName != "" {
+		spec, err := specFor(*datasetName)
+		if err != nil {
+			fatal(err)
+		}
+		if *scale != 1.0 {
+			spec = spec.Scaled(*scale)
+		}
+		d := dataset.Generate(spec)
+		if err := dataset.Load(eng, d); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s into tables users, items, ratings%s\n",
+			d.Describe(), geoNote(spec.Geo))
+	}
+
+	if *loadCSV != "" {
+		d, err := dataset.LoadCSVDir(eng, *loadCSV)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("imported %s from %s\n", d.Describe(), *loadCSV)
+	}
+
+	if *script != "" {
+		content, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runStatement(eng, string(content)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("RecDB-Go shell — end statements with ';', \\q to quit, \\d to list tables")
+	repl(eng)
+}
+
+func geoNote(geo bool) string {
+	if geo {
+		return " (and cities)"
+	}
+	return ""
+}
+
+func specFor(name string) (dataset.Spec, error) {
+	switch strings.ToLower(name) {
+	case "movielens":
+		return dataset.MovieLens, nil
+	case "ldos", "ldos-comoda":
+		return dataset.LDOS, nil
+	case "yelp":
+		return dataset.Yelp, nil
+	default:
+		return dataset.Spec{}, fmt.Errorf("unknown dataset %q (movielens, ldos, yelp)", name)
+	}
+}
+
+// timing is toggled by the \timing meta-command.
+var timing bool
+
+func repl(eng *engine.Engine) {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "recdb> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if meta(eng, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			prompt = "recdb> "
+			start := time.Now()
+			if err := runStatement(eng, stmt); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+			if timing {
+				fmt.Printf("Time: %v\n", time.Since(start).Round(time.Microsecond))
+			}
+		} else {
+			prompt = "   ... "
+		}
+	}
+}
+
+// meta handles backslash commands; it returns true to quit.
+func meta(eng *engine.Engine, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\d":
+		for _, name := range eng.Catalog().Names() {
+			t, err := eng.Catalog().Get(name)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%s (%d rows, %d pages)\n", name, t.Heap.NumRows(), t.Heap.NumPages())
+		}
+	case "\\rec":
+		for _, r := range eng.Recommenders().List() {
+			fmt.Printf("%s ON %s USING %s (built in %v, %d rebuilds)\n",
+				r.Name, r.Table, r.Algo, r.BuildTime().Round(1000), r.Rebuilds())
+		}
+	case "\\materialize":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\materialize RECOMMENDER")
+			break
+		}
+		if err := eng.Materialize(fields[1]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Println("materialized")
+		}
+	case "\\maintain":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\maintain RECOMMENDER")
+			break
+		}
+		dec, err := eng.RunCacheMaintenance(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Printf("admitted %d, evicted %d\n", dec.Admitted, dec.Evicted)
+		}
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\save DIR")
+			break
+		}
+		if err := persist.Save(eng, fields[1]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Println("saved to", fields[1])
+		}
+	case "\\evaluate":
+		if len(fields) < 2 || len(fields) > 3 {
+			fmt.Fprintln(os.Stderr, "usage: \\evaluate RECOMMENDER [K]")
+			break
+		}
+		k := 10
+		if len(fields) == 3 {
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v < 2 {
+				fmt.Fprintln(os.Stderr, "K must be an integer >= 2")
+				break
+			}
+			k = v
+		}
+		if err := evaluate(eng, fields[1], k); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	case "\\timing":
+		timing = !timing
+		fmt.Printf("timing is %v\n", timing)
+	case "\\stats":
+		r, m, w := eng.Stats().Snapshot()
+		fmt.Printf("page reads: %d  buffer misses: %d  page writes: %d\n", r, m, w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s\n", fields[0])
+	}
+	return false
+}
+
+// evaluate retrains the named recommender's algorithm on a train split
+// and reports held-out accuracy.
+func evaluate(eng *engine.Engine, name string, k int) error {
+	r, ok := eng.Recommenders().Get(name)
+	if !ok {
+		return fmt.Errorf("no recommender %q", name)
+	}
+	ratings, err := eng.Recommenders().RatingsOf(r)
+	if err != nil {
+		return err
+	}
+	train, test := rec.SplitRatings(ratings, k)
+	if len(test) == 0 {
+		return fmt.Errorf("not enough ratings to hold out 1/%d", k)
+	}
+	model, err := rec.Build(train, r.Algo, rec.BuildOptions{SVDSeed: 1})
+	if err != nil {
+		return err
+	}
+	ev := rec.Evaluate(model, test)
+	fmt.Printf("%s (%v): RMSE %.4f  MAE %.4f  (%d scorable, %d unscorable of %d held out)\n",
+		r.Name, r.Algo, ev.RMSE, ev.MAE, ev.Scorable, ev.Unscorable, len(test))
+	return nil
+}
+
+func runStatement(eng *engine.Engine, input string) error {
+	trimmed := strings.TrimSpace(input)
+	if trimmed == "" {
+		return nil
+	}
+	if isQuery(trimmed) {
+		// A single SELECT or EXPLAIN prints its rows.
+		stmtText := strings.TrimSuffix(trimmed, ";")
+		res, err := eng.Query(stmtText)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		return nil
+	}
+	r, err := eng.ExecScript(input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("OK (%d rows affected)\n", r.RowsAffected)
+	return nil
+}
+
+func isQuery(s string) bool {
+	if strings.Count(s, ";") > 1 {
+		return false // multi-statement scripts go through ExecScript
+	}
+	return (len(s) >= 6 && strings.EqualFold(s[:6], "SELECT")) ||
+		(len(s) >= 7 && strings.EqualFold(s[:7], "EXPLAIN"))
+}
+
+func printResult(res *engine.QueryResult) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	var header []string
+	for _, c := range res.Schema.Columns {
+		header = append(header, c.QualifiedName())
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	w.Flush()
+	plan := ""
+	if res.Explain != nil && res.Explain.Strategy != "" {
+		plan = fmt.Sprintf(" [plan: %s]", res.Explain.Strategy)
+	}
+	fmt.Printf("(%d rows)%s\n", len(res.Rows), plan)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "recdb-cli:", err)
+	os.Exit(1)
+}

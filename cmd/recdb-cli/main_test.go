@@ -1,0 +1,211 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"recdb/internal/engine"
+	"recdb/internal/persist"
+)
+
+// capture redirects stdout while fn runs and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		n, _ := r.Read(buf)
+		done <- string(buf[:n])
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out
+}
+
+func testEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.Config{})
+	if _, err := e.ExecScript(`
+		CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+		INSERT INTO ratings VALUES (1,1,5),(1,2,3),(2,1,4),(2,3,2),(3,2,1);
+		CREATE RECOMMENDER CliRec ON ratings
+			USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSpecFor(t *testing.T) {
+	for _, name := range []string{"movielens", "LDOS", "yelp", "ldos-comoda"} {
+		if _, err := specFor(name); err != nil {
+			t.Errorf("specFor(%q): %v", name, err)
+		}
+	}
+	if _, err := specFor("netflix"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestIsQuery(t *testing.T) {
+	cases := map[string]bool{
+		"SELECT * FROM t":          true,
+		"select * from t;":         true,
+		"EXPLAIN SELECT a FROM t":  true,
+		"explain select a from t":  true,
+		"INSERT INTO t VALUES (1)": false,
+		"CREATE TABLE t (a INT)":   false,
+		"SELECT 1; SELECT 2;":      false,
+	}
+	for q, want := range cases {
+		if isQuery(q) != want {
+			t.Errorf("isQuery(%q) = %v, want %v", q, !want, want)
+		}
+	}
+}
+
+func TestRunStatementSelectPrintsRows(t *testing.T) {
+	e := testEngine(t)
+	out := capture(t, func() {
+		if err := runStatement(e, "SELECT uid, iid FROM ratings WHERE uid = 1 ORDER BY iid;"); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "(2 rows)") || !strings.Contains(out, "uid") {
+		t.Fatalf("select output:\n%s", out)
+	}
+}
+
+func TestRunStatementRecommendShowsPlan(t *testing.T) {
+	e := testEngine(t)
+	out := capture(t, func() {
+		if err := runStatement(e, `SELECT R.iid, R.ratingval FROM ratings R
+			RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+			WHERE R.uid = 3`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "[plan: FilterRecommend]") {
+		t.Fatalf("plan tag missing:\n%s", out)
+	}
+}
+
+func TestRunStatementExplain(t *testing.T) {
+	e := testEngine(t)
+	out := capture(t, func() {
+		if err := runStatement(e, `EXPLAIN SELECT uid FROM ratings WHERE uid = 1`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "SeqScan on ratings") {
+		t.Fatalf("explain output:\n%s", out)
+	}
+}
+
+func TestRunStatementScript(t *testing.T) {
+	e := testEngine(t)
+	out := capture(t, func() {
+		if err := runStatement(e, "CREATE TABLE x (a INT); INSERT INTO x VALUES (1), (2);"); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "OK (2 rows affected)") {
+		t.Fatalf("script output:\n%s", out)
+	}
+	if err := runStatement(e, "BROKEN;"); err == nil {
+		t.Fatal("broken statement should error")
+	}
+	if err := runStatement(e, "   "); err != nil {
+		t.Fatal("blank input should be a no-op")
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	e := testEngine(t)
+	if meta(e, "\\q") != true {
+		t.Fatal("\\q should quit")
+	}
+	out := capture(t, func() {
+		if meta(e, "\\d") {
+			t.Error("\\d should not quit")
+		}
+	})
+	if !strings.Contains(out, "ratings") {
+		t.Fatalf("\\d output:\n%s", out)
+	}
+	out = capture(t, func() { meta(e, "\\rec") })
+	if !strings.Contains(out, "CliRec ON ratings USING ItemCosCF") {
+		t.Fatalf("\\rec output:\n%s", out)
+	}
+	out = capture(t, func() { meta(e, "\\materialize CliRec") })
+	if !strings.Contains(out, "materialized") {
+		t.Fatalf("\\materialize output:\n%s", out)
+	}
+	out = capture(t, func() { meta(e, "\\maintain CliRec") })
+	if !strings.Contains(out, "admitted") {
+		t.Fatalf("\\maintain output:\n%s", out)
+	}
+	out = capture(t, func() { meta(e, "\\stats") })
+	if !strings.Contains(out, "page reads:") {
+		t.Fatalf("\\stats output:\n%s", out)
+	}
+}
+
+func TestMetaSaveRoundTrip(t *testing.T) {
+	e := testEngine(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	out := capture(t, func() { meta(e, "\\save "+dir) })
+	if !strings.Contains(out, "saved to") {
+		t.Fatalf("\\save output:\n%s", out)
+	}
+	loaded, err := persist.Load(dir, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Query("SELECT COUNT(*) FROM ratings")
+	if err != nil || res.Rows[0][0].Int() != 5 {
+		t.Fatalf("loaded snapshot: %v %v", res, err)
+	}
+}
+
+func TestMetaEvaluate(t *testing.T) {
+	e := engine.New(engine.Config{})
+	if _, err := e.ExecScript(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);`); err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for u := 1; u <= 25; u++ {
+		for i := 1; i <= 30; i++ {
+			if (u*31+i*17)%4 != 0 {
+				continue
+			}
+			rows = append(rows, fmt.Sprintf("(%d, %d, %d)", u, i, 1+(u+i)%5))
+		}
+	}
+	if _, err := e.Exec("INSERT INTO ratings VALUES " + strings.Join(rows, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(`CREATE RECOMMENDER EvalRec ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() { meta(e, "\\evaluate EvalRec 5") })
+	if !strings.Contains(out, "RMSE") || !strings.Contains(out, "MAE") {
+		t.Fatalf("\\evaluate output:\n%s", out)
+	}
+	if err := evaluate(e, "missing", 5); err == nil {
+		t.Fatal("missing recommender should fail")
+	}
+}

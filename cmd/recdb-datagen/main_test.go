@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"recdb/internal/dataset"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteCSVDataset(t *testing.T) {
+	dir := t.TempDir()
+	spec := dataset.Yelp.Scaled(0.02)
+	d := dataset.Generate(spec)
+
+	// Reuse the writers exactly as main does.
+	writeCSV(dir, "users.csv", [][]string{{"uid", "name", "city", "age", "gender"}}, func(emit func([]string)) {
+		for _, u := range d.Users {
+			emit([]string{"1", u.Name, u.City, "20", u.Gender})
+		}
+	})
+	rows := readCSV(t, filepath.Join(dir, "users.csv"))
+	if len(rows) != len(d.Users)+1 {
+		t.Fatalf("users.csv rows: %d, want %d+header", len(rows), len(d.Users))
+	}
+	if rows[0][0] != "uid" {
+		t.Fatalf("header: %v", rows[0])
+	}
+}

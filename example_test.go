@@ -1,0 +1,68 @@
+package recdb_test
+
+import (
+	"fmt"
+
+	"recdb"
+)
+
+// The paper's Figure 1 data and Query 1: create a recommender inside the
+// database and ask for top recommendations.
+func Example() {
+	db := recdb.Open()
+	defer db.Close()
+
+	db.MustExec(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)`)
+	db.MustExec(`INSERT INTO ratings VALUES
+		(1, 1, 1.5),
+		(2, 2, 3.5), (2, 1, 4.5), (2, 3, 2),
+		(3, 2, 1), (3, 1, 2),
+		(4, 2, 1)`)
+	db.MustExec(`CREATE RECOMMENDER GeneralRec ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval
+		USING ItemCosCF`)
+
+	rows, err := db.Query(`SELECT R.iid, R.ratingval FROM ratings AS R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 1
+		ORDER BY R.ratingval DESC, R.iid ASC LIMIT 10`)
+	if err != nil {
+		panic(err)
+	}
+	for rows.Next() {
+		var item int64
+		var score float64
+		if err := rows.Scan(&item, &score); err != nil {
+			panic(err)
+		}
+		fmt.Printf("item %d: %.2f\n", item, score)
+	}
+	// Output:
+	// item 2: 1.50
+	// item 3: 1.50
+}
+
+// Aggregates express the paper's non-personalized recommender class as
+// plain SQL.
+func ExampleDB_Query_aggregates() {
+	db := recdb.Open()
+	defer db.Close()
+	db.MustExec(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)`)
+	db.MustExec(`INSERT INTO ratings VALUES
+		(1, 10, 5), (2, 10, 4), (3, 10, 5),
+		(1, 20, 2), (2, 20, 1)`)
+	rows, err := db.Query(`SELECT iid, AVG(ratingval) AS score FROM ratings
+		GROUP BY iid ORDER BY score DESC`)
+	if err != nil {
+		panic(err)
+	}
+	for rows.Next() {
+		var item int64
+		var score float64
+		rows.Scan(&item, &score)
+		fmt.Printf("%d %.2f\n", item, score)
+	}
+	// Output:
+	// 10 4.67
+	// 20 1.50
+}

@@ -1,0 +1,139 @@
+// Analytics: the exploration workloads of the paper's introduction — a
+// data scientist mixing ordinary analytics (GROUP BY, HAVING, DISTINCT)
+// with in-DBMS recommendation, inspecting plans with EXPLAIN, and using
+// the non-personalized Popularity recommender (§II class 1) next to
+// collaborative filtering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"recdb"
+)
+
+func main() {
+	db := recdb.Open()
+	defer db.Close()
+	loadData(db)
+
+	// Plain analytics: rating distribution per genre.
+	run(db, "Average rating and support per genre", `
+		SELECT M.genre, COUNT(*) AS n, AVG(R.ratingval) AS mean
+		FROM ratings R, movies M
+		WHERE M.mid = R.iid
+		GROUP BY M.genre
+		HAVING COUNT(*) >= 20
+		ORDER BY AVG(R.ratingval) DESC`)
+
+	// The §II non-personalized recommender, expressed as SQL.
+	run(db, "Global top-5 movies by damped popularity (SQL form)", `
+		SELECT R.iid, AVG(R.ratingval) AS score, COUNT(*) AS support
+		FROM ratings R
+		GROUP BY R.iid
+		HAVING COUNT(*) >= 5
+		ORDER BY AVG(R.ratingval) DESC
+		LIMIT 5`)
+
+	// ... and as a built-in recommender algorithm.
+	db.MustExec(`CREATE RECOMMENDER PopRec ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING Popularity`)
+	run(db, "Same idea via CREATE RECOMMENDER ... USING Popularity", `
+		SELECT R.iid, R.ratingval FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING Popularity
+		WHERE R.uid = 3
+		ORDER BY R.ratingval DESC LIMIT 5`)
+
+	// Aggregating over recommendation output: how optimistic is the model
+	// per user?
+	db.MustExec(`CREATE RECOMMENDER CFRec ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`)
+	run(db, "Average predicted rating per user (ItemCosCF, first 5 users)", `
+		SELECT R.uid, COUNT(*) AS unseen, AVG(R.ratingval) AS optimism
+		FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid IN (1, 2, 3, 4, 5)
+		GROUP BY R.uid
+		ORDER BY R.uid`)
+
+	// DISTINCT + LIKE.
+	run(db, "Genres containing 'i'", `
+		SELECT DISTINCT genre FROM movies WHERE genre LIKE '%i%' ORDER BY genre`)
+
+	// EXPLAIN before/after materialization.
+	explain(db, "Plan before materialization", topKQuery)
+	if err := db.MaterializeUser("CFRec", 3); err != nil {
+		log.Fatal(err)
+	}
+	explain(db, "Plan after materializing user 3", topKQuery)
+}
+
+const topKQuery = `SELECT R.iid, R.ratingval FROM ratings R
+	RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+	WHERE R.uid = 3
+	ORDER BY R.ratingval DESC LIMIT 10`
+
+func loadData(db *recdb.DB) {
+	db.MustExec(`CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, genre TEXT)`)
+	db.MustExec(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)`)
+	genres := []string{"Action", "Suspense", "Sci-Fi", "Drama", "Comedy"}
+	var movieRows, ratingRows []string
+	for m := 1; m <= 120; m++ {
+		movieRows = append(movieRows, fmt.Sprintf("(%d, 'Movie %d', '%s')", m, m, genres[m%len(genres)]))
+	}
+	for u := 1; u <= 80; u++ {
+		for m := 1; m <= 120; m++ {
+			// Feistel-style mix; multipliers with low-bit structure (e.g.
+			// both ≡ 1 mod 8) would partition users into clusters that rate
+			// identical item sets and starve the similarity lists.
+			h := uint32(u*73856093) ^ uint32(m*19349663)
+			h = (h ^ (h >> 13)) * 0x5bd1e995
+			h ^= h >> 15
+			if h%8 != 0 {
+				continue
+			}
+			base := 2.5 + 1.2*math.Sin(float64(u%7))*math.Cos(float64(m%5))
+			rating := math.Max(1, math.Min(5, math.Round(base+float64(h%3)-1)))
+			ratingRows = append(ratingRows, fmt.Sprintf("(%d, %d, %g)", u, m, rating))
+		}
+	}
+	db.MustExec("INSERT INTO movies VALUES " + strings.Join(movieRows, ", "))
+	for start := 0; start < len(ratingRows); start += 500 {
+		end := start + 500
+		if end > len(ratingRows) {
+			end = len(ratingRows)
+		}
+		db.MustExec("INSERT INTO ratings VALUES " + strings.Join(ratingRows[start:end], ", "))
+	}
+	fmt.Printf("loaded 80 users, 120 movies, %d ratings\n\n", len(ratingRows))
+}
+
+func run(db *recdb.DB, title, query string) {
+	rows, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(title)
+	for rows.Next() {
+		cells := make([]string, len(rows.Row()))
+		for i, v := range rows.Row() {
+			cells[i] = v.String()
+		}
+		fmt.Printf("  %s\n", strings.Join(cells, " | "))
+	}
+	fmt.Println()
+}
+
+func explain(db *recdb.DB, title, query string) {
+	rows, err := db.Query("EXPLAIN " + query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(title)
+	for rows.Next() {
+		fmt.Printf("  %s\n", rows.Row()[0].String())
+	}
+	fmt.Println()
+}

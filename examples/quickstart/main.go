@@ -1,0 +1,78 @@
+// Quickstart: the paper's running example (Figure 1) end to end — create
+// the movie tables, load the ratings, create a recommender with the
+// paper's CREATE RECOMMENDER statement, and run Query 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recdb"
+)
+
+func main() {
+	db := recdb.Open()
+	defer db.Close()
+
+	// Figure 1: users, movies, and ratings.
+	db.MustExec(`CREATE TABLE users (uid INT PRIMARY KEY, name TEXT, city TEXT, age INT, gender TEXT)`)
+	db.MustExec(`CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, director TEXT, genre TEXT)`)
+	db.MustExec(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)`)
+	db.MustExec(`INSERT INTO users VALUES
+		(1, 'Alice', 'Minneapolis, MN', 18, 'Female'),
+		(2, 'Bob', 'Austin, TX', 27, 'Male'),
+		(3, 'Carol', 'Minneapolis, MN', 45, 'Female'),
+		(4, 'Eve', 'San Diego, CA', 34, 'Female')`)
+	db.MustExec(`INSERT INTO movies VALUES
+		(1, 'Spartacus', 'Stanley Kubrick', 'Action'),
+		(2, 'Inception', 'Christopher Nolan', 'Suspense'),
+		(3, 'The Matrix', 'Lana Wachowski', 'Sci-Fi')`)
+	db.MustExec(`INSERT INTO ratings VALUES
+		(1, 1, 1.5),
+		(2, 2, 3.5), (2, 1, 4.5), (2, 3, 2),
+		(3, 2, 1), (3, 1, 2),
+		(4, 2, 1)`)
+
+	// Recommender 1: GeneralRec, an ItemCosCF recommender on Ratings.
+	db.MustExec(`CREATE RECOMMENDER GeneralRec ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval
+		USING ItemCosCF`)
+	build, _ := db.ModelBuildTime("GeneralRec")
+	fmt.Printf("GeneralRec model built in %v\n\n", build)
+
+	// Query 1: return ten movies to user 1, best predictions first.
+	rows, err := db.Query(`SELECT R.uid, R.iid, R.ratingval FROM ratings AS R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 1
+		ORDER BY R.ratingval DESC LIMIT 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Recommendations for Alice (plan: %s):\n", rows.Strategy())
+	for rows.Next() {
+		var uid, iid int64
+		var score float64
+		if err := rows.Scan(&uid, &iid, &score); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  movie %d — predicted rating %.3f\n", iid, score)
+	}
+
+	// The same query with movie names: RECOMMEND composed with a join.
+	rows, err = db.Query(`SELECT M.name, R.ratingval FROM ratings R, movies M
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 1 AND M.mid = R.iid
+		ORDER BY R.ratingval DESC LIMIT 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWith titles (plan: %s):\n", rows.Strategy())
+	for rows.Next() {
+		var name string
+		var score float64
+		if err := rows.Scan(&name, &score); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %.3f\n", name, score)
+	}
+}

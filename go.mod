@@ -1,0 +1,3 @@
+module recdb
+
+go 1.22

@@ -1,0 +1,457 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"recdb/internal/dataset"
+)
+
+// Table is one regenerated paper table/figure, ready for text rendering.
+type Table struct {
+	ID     string // e.g. "Table II", "Fig. 6"
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+func dur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}
+
+// Selectivities are the §VI-A selectivity factors.
+var Selectivities = []float64{0.001, 0.01, 0.1}
+
+// TopKs are the §VI-C k values.
+var TopKs = []int{10, 100}
+
+// Reps is how many times each RecDB-side query is repeated for averaging
+// (OnTopDB queries run once; they are orders of magnitude slower).
+var Reps = 3
+
+// RunTable2 regenerates Table II: model build time per dataset × algorithm.
+func RunTable2(scale float64, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     "Table II",
+		Title:  "Recommender model building time",
+		Header: []string{"Init. Time", "ItemCosCF", "ItemPearCF", "SVD"},
+	}
+	for _, spec := range []dataset.Spec{dataset.MovieLens, dataset.LDOS, dataset.Yelp} {
+		if scale != 1 {
+			spec = spec.Scaled(scale)
+		}
+		env, err := Setup(spec, Algos, neighborhood)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			dur(env.BuildTimes["ItemCosCF"]),
+			dur(env.BuildTimes["ItemPearCF"]),
+			dur(env.BuildTimes["SVD"]),
+		})
+	}
+	return t, nil
+}
+
+// RunSelectivity regenerates Fig. 6 (MovieLens) or Fig. 7 (Yelp): query
+// time vs selectivity factor for ItemCosCF and SVD, RecDB vs OnTopDB.
+func RunSelectivity(figID string, spec dataset.Spec, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     figID,
+		Title:  fmt.Sprintf("Query time vs selectivity (%s)", spec.Name),
+		Header: []string{"Selectivity", "Algo", "RecDB", "OnTopDB", "speedup"},
+	}
+	env, err := Setup(spec, []string{"ItemCosCF", "SVD"}, neighborhood)
+	if err != nil {
+		return t, err
+	}
+	for _, algo := range []string{"ItemCosCF", "SVD"} {
+		for _, sel := range Selectivities {
+			items := env.SelectivityItems(sel)
+			recT, err := TimeN(Reps, func() error {
+				_, err := env.RecDBSelectivity(algo, items)
+				return err
+			})
+			if err != nil {
+				return t, err
+			}
+			topT, err := Time(func() error {
+				_, err := env.OnTopSelectivity(algo, items)
+				return err
+			})
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.1f%%", sel*100), algo,
+				dur(recT), dur(topT), speedup(recT, topT),
+			})
+		}
+	}
+	return t, nil
+}
+
+// RunJoin regenerates Fig. 8 (MovieLens) or Fig. 9 (LDOS-CoMoDa): join
+// query time per algorithm, one-way and two-way joins, RecDB vs OnTopDB.
+func RunJoin(figID string, spec dataset.Spec, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     figID,
+		Title:  fmt.Sprintf("Join query time (%s)", spec.Name),
+		Header: []string{"Join", "Algo", "RecDB", "OnTopDB", "speedup"},
+	}
+	env, err := Setup(spec, Algos, neighborhood)
+	if err != nil {
+		return t, err
+	}
+	for _, twoWay := range []bool{false, true} {
+		label := "one-way"
+		if twoWay {
+			label = "two-way"
+		}
+		for _, algo := range Algos {
+			recT, err := TimeN(Reps, func() error {
+				_, err := env.RecDBJoin(algo, twoWay)
+				return err
+			})
+			if err != nil {
+				return t, err
+			}
+			topT, err := Time(func() error {
+				_, err := env.OnTopJoin(algo, twoWay)
+				return err
+			})
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				label, algo, dur(recT), dur(topT), speedup(recT, topT),
+			})
+		}
+	}
+	return t, nil
+}
+
+// RunTopK regenerates Fig. 10 (MovieLens), Fig. 11 (LDOS-CoMoDa), or
+// Fig. 12 (Yelp): top-k recommendation time with the RecScoreIndex warm
+// for RecDB, per algorithm and k, vs OnTopDB.
+func RunTopK(figID string, spec dataset.Spec, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     figID,
+		Title:  fmt.Sprintf("Top-K recommendation query time (%s)", spec.Name),
+		Header: []string{"K", "Algo", "RecDB", "OnTopDB", "speedup", "RecDB plan"},
+	}
+	env, err := Setup(spec, Algos, neighborhood)
+	if err != nil {
+		return t, err
+	}
+	if err := env.MaterializeQueryUser(Algos); err != nil {
+		return t, err
+	}
+	for _, k := range TopKs {
+		for _, algo := range Algos {
+			var strategy string
+			recT, err := TimeN(Reps, func() error {
+				_, s, err := env.RecDBTopK(algo, k)
+				strategy = s
+				return err
+			})
+			if err != nil {
+				return t, err
+			}
+			topT, err := Time(func() error {
+				_, err := env.OnTopTopK(algo, k)
+				return err
+			})
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", k), algo,
+				dur(recT), dur(topT), speedup(recT, topT), strategy,
+			})
+		}
+	}
+	return t, nil
+}
+
+func speedup(rec, top time.Duration) string {
+	if rec <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(top)/float64(rec))
+}
+
+// ---- Ablations (DESIGN.md §4) ----
+
+// RunAblationFilterPushdown measures the selectivity query with and
+// without uid/iid pushdown into the RECOMMEND operator.
+func RunAblationFilterPushdown(spec dataset.Spec, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     "Ablation A1",
+		Title:  fmt.Sprintf("FilterRecommend pushdown vs Recommend+Filter (%s)", spec.Name),
+		Header: []string{"Selectivity", "pushdown on", "pushdown off", "speedup"},
+	}
+	env, err := Setup(spec, []string{"ItemCosCF"}, neighborhood)
+	if err != nil {
+		return t, err
+	}
+	for _, sel := range Selectivities {
+		items := env.SelectivityItems(sel)
+		on, err := TimeN(Reps, func() error {
+			_, err := env.RecDBSelectivity("ItemCosCF", items)
+			return err
+		})
+		if err != nil {
+			return t, err
+		}
+		env.Eng.Planner().DisableFilterPushdown = true
+		off, err := Time(func() error {
+			_, err := env.RecDBSelectivity("ItemCosCF", items)
+			return err
+		})
+		env.Eng.Planner().DisableFilterPushdown = false
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f%%", sel*100), dur(on), dur(off), speedup(on, off),
+		})
+	}
+	return t, nil
+}
+
+// RunAblationJoinRecommend measures the join query with JOINRECOMMEND vs
+// the FilterRecommend+HashJoin fallback.
+func RunAblationJoinRecommend(spec dataset.Spec, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     "Ablation A2",
+		Title:  fmt.Sprintf("JoinRecommend vs Recommend+HashJoin (%s)", spec.Name),
+		Header: []string{"Join", "JoinRecommend", "fallback", "speedup"},
+	}
+	env, err := Setup(spec, []string{"ItemCosCF"}, neighborhood)
+	if err != nil {
+		return t, err
+	}
+	for _, twoWay := range []bool{false, true} {
+		label := "one-way"
+		if twoWay {
+			label = "two-way"
+		}
+		on, err := TimeN(Reps, func() error {
+			_, err := env.RecDBJoin("ItemCosCF", twoWay)
+			return err
+		})
+		if err != nil {
+			return t, err
+		}
+		env.Eng.Planner().DisableJoinRecommend = true
+		off, err := TimeN(Reps, func() error {
+			_, err := env.RecDBJoin("ItemCosCF", twoWay)
+			return err
+		})
+		env.Eng.Planner().DisableJoinRecommend = false
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{label, dur(on), dur(off), speedup(on, off)})
+	}
+	return t, nil
+}
+
+// RunAblationRecScoreIndex measures top-k with the RecScoreIndex
+// (INDEXRECOMMEND) vs online prediction + sort.
+func RunAblationRecScoreIndex(spec dataset.Spec, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     "Ablation A3",
+		Title:  fmt.Sprintf("IndexRecommend vs online prediction+sort (%s)", spec.Name),
+		Header: []string{"K", "indexed", "online", "speedup"},
+	}
+	env, err := Setup(spec, []string{"ItemCosCF"}, neighborhood)
+	if err != nil {
+		return t, err
+	}
+	if err := env.MaterializeQueryUser([]string{"ItemCosCF"}); err != nil {
+		return t, err
+	}
+	for _, k := range TopKs {
+		on, err := TimeN(Reps, func() error {
+			_, _, err := env.RecDBTopK("ItemCosCF", k)
+			return err
+		})
+		if err != nil {
+			return t, err
+		}
+		env.Eng.Planner().DisableIndexRecommend = true
+		off, err := TimeN(Reps, func() error {
+			_, _, err := env.RecDBTopK("ItemCosCF", k)
+			return err
+		})
+		env.Eng.Planner().DisableIndexRecommend = false
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", k), dur(on), dur(off), speedup(on, off)})
+	}
+	return t, nil
+}
+
+// RunAblationNeighborhood measures model build and query time across
+// neighborhood-size caps (0 = the paper's full lists).
+func RunAblationNeighborhood(spec dataset.Spec) (Table, error) {
+	t := Table{
+		ID:     "Ablation A4",
+		Title:  fmt.Sprintf("Neighborhood truncation (%s)", spec.Name),
+		Header: []string{"size", "build", "top-10 query"},
+	}
+	for _, size := range []int{0, 200, 64, 16} {
+		env, err := Setup(spec, []string{"ItemCosCF"}, size)
+		if err != nil {
+			return t, err
+		}
+		q, err := TimeN(Reps, func() error {
+			_, _, err := env.RecDBTopK("ItemCosCF", 10)
+			return err
+		})
+		if err != nil {
+			return t, err
+		}
+		label := fmt.Sprintf("%d", size)
+		if size == 0 {
+			label = "full"
+		}
+		t.Rows = append(t.Rows, []string{label, dur(env.BuildTimes["ItemCosCF"]), dur(q)})
+	}
+	return t, nil
+}
+
+// RunAblationHotness sweeps HOTNESS-THRESHOLD from 0 to 1 and reports the
+// materialized entry count (storage) against hot-user top-k latency.
+func RunAblationHotness(spec dataset.Spec, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     "Ablation A5",
+		Title:  fmt.Sprintf("HOTNESS-THRESHOLD sweep (%s)", spec.Name),
+		Header: []string{"threshold", "materialized entries", "hot-user top-10", "plan"},
+	}
+	for _, threshold := range []float64{0, 0.25, 0.5, 0.75, 1.01} {
+		env, err := Setup(spec, []string{"ItemCosCF"}, neighborhood)
+		if err != nil {
+			return t, err
+		}
+		cache, err := env.Eng.CacheOf("Rec_ItemCosCF")
+		if err != nil {
+			return t, err
+		}
+		cache.Threshold = threshold
+		// Drive demand and consumption with skew, so hotness spans the
+		// whole (0, 1] range: the query user is the hottest, other users
+		// trail off, and item consumption decays with rank.
+		r, _ := env.Eng.Recommenders().Get("Rec_ItemCosCF")
+		for i := 0; i < 16; i++ {
+			cache.RecordQuery(env.QueryUser)
+		}
+		for rank, u := range env.Eng.Recommenders().List()[0].Store().UserIDs() {
+			if rank >= 8 {
+				break
+			}
+			for q := 0; q < 8-rank; q++ {
+				cache.RecordQuery(u)
+			}
+		}
+		for rank, it := range env.Data.Items {
+			updates := 1 + 32/(rank+1) // harmonic decay: a few very hot items
+			for q := 0; q < updates; q++ {
+				cache.RecordUpdate(it.ID)
+			}
+		}
+		if _, err := cache.Run(r.Store()); err != nil {
+			return t, err
+		}
+		var strategy string
+		q, err := TimeN(Reps, func() error {
+			_, s, err := env.RecDBTopK("ItemCosCF", 10)
+			strategy = s
+			return err
+		})
+		if err != nil {
+			return t, err
+		}
+		label := fmt.Sprintf("%.2f", threshold)
+		if threshold > 1 {
+			label = "1.00"
+		}
+		t.Rows = append(t.Rows, []string{
+			label, fmt.Sprintf("%d", cache.Index().Len()), dur(q), strategy,
+		})
+	}
+	return t, nil
+}
+
+// RunPageIO reports logical page reads per query for each recommendation
+// strategy on the same top-10 workload — the I/O-cost view of §IV's
+// operator cost model (the paper's latency claims are grounded in how many
+// pages each plan touches).
+func RunPageIO(spec dataset.Spec, neighborhood int) (Table, error) {
+	t := Table{
+		ID:     "Ablation A6",
+		Title:  fmt.Sprintf("Logical page reads per top-10 query (%s)", spec.Name),
+		Header: []string{"strategy", "page reads", "time"},
+	}
+	env, err := Setup(spec, []string{"ItemCosCF"}, neighborhood)
+	if err != nil {
+		return t, err
+	}
+	stats := env.Eng.Stats()
+
+	measure := func(label string, setup func() error, fn func() error) error {
+		if setup != nil {
+			if err := setup(); err != nil {
+				return err
+			}
+		}
+		// Warm once so model-table pages are cached (steady state).
+		if err := fn(); err != nil {
+			return err
+		}
+		stats.Reset()
+		d, err := Time(fn)
+		if err != nil {
+			return err
+		}
+		reads, _, _ := stats.Snapshot()
+		t.Rows = append(t.Rows, []string{label, fmt.Sprintf("%d", reads), dur(d)})
+		return nil
+	}
+
+	planner := env.Eng.Planner()
+	// Full Recommend (pushdown off): touches every user's vector and every
+	// item's neighborhood.
+	if err := measure("Recommend (no pushdown)",
+		func() error { planner.DisableFilterPushdown = true; return nil },
+		func() error { _, _, err := env.RecDBTopK("ItemCosCF", 10); return err },
+	); err != nil {
+		return t, err
+	}
+	planner.DisableFilterPushdown = false
+	// FilterRecommend: one user's vector + candidate neighborhoods.
+	if err := measure("FilterRecommend", nil,
+		func() error { _, _, err := env.RecDBTopK("ItemCosCF", 10); return err },
+	); err != nil {
+		return t, err
+	}
+	// IndexRecommend: no model-table pages at all.
+	if err := measure("IndexRecommend",
+		func() error { return env.MaterializeQueryUser([]string{"ItemCosCF"}) },
+		func() error { _, _, err := env.RecDBTopK("ItemCosCF", 10); return err },
+	); err != nil {
+		return t, err
+	}
+	return t, nil
+}

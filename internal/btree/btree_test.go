@@ -1,0 +1,313 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"recdb/internal/types"
+)
+
+func intKey(i int64) types.Row { return types.Row{types.NewInt(i)} }
+
+func TestInsertGet(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 100; i++ {
+		if !tr.Insert(intKey(i), i*10) {
+			t.Fatalf("Insert(%d) reported replacement", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok := tr.Get(intKey(i))
+		if !ok || v.(int64) != i*10 {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(intKey(1000)); ok {
+		t.Fatal("Get of missing key should fail")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New(4)
+	tr.Insert(intKey(1), "a")
+	if tr.Insert(intKey(1), "b") {
+		t.Fatal("second insert of same key should replace, not add")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, _ := tr.Get(intKey(1))
+	if v.(string) != "b" {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestInsertRandomOrder(t *testing.T) {
+	tr := New(8)
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(5000)
+	for _, i := range perm {
+		tr.Insert(intKey(int64(i)), i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Ascend yields sorted order.
+	var got []int64
+	tr.Ascend(nil, func(k types.Row, v any) bool {
+		got = append(got, k[0].Int())
+		return true
+	})
+	if len(got) != 5000 {
+		t.Fatalf("ascend visited %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+		t.Fatal("ascend not sorted")
+	}
+}
+
+func TestDescend(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 200; i++ {
+		tr.Insert(intKey(i), nil)
+	}
+	var got []int64
+	tr.Descend(nil, func(k types.Row, v any) bool {
+		got = append(got, k[0].Int())
+		return true
+	})
+	if len(got) != 200 {
+		t.Fatalf("descend visited %d", len(got))
+	}
+	for i := range got {
+		if got[i] != int64(199-i) {
+			t.Fatalf("descend[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 100; i += 2 { // even keys only
+		tr.Insert(intKey(i), nil)
+	}
+	var got []int64
+	collect := func(k types.Row, v any) bool {
+		got = append(got, k[0].Int())
+		return len(got) < 5
+	}
+	tr.Ascend(intKey(50), collect) // exact match
+	if got[0] != 50 || len(got) != 5 {
+		t.Fatalf("from exact: %v", got)
+	}
+	got = nil
+	tr.Ascend(intKey(51), collect) // between keys
+	if got[0] != 52 {
+		t.Fatalf("from gap: %v", got)
+	}
+	got = nil
+	tr.Ascend(intKey(99), collect) // beyond all
+	if len(got) != 0 {
+		t.Fatalf("from beyond: %v", got)
+	}
+}
+
+func TestDescendFrom(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 100; i += 2 {
+		tr.Insert(intKey(i), nil)
+	}
+	var got []int64
+	collect := func(k types.Row, v any) bool {
+		got = append(got, k[0].Int())
+		return len(got) < 5
+	}
+	tr.Descend(intKey(50), collect)
+	if got[0] != 50 {
+		t.Fatalf("from exact: %v", got)
+	}
+	got = nil
+	tr.Descend(intKey(51), collect)
+	if got[0] != 50 {
+		t.Fatalf("from gap: %v", got)
+	}
+	got = nil
+	tr.Descend(intKey(-1), collect)
+	if len(got) != 0 {
+		t.Fatalf("from below: %v", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(intKey(i), nil)
+	}
+	var got []int64
+	tr.Range(intKey(10), intKey(15), func(k types.Row, v any) bool {
+		got = append(got, k[0].Int())
+		return true
+	})
+	want := []int64{10, 11, 12, 13, 14, 15}
+	if len(got) != len(want) {
+		t.Fatalf("range: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range: %v", got)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(intKey(i), i)
+	}
+	// Delete every third key.
+	for i := int64(0); i < 1000; i += 3 {
+		if !tr.Delete(intKey(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Delete(intKey(0)) {
+		t.Fatal("double delete should return false")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		_, ok := tr.Get(intKey(i))
+		if (i%3 == 0) == ok {
+			t.Fatalf("Get(%d) after deletes = %v", i, ok)
+		}
+	}
+}
+
+func TestDeleteAllThenReinsert(t *testing.T) {
+	tr := New(4)
+	for i := int64(0); i < 300; i++ {
+		tr.Insert(intKey(i), nil)
+	}
+	for i := int64(0); i < 300; i++ {
+		if !tr.Delete(intKey(i)) {
+			t.Fatalf("Delete(%d)", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 300; i++ {
+		tr.Insert(intKey(i), nil)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tr.Ascend(nil, func(types.Row, any) bool { count++; return true })
+	if count != 300 {
+		t.Fatalf("reinserted count = %d", count)
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	// RecTree-style keys: (ratingval, itemID).
+	tr := New(8)
+	tr.Insert(types.Row{types.NewFloat(4.5), types.NewInt(10)}, nil)
+	tr.Insert(types.Row{types.NewFloat(4.5), types.NewInt(3)}, nil)
+	tr.Insert(types.Row{types.NewFloat(2.0), types.NewInt(99)}, nil)
+	tr.Insert(types.Row{types.NewFloat(5.0), types.NewInt(1)}, nil)
+	var got [][2]float64
+	tr.Descend(nil, func(k types.Row, v any) bool {
+		got = append(got, [2]float64{k[0].Float(), float64(k[1].Int())})
+		return true
+	})
+	want := [][2]float64{{5, 1}, {4.5, 10}, {4.5, 3}, {2, 99}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("descend order: %v", got)
+		}
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	if CompareRows(intKey(1), intKey(2)) != -1 {
+		t.Error("1 < 2")
+	}
+	if CompareRows(intKey(1), types.Row{types.NewInt(1), types.NewInt(0)}) != -1 {
+		t.Error("prefix sorts first")
+	}
+	// Incomparable kinds fall back to kind ordering, never panic.
+	if c := CompareRows(types.Row{types.NewInt(1)}, types.Row{types.NewText("a")}); c != -1 {
+		t.Errorf("kind fallback: %d", c)
+	}
+}
+
+func TestRandomOpsProperty(t *testing.T) {
+	// Model-based check against a map.
+	type op struct {
+		Key    int16
+		Val    int32
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		tr := New(6)
+		model := map[int64]int32{}
+		for _, o := range ops {
+			k := int64(o.Key)
+			if o.Delete {
+				_, inModel := model[k]
+				if tr.Delete(intKey(k)) != inModel {
+					return false
+				}
+				delete(model, k)
+			} else {
+				_, inModel := model[k]
+				if tr.Insert(intKey(k), o.Val) != !inModel {
+					return false
+				}
+				model[k] = o.Val
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		for k, v := range model {
+			got, ok := tr.Get(intKey(k))
+			if !ok || got.(int32) != v {
+				return false
+			}
+		}
+		// Ascend is sorted and complete.
+		prev := int64(-1 << 62)
+		count := 0
+		okScan := true
+		tr.Ascend(nil, func(key types.Row, _ any) bool {
+			k := key[0].Int()
+			if k <= prev {
+				okScan = false
+			}
+			prev = k
+			count++
+			return true
+		})
+		return okScan && count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

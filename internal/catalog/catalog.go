@@ -1,0 +1,394 @@
+// Package catalog manages the database's tables and indexes: schemas, heap
+// storage, primary-key enforcement, and secondary index maintenance. The
+// recommendation layer stores its model tables (item neighborhoods, factor
+// tables, user vectors) through the same catalog, so the RECOMMEND
+// operators read them with ordinary block-by-block heap scans.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"recdb/internal/btree"
+	"recdb/internal/geo"
+	"recdb/internal/storage"
+	"recdb/internal/types"
+)
+
+// DefaultPoolPages is the buffer-pool capacity per table when the caller
+// does not override it (512 pages = 4 MiB, comfortably larger than any
+// single experiment table so steady-state runs are warm, as in the paper).
+const DefaultPoolPages = 512
+
+// Catalog is the table registry. All methods are safe for concurrent use.
+type Catalog struct {
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	stats     *storage.Stats
+	poolPages int
+}
+
+// New creates an empty catalog. stats may be nil; poolPages <= 0 selects
+// DefaultPoolPages.
+func New(stats *storage.Stats, poolPages int) *Catalog {
+	if stats == nil {
+		stats = &storage.Stats{}
+	}
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	return &Catalog{
+		tables:    make(map[string]*Table),
+		stats:     stats,
+		poolPages: poolPages,
+	}
+}
+
+// Stats returns the shared I/O counters.
+func (c *Catalog) Stats() *storage.Stats { return c.stats }
+
+// Table is one relation: schema, heap, and indexes.
+type Table struct {
+	mu      sync.RWMutex
+	Name    string
+	Schema  *types.Schema
+	Heap    *storage.HeapFile
+	PKCol   int // column index of the primary key, or -1
+	indexes map[string]*Index
+}
+
+// Index is a secondary (or primary) index over one column. For ordinary
+// columns the B+-tree key is (column value, page, slot) so duplicate
+// column values coexist, and the tree value is the row's RID. GEOMETRY
+// columns get an R-tree instead (Spatial is non-nil, Tree is nil), the
+// PostGIS-GiST stand-in used by the location-aware case study.
+type Index struct {
+	Name    string
+	Column  int // position in the table schema
+	Unique  bool
+	Tree    *btree.Tree
+	Spatial *geo.RTree
+}
+
+// CreateTable registers a new table. pkCol is the index of the primary-key
+// column or -1. A primary key implicitly creates a unique index.
+func (c *Catalog) CreateTable(name string, schema *types.Schema, pkCol int) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if pkCol >= schema.Len() {
+		return nil, fmt.Errorf("catalog: primary key column %d out of range", pkCol)
+	}
+	pool := storage.NewBufferPool(storage.NewMemDisk(), c.poolPages, c.stats)
+	heap, err := storage.NewHeapFile(pool)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		Heap:    heap,
+		PKCol:   pkCol,
+		indexes: make(map[string]*Index),
+	}
+	if pkCol >= 0 {
+		t.indexes[strings.ToLower(schema.Columns[pkCol].Name)] = &Index{
+			Name:   name + "_pkey",
+			Column: pkCol,
+			Unique: true,
+			Tree:   btree.New(0),
+		}
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; !exists {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Get returns the table with the given name (case-insensitive).
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Has reports whether a table exists.
+func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Names returns all table names, unordered.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// indexKeyFor builds the composite tree key for a row's entry in idx.
+func indexKeyFor(idx *Index, row types.Row, rid storage.RID) types.Row {
+	if idx.Unique {
+		return types.Row{row[idx.Column]}
+	}
+	return types.Row{row[idx.Column], types.NewInt(int64(rid.Page)), types.NewInt(int64(rid.Slot))}
+}
+
+// Insert validates the row against the schema, enforces the primary key,
+// stores the row, and maintains all indexes.
+func (t *Table) Insert(row types.Row) (storage.RID, error) {
+	if err := t.checkRow(row); err != nil {
+		return storage.RID{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.PKCol >= 0 {
+		pk := t.pkIndexLocked()
+		if _, exists := pk.Tree.Get(types.Row{row[t.PKCol]}); exists {
+			return storage.RID{}, fmt.Errorf("catalog: duplicate primary key %v in table %q", row[t.PKCol], t.Name)
+		}
+	}
+	rid, err := t.Heap.Insert(row)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, idx := range t.indexes {
+		idx.add(row, rid)
+	}
+	return rid, nil
+}
+
+// Delete removes the row at rid and its index entries.
+func (t *Table) Delete(rid storage.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, err := t.Heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	if err := t.Heap.Delete(rid); err != nil {
+		return err
+	}
+	for _, idx := range t.indexes {
+		idx.drop(row, rid)
+	}
+	return nil
+}
+
+// Update replaces the row at rid, maintaining indexes; it returns the
+// row's (possibly relocated) RID.
+func (t *Table) Update(rid storage.RID, row types.Row) (storage.RID, error) {
+	if err := t.checkRow(row); err != nil {
+		return storage.RID{}, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, err := t.Heap.Get(rid)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	if t.PKCol >= 0 && !types.Equal(old[t.PKCol], row[t.PKCol]) {
+		pk := t.pkIndexLocked()
+		if _, exists := pk.Tree.Get(types.Row{row[t.PKCol]}); exists {
+			return storage.RID{}, fmt.Errorf("catalog: duplicate primary key %v in table %q", row[t.PKCol], t.Name)
+		}
+	}
+	newRID, err := t.Heap.Update(rid, row)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, idx := range t.indexes {
+		idx.drop(old, rid)
+		idx.add(row, newRID)
+	}
+	return newRID, nil
+}
+
+func (t *Table) checkRow(row types.Row) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("catalog: row has %d values, table %q has %d columns", len(row), t.Name, t.Schema.Len())
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			if i == t.PKCol {
+				return fmt.Errorf("catalog: NULL primary key in table %q", t.Name)
+			}
+			continue
+		}
+		if v.Kind() != t.Schema.Columns[i].Kind {
+			// Permit int literals in float columns (SQL numeric coercion).
+			if v.Kind() == types.KindInt && t.Schema.Columns[i].Kind == types.KindFloat {
+				row[i] = types.NewFloat(float64(v.Int()))
+				continue
+			}
+			return fmt.Errorf("catalog: column %q of table %q expects %s, got %s",
+				t.Schema.Columns[i].Name, t.Name, t.Schema.Columns[i].Kind, v.Kind())
+		}
+	}
+	return nil
+}
+
+func (t *Table) pkIndexLocked() *Index {
+	return t.indexes[strings.ToLower(t.Schema.Columns[t.PKCol].Name)]
+}
+
+// CreateIndex builds a secondary index on the named column, backfilling it
+// from the heap.
+func (t *Table) CreateIndex(name, column string) (*Index, error) {
+	col, err := t.Schema.Resolve("", column)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := strings.ToLower(column)
+	if _, exists := t.indexes[key]; exists {
+		return nil, fmt.Errorf("catalog: index on %q.%q already exists", t.Name, column)
+	}
+	idx := &Index{Name: name, Column: col}
+	if t.Schema.Columns[col].Kind == types.KindGeometry {
+		idx.Spatial = geo.NewRTree(0)
+	} else {
+		idx.Tree = btree.New(0)
+	}
+	it := t.Heap.Scan()
+	defer it.Close()
+	for {
+		row, rid, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		idx.add(row, rid)
+	}
+	t.indexes[key] = idx
+	return idx, nil
+}
+
+// add inserts one row's entry into the index.
+func (idx *Index) add(row types.Row, rid storage.RID) {
+	if idx.Spatial != nil {
+		v := row[idx.Column]
+		if v.Kind() == types.KindGeometry && v.Geometry() != nil {
+			idx.Spatial.Insert(v.Geometry(), rid)
+		}
+		return
+	}
+	idx.Tree.Insert(indexKeyFor(idx, row, rid), rid)
+}
+
+// drop removes one row's entry from the index.
+func (idx *Index) drop(row types.Row, rid storage.RID) {
+	if idx.Spatial != nil {
+		v := row[idx.Column]
+		if v.Kind() == types.KindGeometry && v.Geometry() != nil {
+			idx.Spatial.Delete(v.Geometry(), rid)
+		}
+		return
+	}
+	idx.Tree.Delete(indexKeyFor(idx, row, rid))
+}
+
+// SearchContaining visits RIDs of rows whose geometry bounding box
+// intersects q's (candidates for ST_Contains/ST_Intersects checks).
+func (idx *Index) SearchContaining(q geo.Geometry, fn func(rid storage.RID) bool) {
+	if idx.Spatial == nil {
+		return
+	}
+	idx.Spatial.SearchIntersecting(q, func(_ geo.Geometry, data any) bool {
+		return fn(data.(storage.RID))
+	})
+}
+
+// SearchWithin visits RIDs of rows whose geometry bounding box lies within
+// dist of q's (candidates for ST_DWithin checks).
+func (idx *Index) SearchWithin(q geo.Geometry, dist float64, fn func(rid storage.RID) bool) {
+	if idx.Spatial == nil {
+		return
+	}
+	idx.Spatial.SearchWithin(q, dist, func(_ geo.Geometry, data any) bool {
+		return fn(data.(storage.RID))
+	})
+}
+
+// Indexes returns all indexes of the table (including the implicit
+// primary-key index), unordered.
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		out = append(out, idx)
+	}
+	return out
+}
+
+// IndexOn returns the index whose key column has the given name, if any.
+func (t *Table) IndexOn(column string) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[strings.ToLower(column)]
+	return idx, ok
+}
+
+// LookupPK fetches the row whose primary key equals v.
+func (t *Table) LookupPK(v types.Value) (types.Row, storage.RID, bool, error) {
+	if t.PKCol < 0 {
+		return nil, storage.RID{}, false, fmt.Errorf("catalog: table %q has no primary key", t.Name)
+	}
+	t.mu.RLock()
+	idx := t.pkIndexLocked()
+	got, ok := idx.Tree.Get(types.Row{v})
+	t.mu.RUnlock()
+	if !ok {
+		return nil, storage.RID{}, false, nil
+	}
+	rid := got.(storage.RID)
+	row, err := t.Heap.Get(rid)
+	if err != nil {
+		return nil, storage.RID{}, false, err
+	}
+	return row, rid, true, nil
+}
+
+// ScanIndex visits rows whose indexed column value is in [lo, hi] (nil
+// bounds are open) in ascending column order.
+func (idx *Index) ScanIndex(lo, hi types.Value, fn func(rid storage.RID) bool) {
+	var loKey, hiKey types.Row
+	if !lo.IsNull() {
+		loKey = types.Row{lo}
+	}
+	if !hi.IsNull() {
+		// Extend with a maximal suffix so composite duplicate keys with the
+		// same column value are included.
+		hiKey = types.Row{hi, types.NewInt(int64(^uint32(0))), types.NewInt(int64(^uint16(0)))}
+	}
+	idx.Tree.Range(loKey, hiKey, func(_ types.Row, v any) bool {
+		return fn(v.(storage.RID))
+	})
+}

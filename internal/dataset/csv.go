@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"recdb/internal/engine"
+	"recdb/internal/geo"
+	"recdb/internal/rec"
+)
+
+// LoadCSVDir reads a dataset directory in the layout recdb-datagen writes
+// (users.csv, items.csv, ratings.csv, and optionally cities.csv) and bulk
+// loads it into the engine with Load. Real datasets exported to the same
+// column layout load identically, so this is the import path for actual
+// MovieLens/Yelp dumps when they are available.
+func LoadCSVDir(e *engine.Engine, dir string) (*Data, error) {
+	d := &Data{Spec: Spec{Name: filepath.Base(dir)}}
+
+	users, err := readCSVFile(filepath.Join(dir, "users.csv"))
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range users {
+		if len(row) < 5 {
+			return nil, fmt.Errorf("dataset: users.csv row %d has %d columns, want 5", i+2, len(row))
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: users.csv row %d: %w", i+2, err)
+		}
+		age, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: users.csv row %d: %w", i+2, err)
+		}
+		d.Users = append(d.Users, User{ID: id, Name: row[1], City: row[2], Age: age, Gender: row[4]})
+	}
+
+	items, err := readCSVFile(filepath.Join(dir, "items.csv"))
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range items {
+		if len(row) < 4 {
+			return nil, fmt.Errorf("dataset: items.csv row %d has %d columns, want >= 4", i+2, len(row))
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: items.csv row %d: %w", i+2, err)
+		}
+		item := Item{ID: id, Name: row[1], Director: row[2], Genre: row[3]}
+		if len(row) >= 7 { // geo layout: x, y, city
+			x, errX := strconv.ParseFloat(row[4], 64)
+			y, errY := strconv.ParseFloat(row[5], 64)
+			if errX != nil || errY != nil {
+				return nil, fmt.Errorf("dataset: items.csv row %d: bad coordinates", i+2)
+			}
+			item.Loc = geo.Point{X: x, Y: y}
+			item.City = row[6]
+			d.Spec.Geo = true
+		}
+		d.Items = append(d.Items, item)
+	}
+
+	ratings, err := readCSVFile(filepath.Join(dir, "ratings.csv"))
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range ratings {
+		if len(row) < 3 {
+			return nil, fmt.Errorf("dataset: ratings.csv row %d has %d columns, want 3", i+2, len(row))
+		}
+		u, errU := strconv.ParseInt(row[0], 10, 64)
+		it, errI := strconv.ParseInt(row[1], 10, 64)
+		v, errV := strconv.ParseFloat(row[2], 64)
+		if errU != nil || errI != nil || errV != nil {
+			return nil, fmt.Errorf("dataset: ratings.csv row %d: bad values", i+2)
+		}
+		d.Ratings = append(d.Ratings, rec.Rating{User: u, Item: it, Value: v})
+	}
+
+	if cities, err := readCSVFile(filepath.Join(dir, "cities.csv")); err == nil {
+		for i, row := range cities {
+			if len(row) < 2 {
+				return nil, fmt.Errorf("dataset: cities.csv row %d has %d columns, want 2", i+2, len(row))
+			}
+			g, err := geo.Parse(row[1])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: cities.csv row %d: %w", i+2, err)
+			}
+			poly, ok := g.(geo.Polygon)
+			if !ok {
+				return nil, fmt.Errorf("dataset: cities.csv row %d: expected a polygon", i+2)
+			}
+			d.Cities = append(d.Cities, City{Name: row[0], Area: poly})
+		}
+		d.Spec.Geo = d.Spec.Geo || len(d.Cities) > 0
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	d.Spec.Users = len(d.Users)
+	d.Spec.Items = len(d.Items)
+	d.Spec.Ratings = len(d.Ratings)
+	if e != nil {
+		if err := Load(e, d); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// readCSVFile reads a CSV and strips its header row.
+func readCSVFile(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return rows[1:], nil
+}

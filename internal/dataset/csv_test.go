@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"recdb/internal/engine"
+)
+
+// writeTestCSVs writes a tiny dataset in the datagen layout.
+func writeTestCSVs(t *testing.T, dir string, geo bool) {
+	t.Helper()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("users.csv", "uid,name,city,age,gender\n1,Alice,Austin,18,Female\n2,Bob,Austin,27,Male\n")
+	if geo {
+		write("items.csv", "iid,name,director,genre,x,y,city\n1,B1,D1,Action,5,5,Austin\n2,B2,D2,Drama,50,50,Austin\n")
+		write("cities.csv", "name,wkt\nAustin,\"POLYGON((0 0, 100 0, 100 100, 0 100))\"\n")
+	} else {
+		write("items.csv", "iid,name,director,genre\n1,M1,D1,Action\n2,M2,D2,Drama\n")
+	}
+	write("ratings.csv", "uid,iid,ratingval\n1,1,4.5\n1,2,3\n2,1,5\n")
+}
+
+func TestLoadCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCSVs(t, dir, false)
+	e := engine.New(engine.Config{})
+	d, err := LoadCSVDir(e, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Users) != 2 || len(d.Items) != 2 || len(d.Ratings) != 3 || d.Spec.Geo {
+		t.Fatalf("loaded: %s geo=%v", d.Describe(), d.Spec.Geo)
+	}
+	q, err := e.Query("SELECT COUNT(*) FROM ratings")
+	if err != nil || q.Rows[0][0].Int() != 3 {
+		t.Fatalf("engine load: %v %v", q, err)
+	}
+	// A recommender builds straight off the imported data.
+	if _, err := e.Exec(`CREATE RECOMMENDER r ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCSVDirGeo(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCSVs(t, dir, true)
+	e := engine.New(engine.Config{})
+	d, err := LoadCSVDir(e, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Spec.Geo || len(d.Cities) != 1 {
+		t.Fatalf("geo load: %+v", d.Spec)
+	}
+	q, err := e.Query(`SELECT i.name FROM items i, cities c
+		WHERE c.name = 'Austin' AND ST_Contains(c.geom, i.geom)`)
+	if err != nil || len(q.Rows) != 2 {
+		t.Fatalf("spatial query over csv data: %v %v", q, err)
+	}
+}
+
+func TestLoadCSVDirErrors(t *testing.T) {
+	// Missing directory contents.
+	if _, err := LoadCSVDir(nil, t.TempDir()); err == nil {
+		t.Fatal("empty dir should fail")
+	}
+	// Corrupt ratings.
+	dir := t.TempDir()
+	writeTestCSVs(t, dir, false)
+	os.WriteFile(filepath.Join(dir, "ratings.csv"), []byte("uid,iid,ratingval\nx,y,z\n"), 0o644)
+	if _, err := LoadCSVDir(nil, dir); err == nil {
+		t.Fatal("corrupt ratings should fail")
+	}
+}
+
+func TestDatagenRoundTrip(t *testing.T) {
+	// Generate → (in-process equivalent of recdb-datagen) → LoadCSVDir
+	// rebuilds the same dataset.
+	spec := Yelp.Scaled(0.03)
+	orig := Generate(spec)
+	dir := t.TempDir()
+	writeAll(t, dir, orig)
+
+	loaded, err := LoadCSVDir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Users) != len(orig.Users) ||
+		len(loaded.Items) != len(orig.Items) ||
+		len(loaded.Ratings) != len(orig.Ratings) ||
+		len(loaded.Cities) != len(orig.Cities) {
+		t.Fatalf("round trip sizes: %s vs %s", loaded.Describe(), orig.Describe())
+	}
+	for i := range orig.Ratings {
+		if loaded.Ratings[i] != orig.Ratings[i] {
+			t.Fatalf("rating %d: %+v vs %+v", i, loaded.Ratings[i], orig.Ratings[i])
+		}
+	}
+	for i := range orig.Items {
+		if loaded.Items[i].Loc != orig.Items[i].Loc || loaded.Items[i].City != orig.Items[i].City {
+			t.Fatalf("item %d geo: %+v vs %+v", i, loaded.Items[i], orig.Items[i])
+		}
+	}
+}
+
+// writeAll mirrors cmd/recdb-datagen's output format.
+func writeAll(t *testing.T, dir string, d *Data) {
+	t.Helper()
+	var users, items, ratings, cities []byte
+	users = append(users, "uid,name,city,age,gender\n"...)
+	for _, u := range d.Users {
+		users = appendCSVRow(users, i64(u.ID), u.Name, u.City, i64(u.Age), u.Gender)
+	}
+	items = append(items, "iid,name,director,genre,x,y,city\n"...)
+	for _, it := range d.Items {
+		items = appendCSVRow(items, i64(it.ID), it.Name, it.Director, it.Genre,
+			f64(it.Loc.X), f64(it.Loc.Y), it.City)
+	}
+	ratings = append(ratings, "uid,iid,ratingval\n"...)
+	for _, r := range d.Ratings {
+		ratings = appendCSVRow(ratings, i64(r.User), i64(r.Item), f64(r.Value))
+	}
+	cities = append(cities, "name,wkt\n"...)
+	for _, c := range d.Cities {
+		cities = appendCSVRow(cities, c.Name, c.Area.WKT())
+	}
+	for name, blob := range map[string][]byte{
+		"users.csv": users, "items.csv": items, "ratings.csv": ratings, "cities.csv": cities,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func i64(v int64) string   { return strconv.FormatInt(v, 10) }
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// appendCSVRow appends one properly quoted CSV record.
+func appendCSVRow(dst []byte, fields ...string) []byte {
+	for i, f := range fields {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		if strings.ContainsAny(f, ",\"\n") {
+			dst = append(dst, '"')
+			dst = append(dst, strings.ReplaceAll(f, "\"", "\"\"")...)
+			dst = append(dst, '"')
+		} else {
+			dst = append(dst, f...)
+		}
+	}
+	return append(dst, '\n')
+}

@@ -1,0 +1,216 @@
+// Package dataset generates the synthetic stand-ins for the paper's three
+// evaluation datasets (§VI): MovieLens 100K, LDOS-CoMoDa, and the Yelp
+// challenge subset. Real downloads are unavailable offline, so each
+// generator reproduces the dataset's *shape* — user/item/rating counts, a
+// 1-5 rating scale, skewed popularity, and latent-factor structure in the
+// ratings (so collaborative filtering has signal to exploit) — which is
+// what the paper's latency experiments depend on. The Yelp stand-in also
+// places businesses in named city regions for the location-aware case
+// study (§V).
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"recdb/internal/geo"
+	"recdb/internal/rec"
+)
+
+// Spec describes a dataset's shape.
+type Spec struct {
+	Name    string
+	Users   int
+	Items   int
+	Ratings int
+	// Geo adds coordinates to items and city polygons (Yelp).
+	Geo  bool
+	Seed int64
+}
+
+// The paper's three datasets (§VI, Datasets).
+var (
+	// MovieLens: 100K ratings for 1,682 movies by 943 users.
+	MovieLens = Spec{Name: "MovieLens", Users: 943, Items: 1682, Ratings: 100000, Seed: 1}
+	// LDOS is LDOS-CoMoDa: 2,297 ratings for 785 movies by 185 users.
+	LDOS = Spec{Name: "LDOS-CoMoDa", Users: 185, Items: 785, Ratings: 2297, Seed: 2}
+	// Yelp: 126,747 reviews of 1,446 businesses by 3,403 users, with
+	// locations.
+	Yelp = Spec{Name: "Yelp", Users: 3403, Items: 1446, Ratings: 126747, Geo: true, Seed: 3}
+)
+
+// Scaled returns the spec with user and item counts multiplied by f and
+// the rating count multiplied by f² — the user×item grid shrinks
+// quadratically, so this keeps the rating-matrix *density* of the original
+// dataset. Benchmarks use scaled-down datasets to keep `go test -bench`
+// affordable; recdb-bench runs full scale.
+func (s Spec) Scaled(f float64) Spec {
+	out := s
+	out.Name = fmt.Sprintf("%s(x%.2g)", s.Name, f)
+	out.Users = maxInt(2, int(float64(s.Users)*f))
+	out.Items = maxInt(2, int(float64(s.Items)*f))
+	out.Ratings = maxInt(1, int(float64(s.Ratings)*f*f))
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// User is one row of the users table.
+type User struct {
+	ID     int64
+	Name   string
+	City   string
+	Age    int64
+	Gender string
+}
+
+// Item is one row of the items (movies/businesses) table.
+type Item struct {
+	ID       int64
+	Name     string
+	Genre    string
+	Director string
+	Loc      geo.Point // meaningful only when the spec has Geo
+	City     string    // city the item lies in (Geo only)
+}
+
+// City is a named urban area (Geo datasets only).
+type City struct {
+	Name string
+	Area geo.Polygon
+}
+
+// Data is one generated dataset.
+type Data struct {
+	Spec    Spec
+	Users   []User
+	Items   []Item
+	Ratings []rec.Rating
+	Cities  []City
+}
+
+var genres = []string{"Action", "Suspense", "Sci-Fi", "Drama", "Comedy", "Horror", "Romance", "Documentary"}
+var cityNames = []string{"San Diego", "Minneapolis", "Austin"}
+var firstNames = []string{"Alice", "Bob", "Carol", "Eve", "Mallory", "Trent", "Peggy", "Victor", "Walter", "Sybil"}
+
+// rng is a splitmix64-style deterministic generator, independent of the
+// Go runtime's rand sources so datasets are stable across Go versions.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng { return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generate builds the dataset deterministically from its spec.
+func Generate(spec Spec) *Data {
+	rnd := newRNG(spec.Seed)
+	d := &Data{Spec: spec}
+
+	// Cities with disjoint square areas on a 0..300 plane.
+	if spec.Geo {
+		for i, name := range cityNames {
+			x := float64(i * 100)
+			d.Cities = append(d.Cities, City{
+				Name: name,
+				Area: geo.Rect(x, 0, x+80, 80),
+			})
+		}
+	}
+
+	// Latent factors give the ratings learnable structure.
+	const k = 4
+	userF := make([][k]float64, spec.Users)
+	itemF := make([][k]float64, spec.Items)
+	for u := range userF {
+		for f := 0; f < k; f++ {
+			userF[u][f] = rnd.float()
+		}
+	}
+	for i := range itemF {
+		for f := 0; f < k; f++ {
+			itemF[i][f] = rnd.float()
+		}
+	}
+
+	for u := 0; u < spec.Users; u++ {
+		d.Users = append(d.Users, User{
+			ID:     int64(u + 1),
+			Name:   fmt.Sprintf("%s %d", firstNames[rnd.intn(len(firstNames))], u+1),
+			City:   cityNames[rnd.intn(len(cityNames))],
+			Age:    int64(18 + rnd.intn(60)),
+			Gender: []string{"Female", "Male"}[rnd.intn(2)],
+		})
+	}
+	for i := 0; i < spec.Items; i++ {
+		item := Item{
+			ID:       int64(i + 1),
+			Genre:    genres[rnd.intn(len(genres))],
+			Director: fmt.Sprintf("Director %d", rnd.intn(200)),
+		}
+		if spec.Geo {
+			c := d.Cities[rnd.intn(len(d.Cities))]
+			minX, minY, maxX, maxY := c.Area.Bounds()
+			item.Name = fmt.Sprintf("Business %d", i+1)
+			item.City = c.Name
+			item.Loc = geo.Point{
+				X: minX + rnd.float()*(maxX-minX),
+				Y: minY + rnd.float()*(maxY-minY),
+			}
+		} else {
+			item.Name = fmt.Sprintf("Movie %d", i+1)
+		}
+		d.Items = append(d.Items, item)
+	}
+
+	// Ratings: sample (user, item) pairs with quadratic popularity skew,
+	// rating = latent dot product mapped to 1..5 plus noise.
+	target := spec.Ratings
+	if max := spec.Users * spec.Items; target > max {
+		target = max
+	}
+	seen := make(map[[2]int64]bool, target)
+	for len(d.Ratings) < target {
+		u := skewIndex(rnd, spec.Users)
+		i := skewIndex(rnd, spec.Items)
+		key := [2]int64{int64(u), int64(i)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		var dot float64
+		for f := 0; f < k; f++ {
+			dot += userF[u][f] * itemF[i][f]
+		}
+		// dot ∈ [0, k); map to 1..5 with noise.
+		raw := 1 + 4*(dot/k) + (rnd.float() - 0.5)
+		rating := math.Round(math.Max(1, math.Min(5, raw)))
+		d.Ratings = append(d.Ratings, rec.Rating{
+			User:  int64(u + 1),
+			Item:  int64(i + 1),
+			Value: rating,
+		})
+	}
+	return d
+}
+
+// skewIndex samples 0..n-1 with a mild popularity skew (square law), so a
+// few users/items carry much of the rating mass, like the real datasets.
+func skewIndex(r *rng, n int) int {
+	f := r.float()
+	return int(f * f * float64(n))
+}

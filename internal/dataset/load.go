@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"fmt"
+
+	"recdb/internal/engine"
+	"recdb/internal/types"
+)
+
+// Load creates the dataset's tables in the engine and bulk-inserts the
+// generated rows: users(uid, name, city, age, gender),
+// items(iid, name, director, genre[, geom, city]), and
+// ratings(uid, iid, ratingval). Geo datasets also get a
+// cities(name, geom) table.
+func Load(e *engine.Engine, d *Data) error {
+	cat := e.Catalog()
+
+	users, err := cat.CreateTable("users", types.NewSchema(
+		types.Column{Name: "uid", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindText},
+		types.Column{Name: "city", Kind: types.KindText},
+		types.Column{Name: "age", Kind: types.KindInt},
+		types.Column{Name: "gender", Kind: types.KindText},
+	), 0)
+	if err != nil {
+		return err
+	}
+	for _, u := range d.Users {
+		if _, err := users.Insert(types.Row{
+			types.NewInt(u.ID), types.NewText(u.Name), types.NewText(u.City),
+			types.NewInt(u.Age), types.NewText(u.Gender),
+		}); err != nil {
+			return err
+		}
+	}
+
+	itemCols := []types.Column{
+		{Name: "iid", Kind: types.KindInt},
+		{Name: "name", Kind: types.KindText},
+		{Name: "director", Kind: types.KindText},
+		{Name: "genre", Kind: types.KindText},
+	}
+	if d.Spec.Geo {
+		itemCols = append(itemCols,
+			types.Column{Name: "geom", Kind: types.KindGeometry},
+			types.Column{Name: "city", Kind: types.KindText},
+		)
+	}
+	items, err := cat.CreateTable("items", types.NewSchema(itemCols...), 0)
+	if err != nil {
+		return err
+	}
+	for _, it := range d.Items {
+		row := types.Row{
+			types.NewInt(it.ID), types.NewText(it.Name),
+			types.NewText(it.Director), types.NewText(it.Genre),
+		}
+		if d.Spec.Geo {
+			row = append(row, types.NewGeometry(it.Loc), types.NewText(it.City))
+		}
+		if _, err := items.Insert(row); err != nil {
+			return err
+		}
+	}
+
+	ratings, err := cat.CreateTable("ratings", types.NewSchema(
+		types.Column{Name: "uid", Kind: types.KindInt},
+		types.Column{Name: "iid", Kind: types.KindInt},
+		types.Column{Name: "ratingval", Kind: types.KindFloat},
+	), -1)
+	if err != nil {
+		return err
+	}
+	for _, r := range d.Ratings {
+		if _, err := ratings.Insert(types.Row{
+			types.NewInt(r.User), types.NewInt(r.Item), types.NewFloat(r.Value),
+		}); err != nil {
+			return err
+		}
+	}
+
+	if d.Spec.Geo {
+		cities, err := cat.CreateTable("cities", types.NewSchema(
+			types.Column{Name: "name", Kind: types.KindText},
+			types.Column{Name: "geom", Kind: types.KindGeometry},
+		), -1)
+		if err != nil {
+			return err
+		}
+		for _, c := range d.Cities {
+			if _, err := cities.Insert(types.Row{
+				types.NewText(c.Name), types.NewGeometry(c.Area),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Describe returns a one-line summary of the dataset's shape.
+func (d *Data) Describe() string {
+	return fmt.Sprintf("%s: %d users, %d items, %d ratings",
+		d.Spec.Name, len(d.Users), len(d.Items), len(d.Ratings))
+}

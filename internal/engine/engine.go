@@ -1,0 +1,556 @@
+// Package engine wires the subsystems into a working database: it
+// dispatches SQL statements (DDL, DML, CREATE/DROP RECOMMENDER, and
+// recommendation-aware SELECTs), owns the per-recommender cache managers,
+// and connects rating inserts to model maintenance and histogram
+// statistics.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"recdb/internal/catalog"
+	"recdb/internal/exec"
+	"recdb/internal/expr"
+	"recdb/internal/plan"
+	"recdb/internal/rec"
+	"recdb/internal/reccache"
+	"recdb/internal/recindex"
+	"recdb/internal/sql"
+	"recdb/internal/storage"
+	"recdb/internal/types"
+)
+
+// Config tunes a new engine.
+type Config struct {
+	// PoolPages is the buffer-pool capacity per table (0 = default).
+	PoolPages int
+	// Rec configures model building and maintenance.
+	Rec rec.Options
+	// HotnessThreshold is the cache manager's HOTNESS-THRESHOLD (§IV-D).
+	// The zero value selects 0.5.
+	HotnessThreshold float64
+	// CacheClock overrides the cache managers' clock (tests).
+	CacheClock reccache.Clock
+}
+
+// Engine is one embedded database instance.
+type Engine struct {
+	cat     *catalog.Catalog
+	stats   *storage.Stats
+	rec     *rec.Manager
+	planner *plan.Planner
+	cfg     Config
+
+	mu     sync.RWMutex
+	caches map[string]*reccache.Manager // by lower-case recommender name
+}
+
+// New creates an empty engine.
+func New(cfg Config) *Engine {
+	if cfg.HotnessThreshold == 0 {
+		cfg.HotnessThreshold = 0.5
+	}
+	stats := &storage.Stats{}
+	cat := catalog.New(stats, cfg.PoolPages)
+	mgr := rec.NewManager(cat, cfg.Rec)
+	e := &Engine{
+		cat:    cat,
+		stats:  stats,
+		rec:    mgr,
+		cfg:    cfg,
+		caches: make(map[string]*reccache.Manager),
+	}
+	e.planner = &plan.Planner{
+		Catalog: cat,
+		Rec:     mgr,
+		IndexFor: func(r *rec.Recommender) *recindex.Index {
+			if c := e.cacheOf(r.Name); c != nil {
+				return c.Index()
+			}
+			return nil
+		},
+		RecordQuery: func(r *rec.Recommender, users []int64) {
+			if c := e.cacheOf(r.Name); c != nil {
+				for _, u := range users {
+					c.RecordQuery(u)
+				}
+			}
+		},
+	}
+	mgr.OnRebuild(func(r *rec.Recommender) {
+		if c := e.cacheOf(r.Name); c != nil {
+			c.Invalidate()
+		}
+	})
+	return e
+}
+
+// Catalog exposes the table registry (examples and benches).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Recommenders exposes the recommender manager.
+func (e *Engine) Recommenders() *rec.Manager { return e.rec }
+
+// Planner exposes the planner (ablation benchmarks flip its switches).
+func (e *Engine) Planner() *plan.Planner { return e.planner }
+
+// Stats exposes the shared page-I/O counters.
+func (e *Engine) Stats() *storage.Stats { return e.stats }
+
+func (e *Engine) cacheOf(name string) *reccache.Manager {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.caches[strings.ToLower(name)]
+}
+
+// CacheOf returns the cache manager for a recommender.
+func (e *Engine) CacheOf(name string) (*reccache.Manager, error) {
+	if c := e.cacheOf(name); c != nil {
+		return c, nil
+	}
+	return nil, fmt.Errorf("engine: no recommender %q", name)
+}
+
+// Result reports the effect of a non-query statement.
+type Result struct {
+	RowsAffected int64
+}
+
+// QueryResult is a fully materialized SELECT result.
+type QueryResult struct {
+	Schema  *types.Schema
+	Rows    []types.Row
+	Explain *plan.Explain
+}
+
+// Exec runs a single statement of any kind. SELECTs are allowed and
+// report their row count.
+func (e *Engine) Exec(query string) (Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt runs a parsed statement.
+func (e *Engine) ExecStmt(stmt sql.Statement) (Result, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		return e.execCreateTable(s)
+	case *sql.DropTable:
+		if s.IfExists && !e.cat.Has(s.Name) {
+			return Result{}, nil
+		}
+		return Result{}, e.cat.DropTable(s.Name)
+	case *sql.CreateIndex:
+		tab, err := e.cat.Get(s.Table)
+		if err != nil {
+			return Result{}, err
+		}
+		_, err = tab.CreateIndex(s.Name, s.Column)
+		return Result{}, err
+	case *sql.Insert:
+		return e.execInsert(s)
+	case *sql.Delete:
+		return e.execDelete(s)
+	case *sql.Update:
+		return e.execUpdate(s)
+	case *sql.CreateRecommender:
+		return e.execCreateRecommender(s)
+	case *sql.DropRecommender:
+		name := strings.ToLower(s.Name)
+		if s.IfExists {
+			if _, ok := e.rec.Get(name); !ok {
+				return Result{}, nil
+			}
+		}
+		if err := e.rec.Drop(s.Name); err != nil {
+			return Result{}, err
+		}
+		e.mu.Lock()
+		if c := e.caches[name]; c != nil {
+			c.Stop()
+			delete(e.caches, name)
+		}
+		e.mu.Unlock()
+		return Result{}, nil
+	case *sql.Select:
+		res, err := e.query(s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: int64(len(res.Rows))}, nil
+	case *sql.Explain:
+		res, err := e.explain(s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: int64(len(res.Rows))}, nil
+	default:
+		return Result{}, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// Query runs a SELECT and materializes its result.
+func (e *Engine) Query(query string) (*QueryResult, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.Select:
+		return e.query(s)
+	case *sql.Explain:
+		return e.explain(s)
+	default:
+		return nil, fmt.Errorf("engine: Query expects a SELECT or EXPLAIN statement")
+	}
+}
+
+// explain plans the wrapped query and renders the operator tree without
+// executing it.
+func (e *Engine) explain(s *sql.Explain) (*QueryResult, error) {
+	op, explain, err := e.planner.PlanSelect(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	lines := plan.DescribePlan(op)
+	rows := make([]types.Row, 0, len(lines)+1)
+	if explain.Strategy != "" {
+		rows = append(rows, types.Row{types.NewText("strategy: " + explain.Strategy)})
+	}
+	for _, l := range lines {
+		rows = append(rows, types.Row{types.NewText(l)})
+	}
+	return &QueryResult{
+		Schema:  types.NewSchema(types.Column{Name: "plan", Kind: types.KindText}),
+		Rows:    rows,
+		Explain: explain,
+	}, nil
+}
+
+func (e *Engine) query(sel *sql.Select) (*QueryResult, error) {
+	op, explain, err := e.planner.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Schema: op.Schema(), Rows: rows, Explain: explain}, nil
+}
+
+// ExecScript runs a semicolon-separated script, stopping at the first
+// error. It returns the sum of affected rows.
+func (e *Engine) ExecScript(script string) (Result, error) {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return Result{}, err
+	}
+	var total Result
+	for _, stmt := range stmts {
+		r, err := e.ExecStmt(stmt)
+		if err != nil {
+			return total, err
+		}
+		total.RowsAffected += r.RowsAffected
+	}
+	return total, nil
+}
+
+func (e *Engine) execCreateTable(s *sql.CreateTable) (Result, error) {
+	if s.IfNotExists && e.cat.Has(s.Name) {
+		return Result{}, nil
+	}
+	cols := make([]types.Column, len(s.Cols))
+	pk := -1
+	for i, c := range s.Cols {
+		kind, err := types.KindFromName(c.TypeName)
+		if err != nil {
+			return Result{}, err
+		}
+		cols[i] = types.Column{Name: c.Name, Kind: kind}
+		if c.PrimaryKey {
+			if pk >= 0 {
+				return Result{}, fmt.Errorf("engine: multiple primary keys on %q", s.Name)
+			}
+			pk = i
+		}
+	}
+	_, err := e.cat.CreateTable(s.Name, types.NewSchema(cols...), pk)
+	return Result{}, err
+}
+
+func (e *Engine) execInsert(s *sql.Insert) (Result, error) {
+	tab, err := e.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	// Map the column list (or identity).
+	colIdx := make([]int, 0, tab.Schema.Len())
+	if len(s.Cols) == 0 {
+		for i := 0; i < tab.Schema.Len(); i++ {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range s.Cols {
+			idx, err := tab.Schema.Resolve("", name)
+			if err != nil {
+				return Result{}, err
+			}
+			colIdx = append(colIdx, idx)
+		}
+	}
+	empty := types.NewSchema()
+	var inserted int64
+	var insertedRows []types.Row
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(colIdx) {
+			return Result{RowsAffected: inserted}, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(exprRow), len(colIdx))
+		}
+		row := make(types.Row, tab.Schema.Len())
+		for i := range row {
+			row[i] = types.Null()
+		}
+		for i, ex := range exprRow {
+			c, err := expr.Compile(ex, empty)
+			if err != nil {
+				return Result{RowsAffected: inserted}, err
+			}
+			v, err := c(nil)
+			if err != nil {
+				return Result{RowsAffected: inserted}, err
+			}
+			// Parse text literals destined for geometry columns.
+			if v.Kind() == types.KindText && tab.Schema.Columns[colIdx[i]].Kind == types.KindGeometry {
+				g, err := expr.Compile(&sql.Call{Name: "ST_GeomFromText", Args: []sql.Expr{ex}}, empty)
+				if err == nil {
+					if gv, gerr := g(nil); gerr == nil {
+						v = gv
+					}
+				}
+			}
+			row[colIdx[i]] = v
+		}
+		if _, err := tab.Insert(row); err != nil {
+			return Result{RowsAffected: inserted}, err
+		}
+		insertedRows = append(insertedRows, row)
+		inserted++
+	}
+	if err := e.afterInsert(s.Table, tab, insertedRows); err != nil {
+		return Result{RowsAffected: inserted}, err
+	}
+	return Result{RowsAffected: inserted}, nil
+}
+
+// afterInsert feeds maintenance: item-update statistics for every
+// recommender built on this table, then the N% rebuild policy.
+func (e *Engine) afterInsert(table string, tab *catalog.Table, rows []types.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	for _, r := range e.rec.List() {
+		if !strings.EqualFold(r.Table, table) {
+			continue
+		}
+		cache := e.cacheOf(r.Name)
+		if cache == nil {
+			continue
+		}
+		_, itemIdx, _, err := r.ResolveRatingColumns(tab.Schema)
+		if err != nil {
+			continue
+		}
+		for _, row := range rows {
+			if id, ok := row[itemIdx].AsInt(); ok {
+				cache.RecordUpdate(id)
+			}
+		}
+	}
+	return e.rec.NotifyInsert(table, len(rows))
+}
+
+func (e *Engine) execDelete(s *sql.Delete) (Result, error) {
+	tab, err := e.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	schema := tab.Schema.WithQualifier(s.Table)
+	var pred expr.Compiled
+	if s.Where != nil {
+		if pred, err = expr.Compile(s.Where, schema); err != nil {
+			return Result{}, err
+		}
+	}
+	rids, err := matchRIDs(tab, pred)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, rid := range rids {
+		if err := tab.Delete(rid); err != nil {
+			return Result{}, err
+		}
+	}
+	if len(rids) > 0 {
+		// Deleted ratings stale the model exactly like inserted ones; they
+		// count toward the N% rebuild threshold.
+		if err := e.rec.NotifyInsert(s.Table, len(rids)); err != nil {
+			return Result{RowsAffected: int64(len(rids))}, err
+		}
+	}
+	return Result{RowsAffected: int64(len(rids))}, nil
+}
+
+func (e *Engine) execUpdate(s *sql.Update) (Result, error) {
+	tab, err := e.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	schema := tab.Schema.WithQualifier(s.Table)
+	var pred expr.Compiled
+	if s.Where != nil {
+		if pred, err = expr.Compile(s.Where, schema); err != nil {
+			return Result{}, err
+		}
+	}
+	type setter struct {
+		col int
+		val expr.Compiled
+	}
+	setters := make([]setter, len(s.Set))
+	for i, a := range s.Set {
+		col, err := schema.Resolve("", a.Column)
+		if err != nil {
+			return Result{}, err
+		}
+		val, err := expr.Compile(a.Value, schema)
+		if err != nil {
+			return Result{}, err
+		}
+		setters[i] = setter{col, val}
+	}
+	rids, err := matchRIDs(tab, pred)
+	if err != nil {
+		return Result{}, err
+	}
+	var affected int64
+	for _, rid := range rids {
+		row, err := tab.Heap.Get(rid)
+		if err != nil {
+			return Result{RowsAffected: affected}, err
+		}
+		updated := row.Clone()
+		for _, st := range setters {
+			v, err := st.val(row)
+			if err != nil {
+				return Result{RowsAffected: affected}, err
+			}
+			updated[st.col] = v
+		}
+		if _, err := tab.Update(rid, updated); err != nil {
+			return Result{RowsAffected: affected}, err
+		}
+		affected++
+	}
+	if affected > 0 {
+		// Updated ratings count toward the rebuild threshold too.
+		if err := e.rec.NotifyInsert(s.Table, int(affected)); err != nil {
+			return Result{RowsAffected: affected}, err
+		}
+	}
+	return Result{RowsAffected: affected}, nil
+}
+
+func matchRIDs(tab *catalog.Table, pred expr.Compiled) ([]storage.RID, error) {
+	var rids []storage.RID
+	it := tab.Heap.Scan()
+	defer it.Close()
+	for {
+		row, rid, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rids, nil
+		}
+		if pred != nil {
+			v, err := pred(row)
+			if err != nil {
+				return nil, err
+			}
+			if !expr.Truthy(v) {
+				continue
+			}
+		}
+		rids = append(rids, rid)
+	}
+}
+
+func (e *Engine) execCreateRecommender(s *sql.CreateRecommender) (Result, error) {
+	_, err := e.rec.Create(s.Name, s.Table, s.UserCol, s.ItemCol, s.RatingCol, s.Algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	e.mu.Lock()
+	e.caches[strings.ToLower(s.Name)] = reccache.New(recindex.New(), e.cfg.HotnessThreshold, e.cfg.CacheClock)
+	e.mu.Unlock()
+	return Result{}, nil
+}
+
+// RunCacheMaintenance triggers Algorithm 4 for one recommender.
+func (e *Engine) RunCacheMaintenance(recommender string) (reccache.Decision, error) {
+	r, ok := e.rec.Get(recommender)
+	if !ok {
+		return reccache.Decision{}, fmt.Errorf("engine: no recommender %q", recommender)
+	}
+	c := e.cacheOf(recommender)
+	if c == nil {
+		return reccache.Decision{}, fmt.Errorf("engine: no cache manager for %q", recommender)
+	}
+	return c.Run(r.Store())
+}
+
+// Materialize fully pre-computes the RecScoreIndex for a recommender
+// (HOTNESS-THRESHOLD = 0 behaviour; the warm state of §VI-C).
+func (e *Engine) Materialize(recommender string) error {
+	r, ok := e.rec.Get(recommender)
+	if !ok {
+		return fmt.Errorf("engine: no recommender %q", recommender)
+	}
+	c := e.cacheOf(recommender)
+	if c == nil {
+		return fmt.Errorf("engine: no cache manager for %q", recommender)
+	}
+	return c.MaterializeAll(r.Store())
+}
+
+// MaterializeUser pre-computes one user's RecTree.
+func (e *Engine) MaterializeUser(recommender string, user int64) error {
+	r, ok := e.rec.Get(recommender)
+	if !ok {
+		return fmt.Errorf("engine: no recommender %q", recommender)
+	}
+	c := e.cacheOf(recommender)
+	if c == nil {
+		return fmt.Errorf("engine: no cache manager for %q", recommender)
+	}
+	return c.MaterializeUser(r.Store(), user)
+}
+
+// Close stops background cache managers.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	caches := make([]*reccache.Manager, 0, len(e.caches))
+	for _, c := range e.caches {
+		caches = append(caches, c)
+	}
+	e.mu.Unlock()
+	for _, c := range caches {
+		c.Stop()
+	}
+}

@@ -1,0 +1,305 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func newPOIDB(t *testing.T, withIndex bool) *Engine {
+	t.Helper()
+	e := New(Config{})
+	if _, err := e.ExecScript(`
+		CREATE TABLE pois (vid INT PRIMARY KEY, name TEXT, geom GEOMETRY);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for i := 0; i < 200; i++ {
+		x := float64((i * 37) % 100)
+		y := float64((i * 53) % 100)
+		rows = append(rows, fmt.Sprintf("(%d, 'poi %d', 'POINT(%g %g)')", i, i, x, y))
+	}
+	if _, err := e.Exec("INSERT INTO pois VALUES " + strings.Join(rows, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	if withIndex {
+		if _, err := e.Exec("CREATE INDEX pois_geom ON pois (geom)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestSpatialIndexScanChosen(t *testing.T) {
+	e := newPOIDB(t, true)
+	q, err := e.Query(`EXPLAIN SELECT name FROM pois
+		WHERE ST_DWithin(geom, ST_Point(50, 50), 10)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := planText(q.Rows)
+	if !strings.Contains(text, "SpatialIndexScan on pois") || !strings.Contains(text, "ST_DWithin") {
+		t.Fatalf("plan:\n%s", text)
+	}
+	// Contains form, both argument orders.
+	q, err = e.Query(`EXPLAIN SELECT name FROM pois
+		WHERE ST_Contains(ST_GeomFromText('POLYGON((0 0,20 0,20 20,0 20))'), geom)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(planText(q.Rows), "SpatialIndexScan") {
+		t.Fatalf("contains plan:\n%s", planText(q.Rows))
+	}
+}
+
+func TestSpatialIndexScanMatchesSeqScan(t *testing.T) {
+	withIdx := newPOIDB(t, true)
+	noIdx := newPOIDB(t, false)
+	queries := []string{
+		`SELECT vid FROM pois WHERE ST_DWithin(geom, ST_Point(50, 50), 15) ORDER BY vid`,
+		`SELECT vid FROM pois WHERE ST_DWithin(ST_Point(10, 90), geom, 25) ORDER BY vid`,
+		`SELECT vid FROM pois WHERE ST_Contains(ST_GeomFromText('POLYGON((0 0,30 0,30 30,0 30))'), geom) ORDER BY vid`,
+		`SELECT vid FROM pois WHERE ST_Contains('POLYGON((40 40,70 40,70 70,40 70))', geom) ORDER BY vid`,
+	}
+	for _, q := range queries {
+		a, err := withIdx.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		b, err := noIdx.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: indexed %d rows vs seq %d rows", q, len(a.Rows), len(b.Rows))
+		}
+		if len(a.Rows) == 0 {
+			t.Fatalf("%s: empty result makes the test vacuous", q)
+		}
+		for i := range a.Rows {
+			if a.Rows[i][0].Int() != b.Rows[i][0].Int() {
+				t.Fatalf("%s row %d: %v vs %v", q, i, a.Rows[i], b.Rows[i])
+			}
+		}
+	}
+}
+
+func TestSpatialIndexMaintainedOnDML(t *testing.T) {
+	e := newPOIDB(t, true)
+	query := `SELECT vid FROM pois WHERE ST_DWithin(geom, ST_Point(500, 500), 5)`
+	q, err := e.Query(query)
+	if err != nil || len(q.Rows) != 0 {
+		t.Fatalf("far window should be empty: %v %v", q, err)
+	}
+	// Insert a point in the window.
+	if _, err := e.Exec("INSERT INTO pois VALUES (900, 'new', 'POINT(501 499)')"); err != nil {
+		t.Fatal(err)
+	}
+	q, _ = e.Query(query)
+	if len(q.Rows) != 1 || q.Rows[0][0].Int() != 900 {
+		t.Fatalf("inserted point not indexed: %v", q.Rows)
+	}
+	// Move it away via UPDATE.
+	if _, err := e.Exec("UPDATE pois SET geom = ST_Point(0, 0) WHERE vid = 900"); err != nil {
+		t.Fatal(err)
+	}
+	q, _ = e.Query(query)
+	if len(q.Rows) != 0 {
+		t.Fatalf("moved point still in window: %v", q.Rows)
+	}
+	// Delete removes index entries.
+	if _, err := e.Exec("DELETE FROM pois WHERE vid = 900"); err != nil {
+		t.Fatal(err)
+	}
+	q, _ = e.Query(`SELECT vid FROM pois WHERE ST_DWithin(geom, ST_Point(0, 0), 1)`)
+	for _, r := range q.Rows {
+		if r[0].Int() == 900 {
+			t.Fatalf("deleted point still indexed: %v", q.Rows)
+		}
+	}
+}
+
+func TestSpatialWithRecommend(t *testing.T) {
+	// Query 7 shape with a spatial index on the POI table: the spatial scan
+	// feeds JOINRECOMMEND's outer side.
+	e := newPOIDB(t, true)
+	if _, err := e.ExecScript(`
+		CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+		INSERT INTO ratings VALUES
+			(1, 10, 5), (1, 20, 3), (2, 10, 4), (2, 30, 2), (3, 20, 1), (3, 30, 4);
+		CREATE RECOMMENDER PoiRec ON ratings
+			USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Query(`SELECT P.name, R.ratingval FROM ratings R, pois P
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 1 AND P.vid = R.iid AND ST_DWithin(P.geom, ST_Point(50, 50), 100)
+		ORDER BY R.ratingval DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Explain.Strategy != "JoinRecommend" {
+		t.Fatalf("strategy: %q", q.Explain.Strategy)
+	}
+	// User 1 rated items 10 and 20; item 30 is the only unseen candidate.
+	if len(q.Rows) != 1 || q.Rows[0][0].Text() != "poi 30" {
+		t.Fatalf("spatial recommend: %v", q.Rows)
+	}
+}
+
+func TestSpatialScanNotUsedWithoutIndexOrConst(t *testing.T) {
+	e := newPOIDB(t, false)
+	q, err := e.Query(`EXPLAIN SELECT name FROM pois
+		WHERE ST_DWithin(geom, ST_Point(50, 50), 10)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(planText(q.Rows), "SpatialIndexScan") {
+		t.Fatal("no index: spatial scan should not be chosen")
+	}
+	// Two-column predicate (Query 6 shape) stays a filter even with the
+	// index present.
+	e2 := newPOIDB(t, true)
+	if _, err := e2.Exec(`CREATE TABLE regions (name TEXT, geom GEOMETRY)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Exec(`INSERT INTO regions VALUES ('r', 'POLYGON((0 0,50 0,50 50,0 50))')`); err != nil {
+		t.Fatal(err)
+	}
+	q, err = e2.Query(`EXPLAIN SELECT p.name FROM pois p, regions g
+		WHERE ST_Contains(g.geom, p.geom)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(planText(q.Rows), "SpatialIndexScan") {
+		t.Fatal("two-column spatial predicate should not use the index")
+	}
+}
+
+// TestQuery6ThreeTableSpatialJoin reproduces the paper's Query 6 shape:
+// ratings ⋈ hotels ⋈ cities with a two-column ST_Contains predicate.
+func TestQuery6ThreeTableSpatialJoin(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.ExecScript(`
+		CREATE TABLE HotelRatings (uid INT, iid INT, ratingval FLOAT);
+		CREATE TABLE Hotels (vid INT PRIMARY KEY, name TEXT, geom GEOMETRY);
+		CREATE TABLE City (name TEXT, geom GEOMETRY);
+		INSERT INTO City VALUES
+			('San Diego', 'POLYGON((0 0, 100 0, 100 100, 0 100))'),
+			('Austin',    'POLYGON((200 0, 300 0, 300 100, 200 100))');
+		INSERT INTO Hotels VALUES
+			(1, 'SD Hotel A', 'POINT(10 10)'),
+			(2, 'SD Hotel B', 'POINT(90 90)'),
+			(3, 'Austin Hotel', 'POINT(250 50)');
+		INSERT INTO HotelRatings VALUES
+			(1, 1, 5), (1, 3, 4),
+			(2, 1, 4), (2, 2, 5),
+			(3, 2, 3), (3, 3, 2);
+		CREATE RECOMMENDER HotelRec ON HotelRatings
+			USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Query 6: hotels in San Diego for user 1 (user 1 rated hotels 1 and 3,
+	// so only hotel 2 — which is in San Diego — is recommendable).
+	q, err := e.Query(`SELECT H.name, R.ratingval
+		FROM HotelRatings AS R, Hotels AS H, City AS C
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 1 AND R.iid = H.vid AND C.name = 'San Diego'
+		  AND ST_Contains(C.geom, H.geom)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Explain.Strategy != "JoinRecommend" {
+		t.Fatalf("strategy: %q", q.Explain.Strategy)
+	}
+	if len(q.Rows) != 1 || q.Rows[0][0].Text() != "SD Hotel B" {
+		t.Fatalf("query 6: %v", q.Rows)
+	}
+	if q.Rows[0][1].Float() == 0 {
+		t.Fatal("prediction should have a basis")
+	}
+	// Changing the city flips the answer.
+	q, err = e.Query(`SELECT H.name, R.ratingval
+		FROM HotelRatings AS R, Hotels AS H, City AS C
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 3 AND R.iid = H.vid AND C.name = 'Austin'
+		  AND ST_Contains(C.geom, H.geom)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 3 rated hotels 2 and 3; the only Austin hotel (3) is seen, so
+	// nothing is recommendable there.
+	if len(q.Rows) != 0 {
+		t.Fatalf("austin for user 3: %v", q.Rows)
+	}
+}
+
+// TestQuery8CombinedScoreRanking checks CScore-based ordering (Query 8):
+// rank by predicted rating damped by spatial distance.
+func TestQuery8CombinedScoreRanking(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.ExecScript(`
+		CREATE TABLE RestRatings (uid INT, iid INT, ratingval FLOAT);
+		CREATE TABLE Restaurants (vid INT PRIMARY KEY, name TEXT, geom GEOMETRY);
+		INSERT INTO Restaurants VALUES
+			(1, 'near-poor', 'POINT(1 0)'),
+			(2, 'far-great', 'POINT(50 0)'),
+			(3, 'mid-good',  'POINT(5 0)');
+		INSERT INTO RestRatings VALUES
+			(1, 1, 2), (1, 3, 4),
+			(2, 1, 1), (2, 2, 5), (2, 3, 4),
+			(3, 1, 2), (3, 2, 5),
+			(4, 2, 5), (4, 3, 4);
+		CREATE RECOMMENDER RestRec ON RestRatings
+			USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING UserPearCF;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// User 1 has not rated restaurant 2. Query its combined score ordering
+	// from the origin: even a great far restaurant is damped by distance.
+	q, err := e.Query(`SELECT V.name, R.ratingval,
+			CScore(R.ratingval, ST_Distance(V.geom, ST_Point(0, 0))) AS combined
+		FROM RestRatings AS R, Restaurants AS V
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING UserPearCF
+		WHERE R.uid = 1 AND R.iid = V.vid
+		ORDER BY CScore(R.ratingval, ST_Distance(V.geom, ST_Point(0, 0))) DESC
+		LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 1 { // only restaurant 2 is unseen by user 1
+		t.Fatalf("query 8 rows: %v", q.Rows)
+	}
+	name := q.Rows[0][0].Text()
+	rating := q.Rows[0][1].Float()
+	combined := q.Rows[0][2].Float()
+	if name != "far-great" {
+		t.Fatalf("unseen restaurant: %q", name)
+	}
+	// combined = rating / (1 + distance) with distance 50.
+	want := rating / 51
+	if math.Abs(combined-want) > 1e-9 {
+		t.Fatalf("combined = %v, want %v", combined, want)
+	}
+
+	// Ordering sanity with a user who has several unseen POIs: scores must
+	// be non-increasing in the combined column.
+	q, err = e.Query(`SELECT V.vid,
+			CScore(R.ratingval, ST_Distance(V.geom, ST_Point(0, 0))) AS combined
+		FROM RestRatings AS R, Restaurants AS V
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING UserPearCF
+		WHERE R.uid = 4 AND R.iid = V.vid
+		ORDER BY CScore(R.ratingval, ST_Distance(V.geom, ST_Point(0, 0))) DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(q.Rows); i++ {
+		if q.Rows[i][1].Float() > q.Rows[i-1][1].Float() {
+			t.Fatalf("combined ordering broken: %v", q.Rows)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"recdb/internal/catalog"
+	"recdb/internal/expr"
+	"recdb/internal/rec"
+	"recdb/internal/recindex"
+	"recdb/internal/sql"
+	"recdb/internal/types"
+)
+
+// paperRatings is Figure 1(c) of the paper.
+func paperRatings() []rec.Rating {
+	return []rec.Rating{
+		{User: 1, Item: 1, Value: 1.5},
+		{User: 2, Item: 2, Value: 3.5}, {User: 2, Item: 1, Value: 4.5}, {User: 2, Item: 3, Value: 2},
+		{User: 3, Item: 2, Value: 1}, {User: 3, Item: 1, Value: 2},
+		{User: 4, Item: 2, Value: 1},
+	}
+}
+
+func buildStore(t *testing.T, algo rec.Algorithm) (*catalog.Catalog, *rec.ModelStore, rec.Model) {
+	t.Helper()
+	cat := catalog.New(nil, 0)
+	model, err := rec.Build(paperRatings(), algo, rec.BuildOptions{SVDSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rec.Materialize(cat, "t", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, store, model
+}
+
+func recTestSchema() *types.Schema { return RecSchema("r", "uid", "iid", "ratingval") }
+
+func TestRecommendFullItemCF(t *testing.T) {
+	_, store, model := buildStore(t, rec.ItemCosCF)
+	op := NewRecommend(store, recTestSchema())
+	rows, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 1 emits one tuple per (user, item) pair: 4 users × 3 items.
+	if len(rows) != 12 {
+		t.Fatalf("emitted %d rows, want 12", len(rows))
+	}
+	for _, row := range rows {
+		u, i, r := row[0].Int(), row[1].Int(), row[2].Float()
+		if actual, rated := model.Seen(u, i); rated {
+			if r != actual {
+				t.Fatalf("rated pair (%d,%d) emitted %v, want actual %v", u, i, r, actual)
+			}
+			continue
+		}
+		want, ok := model.Predict(u, i)
+		if !ok {
+			want = 0
+		}
+		if math.Abs(r-want) > 1e-12 {
+			t.Fatalf("pair (%d,%d) emitted %v, want %v", u, i, r, want)
+		}
+	}
+}
+
+func TestRecommendAllAlgorithms(t *testing.T) {
+	for _, algo := range []rec.Algorithm{rec.ItemCosCF, rec.ItemPearCF, rec.UserCosCF, rec.UserPearCF, rec.SVD} {
+		_, store, model := buildStore(t, algo)
+		rows, err := Collect(NewRecommend(store, recTestSchema()))
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(rows) != 12 {
+			t.Fatalf("%v: %d rows", algo, len(rows))
+		}
+		for _, row := range rows {
+			u, i, r := row[0].Int(), row[1].Int(), row[2].Float()
+			if actual, rated := model.Seen(u, i); rated {
+				if r != actual {
+					t.Fatalf("%v: rated (%d,%d) = %v, want %v", algo, u, i, r, actual)
+				}
+				continue
+			}
+			want, ok := model.Predict(u, i)
+			if !ok {
+				want = 0
+			}
+			if math.Abs(r-want) > 1e-9 {
+				t.Fatalf("%v: (%d,%d) = %v, want %v", algo, u, i, r, want)
+			}
+		}
+	}
+}
+
+func TestFilterRecommendPrunesComputation(t *testing.T) {
+	cat, store, model := buildStore(t, rec.ItemCosCF)
+	stats := cat.Stats()
+	stats.Reset()
+
+	// Full recommend touches far more pages than a single-user,
+	// single-item FILTERRECOMMEND.
+	if _, err := Collect(NewRecommend(store, recTestSchema())); err != nil {
+		t.Fatal(err)
+	}
+	fullReads, _, _ := stats.Snapshot()
+	stats.Reset()
+
+	op := NewRecommend(store, recTestSchema())
+	op.Users = []int64{3}
+	op.Items = []int64{3}
+	rows, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filteredReads, _, _ := stats.Snapshot()
+	if len(rows) != 1 {
+		t.Fatalf("filtered recommend: %v", rows)
+	}
+	want, _ := model.Predict(3, 3)
+	if math.Abs(rows[0][2].Float()-want) > 1e-12 {
+		t.Fatalf("score %v, want %v", rows[0][2].Float(), want)
+	}
+	if filteredReads >= fullReads {
+		t.Fatalf("pushdown did not reduce page reads: full=%d filtered=%d", fullReads, filteredReads)
+	}
+}
+
+func TestRecommendExcludeSeen(t *testing.T) {
+	_, store, _ := buildStore(t, rec.ItemCosCF)
+	op := NewRecommend(store, recTestSchema())
+	op.Users = []int64{2}
+	op.IncludeSeen = false
+	rows, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 2 rated all 3 items, so nothing is emitted.
+	if len(rows) != 0 {
+		t.Fatalf("expected no unseen items for user 2, got %v", rows)
+	}
+}
+
+func TestRecommendRatingPredicate(t *testing.T) {
+	_, store, _ := buildStore(t, rec.ItemCosCF)
+	op := NewRecommend(store, recTestSchema())
+	op.RatingPred = compilePred(t, "r.ratingval >= 2.0", op.Schema())
+	rows, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row[2].Float() < 2.0 {
+			t.Fatalf("rating predicate leaked %v", row)
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("some pairs should pass the predicate")
+	}
+}
+
+func TestJoinRecommend(t *testing.T) {
+	cat, store, model := buildStore(t, rec.ItemCosCF)
+	movies := moviesFixture(t, cat)
+	outer := NewFilter(NewSeqScan(movies, "m"),
+		compilePred(t, "m.genre = 'Action'", movies.Schema.WithQualifier("m")))
+	jr := NewJoinRecommend(store, outer, 0, recTestSchema())
+	jr.Users = []int64{3}
+	rows, err := Collect(jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Action movies: Spartacus (item 1, in the model) and Heat (item 4,
+	// which nobody rated — unknown to the model and therefore skipped,
+	// matching the other recommendation plans).
+	if len(rows) != 1 {
+		t.Fatalf("join recommend: %d rows", len(rows))
+	}
+	r := rows[0]
+	if len(r) != 6 {
+		t.Fatalf("joined width: %v", r)
+	}
+	// Item 1 was rated by user 3 → actual rating 2 (IncludeSeen default).
+	if r[1].Int() != 1 || r[2].Float() != 2 {
+		t.Fatalf("item 1 row: %v", r)
+	}
+	_ = model
+}
+
+func TestJoinRecommendAllUsers(t *testing.T) {
+	cat, store, _ := buildStore(t, rec.SVD)
+	movies := moviesFixture(t, cat)
+	outer := NewFilter(NewSeqScan(movies, "m"),
+		compilePred(t, "m.mid = 2", movies.Schema.WithQualifier("m")))
+	jr := NewJoinRecommend(store, outer, 0, recTestSchema())
+	rows, err := Collect(jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One movie × 4 users.
+	if len(rows) != 4 {
+		t.Fatalf("join recommend all users: %d rows", len(rows))
+	}
+}
+
+func TestIndexRecommendPhases(t *testing.T) {
+	ix := recindex.New()
+	for i := int64(1); i <= 20; i++ {
+		ix.Put(7, i, float64(i)/2)
+	}
+	op := NewIndexRecommend(ix, []int64{7}, recTestSchema())
+	rows, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("phase I: %d rows", len(rows))
+	}
+	// Descending score order.
+	for i := 1; i < len(rows); i++ {
+		if rows[i][2].Float() > rows[i-1][2].Float() {
+			t.Fatal("not in descending score order")
+		}
+	}
+	// Phase II: rating bound.
+	max := 5.0
+	op = NewIndexRecommend(ix, []int64{7}, recTestSchema())
+	op.MaxScore = &max
+	rows, _ = Collect(op)
+	if len(rows) != 10 || rows[0][2].Float() != 5 {
+		t.Fatalf("phase II: %d rows, top %v", len(rows), rows[0])
+	}
+	// Phase III: item filter.
+	op = NewIndexRecommend(ix, []int64{7}, recTestSchema())
+	op.ItemFilter = func(item int64) bool { return item%2 == 0 }
+	rows, _ = Collect(op)
+	if len(rows) != 10 {
+		t.Fatalf("phase III: %d rows", len(rows))
+	}
+	// Limit pushdown.
+	op = NewIndexRecommend(ix, []int64{7}, recTestSchema())
+	op.Limit = 3
+	rows, _ = Collect(op)
+	if len(rows) != 3 || rows[0][2].Float() != 10 {
+		t.Fatalf("limit: %v", rows)
+	}
+	// Residual rating predicate.
+	op = NewIndexRecommend(ix, []int64{7}, recTestSchema())
+	op.RatingPred = compilePred(t, "r.ratingval > 9.0", recTestSchema())
+	rows, _ = Collect(op)
+	if len(rows) != 2 {
+		t.Fatalf("residual: %v", rows)
+	}
+}
+
+func TestIndexRecommendRequiresUsers(t *testing.T) {
+	op := NewIndexRecommend(recindex.New(), nil, recTestSchema())
+	if err := op.Open(); err == nil {
+		t.Fatal("INDEXRECOMMEND without users should fail")
+	}
+}
+
+func TestCoversUsers(t *testing.T) {
+	ix := recindex.New()
+	ix.Put(1, 1, 1)
+	if !CoversUsers(ix, []int64{1}) {
+		t.Error("user 1 is covered")
+	}
+	if CoversUsers(ix, []int64{1, 2}) {
+		t.Error("user 2 is not covered")
+	}
+	if CoversUsers(ix, nil) {
+		t.Error("empty user list is not covered")
+	}
+}
+
+func TestRecommendComposesWithSortLimit(t *testing.T) {
+	// Query 1 shape: recommend → filter uid → sort by rating desc → limit.
+	_, store, model := buildStore(t, rec.ItemCosCF)
+	op := NewRecommend(store, recTestSchema())
+	op.Users = []int64{1}
+	op.IncludeSeen = false
+	schema := op.Schema()
+	key := compileExprForTest(t, "r.ratingval", schema)
+	top := NewLimit(NewSort(op, []SortKey{{Expr: key, Desc: true}}), 2)
+	rows, err := Collect(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("top-k: %v", rows)
+	}
+	if rows[0][2].Float() < rows[1][2].Float() {
+		t.Fatal("top-k not sorted")
+	}
+	// Highest prediction for user 1 among unseen items {2,3}.
+	p2, _ := model.Predict(1, 2)
+	p3, _ := model.Predict(1, 3)
+	want := math.Max(p2, p3)
+	if math.Abs(rows[0][2].Float()-want) > 1e-12 {
+		t.Fatalf("top score %v, want %v", rows[0][2].Float(), want)
+	}
+}
+
+func compileExprForTest(t *testing.T, e string, schema *types.Schema) expr.Compiled {
+	t.Helper()
+	stmt, err := sql.Parse("SELECT " + e + " FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := expr.Compile(stmt.(*sql.Select).Items[0].Expr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,36 @@
+package geo
+
+import "testing"
+
+func BenchmarkRTreeInsert(b *testing.B) {
+	tr := NewRTree(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Point{float64(i % 1000), float64(i / 1000)}, i)
+	}
+}
+
+func BenchmarkRTreeSearchWindow(b *testing.B) {
+	tr := NewRTree(0)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(Point{float64(i % 1000), float64(i / 1000)}, i)
+	}
+	q := Rect(400, 30, 450, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.SearchIntersecting(q, func(Geometry, any) bool {
+			count++
+			return true
+		})
+	}
+}
+
+func BenchmarkPolygonContains(b *testing.B) {
+	pg := Polygon{Ring: []Point{{0, 0}, {10, 0}, {12, 5}, {10, 10}, {0, 10}, {-2, 5}}}
+	p := Point{5, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contains(pg, p)
+	}
+}

@@ -1,0 +1,284 @@
+// Package geo implements the planar geometry primitives that back the
+// spatial SQL functions (ST_Contains, ST_Distance, ST_DWithin) used by the
+// location-aware recommendation case study. It is a deliberately small
+// stand-in for PostGIS: points and simple polygons on a Euclidean plane.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Geometry is a planar shape. The two concrete kinds are Point and Polygon.
+type Geometry interface {
+	// Kind returns "POINT" or "POLYGON".
+	Kind() string
+	// WKT renders the geometry in a WKT-like textual form that Parse accepts.
+	WKT() string
+	// Bounds returns the axis-aligned bounding box (minX, minY, maxX, maxY).
+	Bounds() (minX, minY, maxX, maxY float64)
+}
+
+// Point is a location on the plane. For the POI datasets X is longitude-like
+// and Y is latitude-like, but all math is planar Euclidean.
+type Point struct {
+	X, Y float64
+}
+
+// Kind implements Geometry.
+func (p Point) Kind() string { return "POINT" }
+
+// WKT implements Geometry.
+func (p Point) WKT() string {
+	return fmt.Sprintf("POINT(%s %s)", fmtFloat(p.X), fmtFloat(p.Y))
+}
+
+// Bounds implements Geometry.
+func (p Point) Bounds() (float64, float64, float64, float64) { return p.X, p.Y, p.X, p.Y }
+
+// Polygon is a simple (non-self-intersecting) ring of vertices. The ring is
+// implicitly closed: the last vertex connects back to the first.
+type Polygon struct {
+	Ring []Point
+}
+
+// Kind implements Geometry.
+func (pg Polygon) Kind() string { return "POLYGON" }
+
+// WKT implements Geometry.
+func (pg Polygon) WKT() string {
+	var sb strings.Builder
+	sb.WriteString("POLYGON((")
+	for i, p := range pg.Ring {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(fmtFloat(p.X))
+		sb.WriteByte(' ')
+		sb.WriteString(fmtFloat(p.Y))
+	}
+	sb.WriteString("))")
+	return sb.String()
+}
+
+// Bounds implements Geometry.
+func (pg Polygon) Bounds() (minX, minY, maxX, maxY float64) {
+	if len(pg.Ring) == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, minY = pg.Ring[0].X, pg.Ring[0].Y
+	maxX, maxY = minX, minY
+	for _, p := range pg.Ring[1:] {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return minX, minY, maxX, maxY
+}
+
+// Rect returns the rectangle polygon with the given opposite corners.
+func Rect(minX, minY, maxX, maxY float64) Polygon {
+	return Polygon{Ring: []Point{
+		{minX, minY}, {maxX, minY}, {maxX, maxY}, {minX, maxY},
+	}}
+}
+
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Distance returns the Euclidean distance between the closest points of a
+// and b. Point-point and point-polygon pairs are supported; polygon-polygon
+// distance is approximated by the minimum vertex-to-edge distance (adequate
+// for the filters in the case study, which only ever use points on one side).
+func Distance(a, b Geometry) float64 {
+	switch ga := a.(type) {
+	case Point:
+		switch gb := b.(type) {
+		case Point:
+			return math.Hypot(ga.X-gb.X, ga.Y-gb.Y)
+		case Polygon:
+			return pointPolygonDistance(ga, gb)
+		}
+	case Polygon:
+		switch gb := b.(type) {
+		case Point:
+			return pointPolygonDistance(gb, ga)
+		case Polygon:
+			d := math.Inf(1)
+			for _, p := range ga.Ring {
+				d = math.Min(d, pointPolygonDistance(p, gb))
+			}
+			for _, p := range gb.Ring {
+				d = math.Min(d, pointPolygonDistance(p, ga))
+			}
+			return d
+		}
+	}
+	return math.NaN()
+}
+
+// DWithin reports whether a and b are within dist of each other.
+func DWithin(a, b Geometry, dist float64) bool {
+	return Distance(a, b) <= dist
+}
+
+// Contains reports whether the outer geometry contains the inner one.
+// A polygon contains a point when the point is inside or on the ring
+// (ray-casting with an explicit boundary check). A polygon contains a
+// polygon when it contains every vertex. A point contains only itself.
+func Contains(outer, inner Geometry) bool {
+	switch o := outer.(type) {
+	case Point:
+		if i, ok := inner.(Point); ok {
+			return o == i
+		}
+		return false
+	case Polygon:
+		switch i := inner.(type) {
+		case Point:
+			return polygonContainsPoint(o, i)
+		case Polygon:
+			for _, p := range i.Ring {
+				if !polygonContainsPoint(o, p) {
+					return false
+				}
+			}
+			return len(i.Ring) > 0
+		}
+	}
+	return false
+}
+
+func polygonContainsPoint(pg Polygon, p Point) bool {
+	n := len(pg.Ring)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := pg.Ring[i], pg.Ring[j]
+		if onSegment(a, b, p) {
+			return true
+		}
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := (b.X-a.X)*(p.Y-a.Y)/(b.Y-a.Y) + a.X
+			if p.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+const segEps = 1e-12
+
+func onSegment(a, b, p Point) bool {
+	cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+	if math.Abs(cross) > segEps*math.Max(1, math.Hypot(b.X-a.X, b.Y-a.Y)) {
+		return false
+	}
+	dot := (p.X-a.X)*(b.X-a.X) + (p.Y-a.Y)*(b.Y-a.Y)
+	if dot < 0 {
+		return false
+	}
+	return dot <= (b.X-a.X)*(b.X-a.X)+(b.Y-a.Y)*(b.Y-a.Y)
+}
+
+func pointPolygonDistance(p Point, pg Polygon) float64 {
+	if polygonContainsPoint(pg, p) {
+		return 0
+	}
+	n := len(pg.Ring)
+	d := math.Inf(1)
+	for i := 0; i < n; i++ {
+		a, b := pg.Ring[i], pg.Ring[(i+1)%n]
+		d = math.Min(d, pointSegmentDistance(p, a, b))
+	}
+	return d
+}
+
+func pointSegmentDistance(p, a, b Point) float64 {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	len2 := dx*dx + dy*dy
+	if len2 == 0 {
+		return math.Hypot(p.X-a.X, p.Y-a.Y)
+	}
+	t := ((p.X-a.X)*dx + (p.Y-a.Y)*dy) / len2
+	t = math.Max(0, math.Min(1, t))
+	return math.Hypot(p.X-(a.X+t*dx), p.Y-(a.Y+t*dy))
+}
+
+// Parse parses the WKT-like forms produced by WKT:
+//
+//	POINT(x y)
+//	POLYGON((x1 y1, x2 y2, ...))
+func Parse(s string) (Geometry, error) {
+	t := strings.TrimSpace(s)
+	upper := strings.ToUpper(t)
+	switch {
+	case strings.HasPrefix(upper, "POINT"):
+		body, err := parens(t[len("POINT"):])
+		if err != nil {
+			return nil, fmt.Errorf("geo: parse %q: %w", s, err)
+		}
+		p, err := parsePoint(body)
+		if err != nil {
+			return nil, fmt.Errorf("geo: parse %q: %w", s, err)
+		}
+		return p, nil
+	case strings.HasPrefix(upper, "POLYGON"):
+		body, err := parens(t[len("POLYGON"):])
+		if err != nil {
+			return nil, fmt.Errorf("geo: parse %q: %w", s, err)
+		}
+		ring, err := parens(body)
+		if err != nil {
+			return nil, fmt.Errorf("geo: parse %q: %w", s, err)
+		}
+		var pg Polygon
+		for _, part := range strings.Split(ring, ",") {
+			p, err := parsePoint(part)
+			if err != nil {
+				return nil, fmt.Errorf("geo: parse %q: %w", s, err)
+			}
+			pg.Ring = append(pg.Ring, p)
+		}
+		// Drop an explicit closing vertex equal to the first one.
+		if n := len(pg.Ring); n > 1 && pg.Ring[0] == pg.Ring[n-1] {
+			pg.Ring = pg.Ring[:n-1]
+		}
+		if len(pg.Ring) < 3 {
+			return nil, fmt.Errorf("geo: parse %q: polygon needs at least 3 vertices", s)
+		}
+		return pg, nil
+	}
+	return nil, fmt.Errorf("geo: parse %q: unknown geometry kind", s)
+}
+
+func parens(s string) (string, error) {
+	t := strings.TrimSpace(s)
+	if !strings.HasPrefix(t, "(") || !strings.HasSuffix(t, ")") {
+		return "", fmt.Errorf("expected parenthesized body, got %q", s)
+	}
+	return t[1 : len(t)-1], nil
+}
+
+func parsePoint(s string) (Point, error) {
+	fields := strings.Fields(strings.TrimSpace(s))
+	if len(fields) != 2 {
+		return Point{}, fmt.Errorf("expected \"x y\", got %q", s)
+	}
+	x, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{X: x, Y: y}, nil
+}

@@ -1,0 +1,205 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointWKTRoundTrip(t *testing.T) {
+	p := Point{X: -122.25, Y: 37.5}
+	g, err := Parse(p.WKT())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", p.WKT(), err)
+	}
+	if g != p {
+		t.Fatalf("round trip: got %v want %v", g, p)
+	}
+}
+
+func TestPolygonWKTRoundTrip(t *testing.T) {
+	pg := Rect(0, 0, 10, 5)
+	g, err := Parse(pg.WKT())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", pg.WKT(), err)
+	}
+	got, ok := g.(Polygon)
+	if !ok {
+		t.Fatalf("got %T, want Polygon", g)
+	}
+	if len(got.Ring) != len(pg.Ring) {
+		t.Fatalf("ring length: got %d want %d", len(got.Ring), len(pg.Ring))
+	}
+	for i := range got.Ring {
+		if got.Ring[i] != pg.Ring[i] {
+			t.Fatalf("vertex %d: got %v want %v", i, got.Ring[i], pg.Ring[i])
+		}
+	}
+}
+
+func TestParseClosedRing(t *testing.T) {
+	g, err := Parse("POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n := len(g.(Polygon).Ring); n != 4 {
+		t.Fatalf("closing vertex not dropped: ring has %d vertices", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "CIRCLE(1 2)", "POINT(1)", "POINT(a b)",
+		"POLYGON((0 0, 1 1))", "POLYGON(0 0, 1 1, 2 2)", "POINT 1 2",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", s)
+		}
+	}
+}
+
+func TestContainsPointInRect(t *testing.T) {
+	r := Rect(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},  // corner on boundary
+		{Point{10, 5}, true}, // edge on boundary
+		{Point{-1, 5}, false},
+		{Point{11, 5}, false},
+		{Point{5, 10.0001}, false},
+	}
+	for _, c := range cases {
+		if got := Contains(r, c.p); got != c.want {
+			t.Errorf("Contains(rect, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestContainsConcavePolygon(t *testing.T) {
+	// An L-shape: the notch at the top-right is outside.
+	l := Polygon{Ring: []Point{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}}
+	if !Contains(l, Point{1, 3}) {
+		t.Error("point in the vertical arm should be inside")
+	}
+	if !Contains(l, Point{3, 1}) {
+		t.Error("point in the horizontal arm should be inside")
+	}
+	if Contains(l, Point{3, 3}) {
+		t.Error("point in the notch should be outside")
+	}
+}
+
+func TestContainsPolygonInPolygon(t *testing.T) {
+	outer := Rect(0, 0, 10, 10)
+	inner := Rect(2, 2, 4, 4)
+	if !Contains(outer, inner) {
+		t.Error("outer should contain inner")
+	}
+	if Contains(inner, outer) {
+		t.Error("inner should not contain outer")
+	}
+	straddling := Rect(8, 8, 12, 12)
+	if Contains(outer, straddling) {
+		t.Error("outer should not contain a straddling rect")
+	}
+}
+
+func TestPointContainsOnlyItself(t *testing.T) {
+	p := Point{1, 2}
+	if !Contains(p, Point{1, 2}) {
+		t.Error("point should contain an equal point")
+	}
+	if Contains(p, Point{1, 3}) {
+		t.Error("point should not contain a different point")
+	}
+	if Contains(p, Rect(0, 0, 1, 1)) {
+		t.Error("point should not contain a polygon")
+	}
+}
+
+func TestDistancePointPoint(t *testing.T) {
+	d := Distance(Point{0, 0}, Point{3, 4})
+	if math.Abs(d-5) > 1e-12 {
+		t.Fatalf("got %v, want 5", d)
+	}
+}
+
+func TestDistancePointPolygon(t *testing.T) {
+	r := Rect(0, 0, 10, 10)
+	if d := Distance(Point{5, 5}, r); d != 0 {
+		t.Errorf("inside point: distance %v, want 0", d)
+	}
+	if d := Distance(Point{13, 14}, r); math.Abs(d-5) > 1e-12 {
+		t.Errorf("corner distance %v, want 5", d)
+	}
+	if d := Distance(Point{5, -2}, r); math.Abs(d-2) > 1e-12 {
+		t.Errorf("edge distance %v, want 2", d)
+	}
+	if d := Distance(r, Point{5, -2}); math.Abs(d-2) > 1e-12 {
+		t.Errorf("distance should be symmetric, got %v", d)
+	}
+}
+
+func TestDWithin(t *testing.T) {
+	a, b := Point{0, 0}, Point{3, 4}
+	if !DWithin(a, b, 5) {
+		t.Error("exactly at range should be within")
+	}
+	if DWithin(a, b, 4.999) {
+		t.Error("just outside range should not be within")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	pg := Polygon{Ring: []Point{{3, -1}, {-2, 5}, {7, 2}}}
+	minX, minY, maxX, maxY := pg.Bounds()
+	if minX != -2 || minY != -1 || maxX != 7 || maxY != 5 {
+		t.Fatalf("bounds = (%v,%v,%v,%v)", minX, minY, maxX, maxY)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		d1, d2 := Distance(a, b), Distance(b, a)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsCentroidProperty(t *testing.T) {
+	// The centroid of any rectangle is inside it.
+	f := func(x, y float64, w, h uint8) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		fw, fh := float64(w)+1, float64(h)+1
+		r := Rect(x, y, x+fw, y+fh)
+		return Contains(r, Point{x + fw/2, y + fh/2})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseWKTRoundTripProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		p := Point{x, y}
+		g, err := Parse(p.WKT())
+		return err == nil && g == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+package geo
+
+// RTree is an in-memory Guttman R-tree with quadratic split, the spatial
+// index that stands in for PostGIS's GiST indexes in the location-aware
+// case study (§V). It indexes geometries by bounding box; exact predicate
+// checks are the caller's job (the executor re-verifies ST_Contains /
+// ST_DWithin on candidates).
+type RTree struct {
+	root       *rnode
+	maxEntries int
+	size       int
+}
+
+type rect struct {
+	minX, minY, maxX, maxY float64
+}
+
+func rectOf(g Geometry) rect {
+	minX, minY, maxX, maxY := g.Bounds()
+	return rect{minX, minY, maxX, maxY}
+}
+
+func (r rect) intersects(o rect) bool {
+	return r.minX <= o.maxX && o.minX <= r.maxX && r.minY <= o.maxY && o.minY <= r.maxY
+}
+
+func (r rect) union(o rect) rect {
+	return rect{
+		minX: minf(r.minX, o.minX), minY: minf(r.minY, o.minY),
+		maxX: maxf(r.maxX, o.maxX), maxY: maxf(r.maxY, o.maxY),
+	}
+}
+
+func (r rect) area() float64 { return (r.maxX - r.minX) * (r.maxY - r.minY) }
+
+func (r rect) enlargement(o rect) float64 { return r.union(o).area() - r.area() }
+
+func (r rect) expandBy(d float64) rect {
+	return rect{r.minX - d, r.minY - d, r.maxX + d, r.maxY + d}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rentry is one slot of a node: a child pointer for internal nodes, or a
+// stored geometry + payload for leaves.
+type rentry struct {
+	box   rect
+	child *rnode
+	geom  Geometry
+	data  any
+}
+
+type rnode struct {
+	entries []rentry
+	leaf    bool
+}
+
+func (n *rnode) box() rect {
+	b := n.entries[0].box
+	for _, e := range n.entries[1:] {
+		b = b.union(e.box)
+	}
+	return b
+}
+
+// DefaultRTreeFanout is the node capacity used when NewRTree gets a value
+// below 4.
+const DefaultRTreeFanout = 16
+
+// NewRTree creates an empty tree with the given node capacity.
+func NewRTree(maxEntries int) *RTree {
+	if maxEntries < 4 {
+		maxEntries = DefaultRTreeFanout
+	}
+	return &RTree{root: &rnode{leaf: true}, maxEntries: maxEntries}
+}
+
+// Len returns the number of stored entries.
+func (t *RTree) Len() int { return t.size }
+
+// Insert stores a geometry with an associated payload.
+func (t *RTree) Insert(g Geometry, data any) {
+	e := rentry{box: rectOf(g), geom: g, data: data}
+	split := t.insert(t.root, e)
+	if split != nil {
+		old := t.root
+		t.root = &rnode{
+			leaf: false,
+			entries: []rentry{
+				{box: old.box(), child: old},
+				{box: split.box(), child: split},
+			},
+		}
+	}
+	t.size++
+}
+
+func (t *RTree) insert(n *rnode, e rentry) *rnode {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	// Choose the child needing least enlargement (ties by smaller area).
+	best := 0
+	bestEnl := n.entries[0].box.enlargement(e.box)
+	for i := 1; i < len(n.entries); i++ {
+		enl := n.entries[i].box.enlargement(e.box)
+		if enl < bestEnl || (enl == bestEnl && n.entries[i].box.area() < n.entries[best].box.area()) {
+			best, bestEnl = i, enl
+		}
+	}
+	split := t.insert(n.entries[best].child, e)
+	n.entries[best].box = n.entries[best].child.box()
+	if split != nil {
+		n.entries = append(n.entries, rentry{box: split.box(), child: split})
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// splitNode performs a quadratic split, mutating n in place and returning
+// the new sibling.
+func (t *RTree) splitNode(n *rnode) *rnode {
+	entries := n.entries
+	// Pick the pair wasting the most area as seeds.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].box.union(entries[j].box).area() -
+				entries[i].box.area() - entries[j].box.area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	g1 := []rentry{entries[s1]}
+	g2 := []rentry{entries[s2]}
+	b1, b2 := entries[s1].box, entries[s2].box
+	minFill := (t.maxEntries + 1) / 2
+	var rest []rentry
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment when a group must take everything to reach
+		// minimum fill.
+		if len(g1)+len(rest) == minFill {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				b1 = b1.union(e.box)
+			}
+			break
+		}
+		if len(g2)+len(rest) == minFill {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				b2 = b2.union(e.box)
+			}
+			break
+		}
+		// Pick the entry with maximal preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := b1.enlargement(e.box)
+			d2 := b2.enlargement(e.box)
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		d1, d2 := b1.enlargement(e.box), b2.enlargement(e.box)
+		if d1 < d2 || (d1 == d2 && b1.area() <= b2.area()) {
+			g1 = append(g1, e)
+			b1 = b1.union(e.box)
+		} else {
+			g2 = append(g2, e)
+			b2 = b2.union(e.box)
+		}
+	}
+	n.entries = g1
+	return &rnode{entries: g2, leaf: n.leaf}
+}
+
+// Delete removes one entry whose payload equals data (compared with ==).
+// It returns false when no such entry exists. Nodes are not rebalanced;
+// like the B+-tree, empty nodes are tolerated and pruned opportunistically.
+func (t *RTree) Delete(g Geometry, data any) bool {
+	if t.remove(t.root, rectOf(g), data) {
+		t.size--
+		// Collapse a root with a single internal child.
+		for !t.root.leaf && len(t.root.entries) == 1 {
+			t.root = t.root.entries[0].child
+		}
+		return true
+	}
+	return false
+}
+
+func (t *RTree) remove(n *rnode, box rect, data any) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.data == data {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < len(n.entries); i++ {
+		e := n.entries[i]
+		if !e.box.intersects(box) {
+			continue
+		}
+		if t.remove(e.child, box, data) {
+			if len(e.child.entries) == 0 {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			} else {
+				n.entries[i].box = e.child.box()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// SearchIntersecting visits every entry whose bounding box intersects the
+// bounding box of q, stopping when fn returns false.
+func (t *RTree) SearchIntersecting(q Geometry, fn func(g Geometry, data any) bool) {
+	t.searchRect(rectOf(q), fn)
+}
+
+// SearchWithin visits every entry whose bounding box lies within dist of
+// q's bounding box (the candidate set for ST_DWithin).
+func (t *RTree) SearchWithin(q Geometry, dist float64, fn func(g Geometry, data any) bool) {
+	t.searchRect(rectOf(q).expandBy(dist), fn)
+}
+
+func (t *RTree) searchRect(q rect, fn func(Geometry, any) bool) {
+	var walk func(n *rnode) bool
+	walk = func(n *rnode) bool {
+		for _, e := range n.entries {
+			if !e.box.intersects(q) {
+				continue
+			}
+			if n.leaf {
+				if !fn(e.geom, e.data) {
+					return false
+				}
+			} else if !walk(e.child) {
+				return false
+			}
+		}
+		return true
+	}
+	if t.size > 0 {
+		walk(t.root)
+	}
+}

@@ -1,0 +1,189 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRTreeInsertSearch(t *testing.T) {
+	tr := NewRTree(4)
+	// A 10×10 grid of points.
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			tr.Insert(Point{float64(x), float64(y)}, x*10+y)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Query a 3×3 window.
+	var got []int
+	tr.SearchIntersecting(Rect(2, 2, 4, 4), func(g Geometry, data any) bool {
+		got = append(got, data.(int))
+		return true
+	})
+	if len(got) != 9 {
+		t.Fatalf("window hits = %d, want 9: %v", len(got), got)
+	}
+	// Empty window.
+	count := 0
+	tr.SearchIntersecting(Rect(50, 50, 60, 60), func(Geometry, any) bool {
+		count++
+		return true
+	})
+	if count != 0 {
+		t.Fatalf("empty window hits = %d", count)
+	}
+}
+
+func TestRTreeSearchWithin(t *testing.T) {
+	tr := NewRTree(8)
+	tr.Insert(Point{0, 0}, "origin")
+	tr.Insert(Point{10, 0}, "east")
+	tr.Insert(Point{0, 10}, "north")
+	var got []string
+	tr.SearchWithin(Point{1, 1}, 2, func(_ Geometry, data any) bool {
+		got = append(got, data.(string))
+		return true
+	})
+	// Bounding-box candidates within distance 2 of (1,1): only the origin.
+	if len(got) != 1 || got[0] != "origin" {
+		t.Fatalf("within hits: %v", got)
+	}
+	// Widening the distance picks up the others (bbox filter only).
+	got = nil
+	tr.SearchWithin(Point{1, 1}, 10, func(_ Geometry, data any) bool {
+		got = append(got, data.(string))
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("wide within hits: %v", got)
+	}
+}
+
+func TestRTreeEarlyStop(t *testing.T) {
+	tr := NewRTree(4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(Point{float64(i % 7), float64(i / 7)}, i)
+	}
+	count := 0
+	tr.SearchIntersecting(Rect(-1, -1, 10, 10), func(Geometry, any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestRTreeDelete(t *testing.T) {
+	tr := NewRTree(4)
+	for i := 0; i < 40; i++ {
+		tr.Insert(Point{float64(i), float64(i)}, i)
+	}
+	for i := 0; i < 40; i += 2 {
+		if !tr.Delete(Point{float64(i), float64(i)}, i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Delete(Point{0, 0}, 0) {
+		t.Fatal("double delete should fail")
+	}
+	if tr.Len() != 20 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	var got []int
+	tr.SearchIntersecting(Rect(-1, -1, 100, 100), func(_ Geometry, data any) bool {
+		got = append(got, data.(int))
+		return true
+	})
+	if len(got) != 20 {
+		t.Fatalf("surviving entries: %d", len(got))
+	}
+	for _, v := range got {
+		if v%2 == 0 {
+			t.Fatalf("deleted entry %d still present", v)
+		}
+	}
+}
+
+func TestRTreeDeleteAllReinsert(t *testing.T) {
+	tr := NewRTree(4)
+	for i := 0; i < 30; i++ {
+		tr.Insert(Point{float64(i), 0}, i)
+	}
+	for i := 0; i < 30; i++ {
+		if !tr.Delete(Point{float64(i), 0}, i) {
+			t.Fatalf("Delete(%d)", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.Insert(Point{5, 5}, "back")
+	found := false
+	tr.SearchIntersecting(Point{5, 5}, func(_ Geometry, data any) bool {
+		found = data.(string) == "back"
+		return false
+	})
+	if !found {
+		t.Fatal("reinsert after drain failed")
+	}
+}
+
+func TestRTreePolygonEntries(t *testing.T) {
+	tr := NewRTree(8)
+	tr.Insert(Rect(0, 0, 10, 10), "A")
+	tr.Insert(Rect(20, 20, 30, 30), "B")
+	tr.Insert(Rect(5, 5, 25, 25), "C") // overlaps both
+	var got []string
+	tr.SearchIntersecting(Point{7, 7}, func(_ Geometry, data any) bool {
+		got = append(got, data.(string))
+		return true
+	})
+	if len(got) != 2 { // A and C contain (7,7) in bbox terms
+		t.Fatalf("polygon hits: %v", got)
+	}
+}
+
+func TestRTreeMatchesLinearScanProperty(t *testing.T) {
+	f := func(pts []struct{ X, Y int8 }, qx, qy, qw, qh int8) bool {
+		tr := NewRTree(4)
+		for i, p := range pts {
+			tr.Insert(Point{float64(p.X), float64(p.Y)}, i)
+		}
+		w := float64(qw)
+		if w < 0 {
+			w = -w
+		}
+		h := float64(qh)
+		if h < 0 {
+			h = -h
+		}
+		q := Rect(float64(qx), float64(qy), float64(qx)+w, float64(qy)+h)
+		want := map[int]bool{}
+		for i, p := range pts {
+			if float64(p.X) >= float64(qx) && float64(p.X) <= float64(qx)+w &&
+				float64(p.Y) >= float64(qy) && float64(p.Y) <= float64(qy)+h {
+				want[i] = true
+			}
+		}
+		got := map[int]bool{}
+		tr.SearchIntersecting(q, func(_ Geometry, data any) bool {
+			got[data.(int)] = true
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

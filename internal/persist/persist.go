@@ -1,0 +1,268 @@
+// Package persist implements durable snapshots of a database: Save writes
+// every user table (schema, rows, secondary indexes) plus every
+// recommender definition to a directory; Load reconstructs the database,
+// rebuilding indexes and recommendation models. Model tables and the
+// RecScoreIndex are derived state and are rebuilt rather than stored, so a
+// snapshot stays small and can never serve a model inconsistent with its
+// ratings.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"recdb/internal/catalog"
+	"recdb/internal/engine"
+	"recdb/internal/types"
+)
+
+// manifestName is the snapshot's metadata file.
+const manifestName = "manifest.json"
+
+type manifest struct {
+	Version      int               `json:"version"`
+	Tables       []tableMeta       `json:"tables"`
+	Recommenders []recommenderMeta `json:"recommenders"`
+}
+
+type tableMeta struct {
+	Name     string       `json:"name"`
+	Columns  []columnMeta `json:"columns"`
+	PKCol    int          `json:"pk_col"`
+	Indexes  []indexMeta  `json:"indexes,omitempty"`
+	RowsFile string       `json:"rows_file"`
+	RowCount int64        `json:"row_count"`
+}
+
+type columnMeta struct {
+	Name string `json:"name"`
+	Kind uint8  `json:"kind"`
+}
+
+type indexMeta struct {
+	Name   string `json:"name"`
+	Column string `json:"column"`
+}
+
+type recommenderMeta struct {
+	Name      string `json:"name"`
+	Table     string `json:"table"`
+	UserCol   string `json:"user_col"`
+	ItemCol   string `json:"item_col"`
+	RatingCol string `json:"rating_col"`
+	Algorithm string `json:"algorithm"`
+}
+
+// isDerivedTable reports whether a table is engine-managed state that a
+// snapshot must not carry (model tables, the OnTopDB scratch table).
+func isDerivedTable(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "_rec_") || strings.HasPrefix(lower, "_ontop_")
+}
+
+// Save snapshots the engine's user tables and recommender definitions into
+// dir (created if missing). Existing snapshot files in dir are
+// overwritten.
+func Save(e *engine.Engine, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	var m manifest
+	m.Version = 1
+
+	for _, name := range e.Catalog().Names() {
+		if isDerivedTable(name) {
+			continue
+		}
+		tab, err := e.Catalog().Get(name)
+		if err != nil {
+			return err
+		}
+		tm := tableMeta{
+			Name:     tab.Name,
+			PKCol:    tab.PKCol,
+			RowsFile: safeFileName(tab.Name) + ".rows",
+		}
+		for _, c := range tab.Schema.Columns {
+			tm.Columns = append(tm.Columns, columnMeta{Name: c.Name, Kind: uint8(c.Kind)})
+		}
+		pkName := ""
+		if tab.PKCol >= 0 {
+			pkName = strings.ToLower(tab.Schema.Columns[tab.PKCol].Name)
+		}
+		for _, idx := range tab.Indexes() {
+			col := tab.Schema.Columns[idx.Column].Name
+			if strings.ToLower(col) == pkName {
+				continue // recreated implicitly with the table
+			}
+			tm.Indexes = append(tm.Indexes, indexMeta{Name: idx.Name, Column: col})
+		}
+		n, err := writeRows(filepath.Join(dir, tm.RowsFile), tab)
+		if err != nil {
+			return err
+		}
+		tm.RowCount = n
+		m.Tables = append(m.Tables, tm)
+	}
+
+	for _, r := range e.Recommenders().List() {
+		m.Recommenders = append(m.Recommenders, recommenderMeta{
+			Name: r.Name, Table: r.Table,
+			UserCol: r.UserCol, ItemCol: r.ItemCol, RatingCol: r.RatingCol,
+			Algorithm: r.Algo.String(),
+		})
+	}
+
+	blob, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+func safeFileName(name string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(name) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == '-' {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// Row file format: magic "RDBR", uvarint row count, then each row in the
+// self-describing tuple encoding.
+var rowsMagic = []byte("RDBR")
+
+func writeRows(path string, tab *catalog.Table) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(rowsMagic); err != nil {
+		return 0, err
+	}
+	countBuf := binary.AppendUvarint(nil, uint64(tab.Heap.NumRows()))
+	if _, err := f.Write(countBuf); err != nil {
+		return 0, err
+	}
+	var n int64
+	buf := make([]byte, 0, 512)
+	it := tab.Heap.Scan()
+	defer it.Close()
+	for {
+		row, _, ok, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		buf = types.EncodeRow(buf[:0], row)
+		if _, err := f.Write(buf); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n != tab.Heap.NumRows() {
+		return n, fmt.Errorf("persist: table %q row count changed during snapshot", tab.Name)
+	}
+	return n, f.Sync()
+}
+
+func readRows(path string, fn func(types.Row) error) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if len(blob) < len(rowsMagic) || string(blob[:len(rowsMagic)]) != string(rowsMagic) {
+		return fmt.Errorf("persist: %s is not a snapshot row file", path)
+	}
+	rest := blob[len(rowsMagic):]
+	count, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return fmt.Errorf("persist: %s has a corrupt header", path)
+	}
+	rest = rest[sz:]
+	for i := uint64(0); i < count; i++ {
+		row, n, err := types.DecodeRow(rest)
+		if err != nil {
+			return fmt.Errorf("persist: %s row %d: %w", path, i, err)
+		}
+		rest = rest[n:]
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("persist: %s has %d trailing bytes", path, len(rest))
+	}
+	return nil
+}
+
+// Load reconstructs a database from a snapshot directory, using cfg for
+// the new engine. Secondary indexes are rebuilt from the loaded rows and
+// recommender models are retrained from their ratings tables.
+func Load(dir string, cfg engine.Config) (*engine.Engine, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("persist: bad manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d", m.Version)
+	}
+	e := engine.New(cfg)
+	for _, tm := range m.Tables {
+		cols := make([]types.Column, len(tm.Columns))
+		for i, c := range tm.Columns {
+			cols[i] = types.Column{Name: c.Name, Kind: types.Kind(c.Kind)}
+		}
+		tab, err := e.Catalog().CreateTable(tm.Name, types.NewSchema(cols...), tm.PKCol)
+		if err != nil {
+			return nil, err
+		}
+		var loaded int64
+		err = readRows(filepath.Join(dir, tm.RowsFile), func(row types.Row) error {
+			if _, err := tab.Insert(row); err != nil {
+				return err
+			}
+			loaded++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if loaded != tm.RowCount {
+			return nil, fmt.Errorf("persist: table %q has %d rows, manifest says %d", tm.Name, loaded, tm.RowCount)
+		}
+		for _, im := range tm.Indexes {
+			if _, err := tab.CreateIndex(im.Name, im.Column); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, rm := range m.Recommenders {
+		stmt := fmt.Sprintf(
+			`CREATE RECOMMENDER %s ON %s USERS FROM %s ITEMS FROM %s RATINGS FROM %s USING %s`,
+			rm.Name, rm.Table, rm.UserCol, rm.ItemCol, rm.RatingCol, rm.Algorithm)
+		if _, err := e.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("persist: rebuilding recommender %q: %w", rm.Name, err)
+		}
+	}
+	return e, nil
+}

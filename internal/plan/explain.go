@@ -1,0 +1,96 @@
+package plan
+
+import (
+	"fmt"
+
+	"recdb/internal/exec"
+)
+
+// DescribePlan renders an operator tree as indented EXPLAIN lines.
+func DescribePlan(op exec.Operator) []string {
+	var out []string
+	describe(op, 0, &out)
+	return out
+}
+
+func describe(op exec.Operator, depth int, out *[]string) {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	line := func(format string, args ...any) {
+		*out = append(*out, indent+fmt.Sprintf(format, args...))
+	}
+	switch v := op.(type) {
+	case *exec.SeqScan:
+		line("SeqScan on %s as %s (%d pages)", v.Table.Name, v.Qualifier, v.Table.Heap.NumPages())
+	case *exec.IndexScan:
+		line("IndexScan on %s as %s using %s", v.Table.Name, v.Qualifier, v.Index.Name)
+	case *exec.SpatialIndexScan:
+		kind := "ST_Contains"
+		if v.Pred == exec.SpatialDWithin {
+			kind = "ST_DWithin"
+		}
+		line("SpatialIndexScan on %s as %s using %s (%s)", v.Table.Name, v.Qualifier, v.Index.Name, kind)
+	case *exec.Filter:
+		line("Filter")
+		describe(v.Child, depth+1, out)
+	case *exec.Project:
+		line("Project (%d columns)", v.Schema().Len())
+		describe(v.Child, depth+1, out)
+	case *exec.NestedLoopJoin:
+		line("NestedLoopJoin")
+		describe(v.Left, depth+1, out)
+		describe(v.Right, depth+1, out)
+	case *exec.HashJoin:
+		line("HashJoin")
+		describe(v.Left, depth+1, out)
+		describe(v.Right, depth+1, out)
+	case *exec.Sort:
+		line("Sort (%d keys)", len(v.Keys))
+		describe(v.Child, depth+1, out)
+	case *exec.Limit:
+		if v.Skip > 0 {
+			line("Limit %d offset %d", v.N, v.Skip)
+		} else {
+			line("Limit %d", v.N)
+		}
+		describe(v.Child, depth+1, out)
+	case *exec.Distinct:
+		line("Distinct")
+		describe(v.Child, depth+1, out)
+	case *exec.HashAggregate:
+		line("HashAggregate (%d group keys, %d aggregates)", len(v.GroupBy), len(v.Specs))
+		describe(v.Child, depth+1, out)
+	case *exec.Recommend:
+		scope := "all users, all items"
+		switch {
+		case v.Users != nil && v.Items != nil:
+			scope = fmt.Sprintf("%d users, %d items", len(v.Users), len(v.Items))
+		case v.Users != nil:
+			scope = fmt.Sprintf("%d users, all items", len(v.Users))
+		case v.Items != nil:
+			scope = fmt.Sprintf("all users, %d items", len(v.Items))
+		}
+		name := "Recommend"
+		if v.Users != nil || v.Items != nil || v.RatingPred != nil {
+			name = "FilterRecommend"
+		}
+		line("%s [%s] (%s)", name, v.Store.Algo, scope)
+	case *exec.JoinRecommend:
+		users := "all users"
+		if v.Users != nil {
+			users = fmt.Sprintf("%d users", len(v.Users))
+		}
+		line("JoinRecommend [%s] (%s)", v.Store.Algo, users)
+		describe(v.Outer, depth+1, out)
+	case *exec.IndexRecommend:
+		extra := ""
+		if v.Limit > 0 {
+			extra = fmt.Sprintf(", limit %d pushed down", v.Limit)
+		}
+		line("IndexRecommend on RecScoreIndex (%d users%s)", len(v.Users), extra)
+	default:
+		line("%T", op)
+	}
+}

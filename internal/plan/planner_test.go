@@ -1,0 +1,249 @@
+package plan
+
+import (
+	"testing"
+
+	"recdb/internal/catalog"
+	"recdb/internal/exec"
+	"recdb/internal/rec"
+	"recdb/internal/recindex"
+	"recdb/internal/sql"
+	"recdb/internal/types"
+)
+
+// fixture builds a catalog with ratings + movies, a recommender manager
+// with an ItemCosCF recommender, and a planner.
+func fixture(t *testing.T) (*Planner, *recindex.Index) {
+	t.Helper()
+	cat := catalog.New(nil, 0)
+	ratings, err := cat.CreateTable("ratings", types.NewSchema(
+		types.Column{Name: "uid", Kind: types.KindInt},
+		types.Column{Name: "iid", Kind: types.KindInt},
+		types.Column{Name: "ratingval", Kind: types.KindFloat},
+	), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][3]float64{
+		{1, 1, 1.5}, {2, 2, 3.5}, {2, 1, 4.5}, {2, 3, 2},
+		{3, 2, 1}, {3, 1, 2}, {4, 2, 1},
+	} {
+		ratings.Insert(types.Row{
+			types.NewInt(int64(r[0])), types.NewInt(int64(r[1])), types.NewFloat(r[2]),
+		})
+	}
+	movies, _ := cat.CreateTable("movies", types.NewSchema(
+		types.Column{Name: "mid", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindText},
+		types.Column{Name: "genre", Kind: types.KindText},
+	), 0)
+	for _, m := range []struct {
+		id    int64
+		name  string
+		genre string
+	}{
+		{1, "Spartacus", "Action"}, {2, "Inception", "Suspense"}, {3, "The Matrix", "Sci-Fi"},
+	} {
+		movies.Insert(types.Row{types.NewInt(m.id), types.NewText(m.name), types.NewText(m.genre)})
+	}
+	mgr := rec.NewManager(cat, rec.Options{})
+	if _, err := mgr.Create("GeneralRec", "ratings", "uid", "iid", "ratingval", "ItemCosCF"); err != nil {
+		t.Fatal(err)
+	}
+	ix := recindex.New()
+	p := &Planner{
+		Catalog:  cat,
+		Rec:      mgr,
+		IndexFor: func(*rec.Recommender) *recindex.Index { return ix },
+	}
+	return p, ix
+}
+
+func planQuery(t *testing.T, p *Planner, q string) (exec.Operator, *Explain) {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	op, ex, err := p.PlanSelect(stmt.(*sql.Select))
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return op, ex
+}
+
+func TestStrategySelection(t *testing.T) {
+	p, ix := fixture(t)
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{`SELECT R.uid FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval`, "Recommend"},
+		{`SELECT R.uid FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval WHERE R.uid = 1`, "FilterRecommend"},
+		{`SELECT R.uid FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval WHERE R.iid IN (1,2)`, "FilterRecommend"},
+		{`SELECT R.uid FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval WHERE R.ratingval > 2`, "FilterRecommend"},
+		{`SELECT R.uid FROM ratings R, movies M RECOMMEND R.iid TO R.uid ON R.ratingval
+		  WHERE R.uid = 1 AND M.mid = R.iid AND M.genre = 'Action'`, "JoinRecommend"},
+		{`SELECT name FROM movies`, ""},
+	}
+	for _, c := range cases {
+		_, ex := planQuery(t, p, c.q)
+		if ex.Strategy != c.want {
+			t.Errorf("%s\n  strategy %q, want %q", c.q, ex.Strategy, c.want)
+		}
+	}
+	_ = ix
+}
+
+func TestIndexStrategyRequiresCoverage(t *testing.T) {
+	p, ix := fixture(t)
+	q := `SELECT R.uid FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval
+	      WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 5`
+	_, ex := planQuery(t, p, q)
+	if ex.Strategy != "FilterRecommend" {
+		t.Fatalf("without coverage: %q", ex.Strategy)
+	}
+	ix.Put(1, 2, 4.0)
+	ix.Put(1, 3, 2.0)
+	_, ex = planQuery(t, p, q)
+	if ex.Strategy != "IndexRecommend" || !ex.SortSkipped {
+		t.Fatalf("with coverage: %+v", ex)
+	}
+	// Ascending order cannot skip the sort or use the limit pushdown, but
+	// the index path still applies.
+	q2 := `SELECT R.uid FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval
+	       WHERE R.uid = 1 ORDER BY R.ratingval ASC LIMIT 5`
+	_, ex = planQuery(t, p, q2)
+	if ex.Strategy != "IndexRecommend" || ex.SortSkipped {
+		t.Fatalf("ascending: %+v", ex)
+	}
+}
+
+func TestAblationSwitches(t *testing.T) {
+	p, ix := fixture(t)
+	ix.Put(1, 2, 4.0)
+
+	q := `SELECT R.uid FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval WHERE R.uid = 1`
+	p.DisableIndexRecommend = true
+	_, ex := planQuery(t, p, q)
+	if ex.Strategy != "FilterRecommend" {
+		t.Fatalf("index disabled: %q", ex.Strategy)
+	}
+	p.DisableFilterPushdown = true
+	_, ex = planQuery(t, p, q)
+	if ex.Strategy != "Recommend" {
+		t.Fatalf("pushdown disabled: %q", ex.Strategy)
+	}
+	// The filter still applies above the operator: results only for user 1.
+	op, _ := planQuery(t, p, q)
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r[0].Int() != 1 {
+			t.Fatalf("pushdown-disabled plan leaked row %v", r)
+		}
+	}
+
+	p.DisableFilterPushdown = false
+	p.DisableJoinRecommend = true
+	jq := `SELECT R.uid FROM ratings R, movies M RECOMMEND R.iid TO R.uid ON R.ratingval
+	       WHERE R.uid = 1 AND M.mid = R.iid AND M.genre = 'Action'`
+	_, ex = planQuery(t, p, jq)
+	if ex.Strategy != "FilterRecommend" {
+		t.Fatalf("join disabled: %q", ex.Strategy)
+	}
+}
+
+func TestPlanEquivalenceAcrossStrategies(t *testing.T) {
+	// The JoinRecommend plan and the disabled (FilterRecommend + HashJoin)
+	// plan must produce the same rows.
+	p, _ := fixture(t)
+	q := `SELECT R.uid, M.name, R.ratingval FROM ratings R, movies M
+	      RECOMMEND R.iid TO R.uid ON R.ratingval
+	      WHERE R.uid = 3 AND M.mid = R.iid AND M.genre = 'Sci-Fi'`
+	opA, exA := planQuery(t, p, q)
+	rowsA, err := exec.Collect(opA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DisableJoinRecommend = true
+	opB, exB := planQuery(t, p, q)
+	rowsB, err := exec.Collect(opB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exA.Strategy == exB.Strategy {
+		t.Fatalf("expected different strategies, both %q", exA.Strategy)
+	}
+	if len(rowsA) != len(rowsB) {
+		t.Fatalf("row counts: %d vs %d", len(rowsA), len(rowsB))
+	}
+	for i := range rowsA {
+		if rowsA[i].String() != rowsB[i].String() {
+			t.Fatalf("row %d: %v vs %v", i, rowsA[i], rowsB[i])
+		}
+	}
+}
+
+func TestConflictingUserPredicates(t *testing.T) {
+	p, _ := fixture(t)
+	op, _ := planQuery(t, p, `SELECT R.uid FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval
+		WHERE R.uid = 1 AND R.uid = 2`)
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("contradictory predicates: %v", rows)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	p, _ := fixture(t)
+	bad := []string{
+		`SELECT x FROM ratings`,                                                               // unknown column
+		`SELECT uid FROM nosuch`,                                                              // unknown table
+		`SELECT uid FROM ratings LIMIT uid`,                                                   // non-literal limit
+		`SELECT uid FROM ratings R LIMIT -1`,                                                  // negative limit
+		`SELECT Q.uid FROM ratings R RECOMMEND Q.iid TO Q.uid ON Q.ratingval`,                 // bad qualifier
+		`SELECT R.uid FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval USING UserCosCF`, // no such recommender
+	}
+	for _, q := range bad {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, _, err := p.PlanSelect(stmt.(*sql.Select)); err == nil {
+			t.Errorf("PlanSelect(%q): expected error", q)
+		}
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	p, _ := fixture(t)
+	op, _ := planQuery(t, p, `SELECT * FROM movies`)
+	if op.Schema().Len() != 3 {
+		t.Fatalf("star schema: %v", op.Schema().Columns)
+	}
+	// Star mixed with expressions.
+	op, _ = planQuery(t, p, `SELECT mid + 1, * FROM movies`)
+	if op.Schema().Len() != 4 {
+		t.Fatalf("mixed star: %v", op.Schema().Columns)
+	}
+}
+
+func TestRecordQueryHook(t *testing.T) {
+	p, _ := fixture(t)
+	var recorded []int64
+	p.RecordQuery = func(_ *rec.Recommender, users []int64) {
+		recorded = append(recorded, users...)
+	}
+	planQuery(t, p, `SELECT R.uid FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval WHERE R.uid = 2`)
+	if len(recorded) != 1 || recorded[0] != 2 {
+		t.Fatalf("recorded: %v", recorded)
+	}
+}

@@ -1,0 +1,122 @@
+package plan
+
+import (
+	"strings"
+
+	"recdb/internal/catalog"
+	"recdb/internal/exec"
+	"recdb/internal/expr"
+	"recdb/internal/geo"
+	"recdb/internal/sql"
+	"recdb/internal/types"
+)
+
+// trySpatialScan inspects one WHERE conjunct and, when it is a spatial
+// predicate between a constant geometry and an R-tree-indexed geometry
+// column of this table, returns a SpatialIndexScan implementing it:
+//
+//	ST_Contains(<const>, t.geom)       — rows inside a constant region
+//	ST_Contains(t.geom, <const>)       — rows whose region covers a point
+//	ST_DWithin(t.geom, <const>, d)     — rows within distance d
+//	ST_DWithin(<const>, t.geom, d)
+//
+// Constant means the expression compiles against an empty schema (a
+// literal, ST_Point(...), ST_GeomFromText(...), arithmetic over
+// literals). Predicates joining two tables' geometry columns (Query 6's
+// ST_Contains(C.geom, H.geom)) are not index-eligible and evaluate as
+// ordinary filters.
+func trySpatialScan(tab *catalog.Table, qualifier string, c sql.Expr) *exec.SpatialIndexScan {
+	call, ok := c.(*sql.Call)
+	if !ok {
+		return nil
+	}
+	name := strings.ToLower(call.Name)
+	switch name {
+	case "st_contains":
+		if len(call.Args) != 2 {
+			return nil
+		}
+		// ST_Contains(const, col): query contains row.
+		if q, idx := constGeom(call.Args[0]), geomIndex(tab, qualifier, call.Args[1]); q != nil && idx != nil {
+			return exec.NewSpatialIndexScan(tab, idx, qualifier, q, exec.SpatialContainsQuery, 0)
+		}
+		// ST_Contains(col, const): row contains query.
+		if q, idx := constGeom(call.Args[1]), geomIndex(tab, qualifier, call.Args[0]); q != nil && idx != nil {
+			return exec.NewSpatialIndexScan(tab, idx, qualifier, q, exec.SpatialContainsRow, 0)
+		}
+	case "st_dwithin":
+		if len(call.Args) != 3 {
+			return nil
+		}
+		dist, ok := constFloat(call.Args[2])
+		if !ok || dist < 0 {
+			return nil
+		}
+		if q, idx := constGeom(call.Args[0]), geomIndex(tab, qualifier, call.Args[1]); q != nil && idx != nil {
+			return exec.NewSpatialIndexScan(tab, idx, qualifier, q, exec.SpatialDWithin, dist)
+		}
+		if q, idx := constGeom(call.Args[1]), geomIndex(tab, qualifier, call.Args[0]); q != nil && idx != nil {
+			return exec.NewSpatialIndexScan(tab, idx, qualifier, q, exec.SpatialDWithin, dist)
+		}
+	}
+	return nil
+}
+
+var emptySchema = types.NewSchema()
+
+// constGeom evaluates e as a constant geometry (accepting WKT text), or
+// returns nil.
+func constGeom(e sql.Expr) geo.Geometry {
+	compiled, err := expr.Compile(e, emptySchema)
+	if err != nil {
+		return nil
+	}
+	v, err := compiled(nil)
+	if err != nil {
+		return nil
+	}
+	switch v.Kind() {
+	case types.KindGeometry:
+		return v.Geometry()
+	case types.KindText:
+		g, err := geo.Parse(v.Text())
+		if err != nil {
+			return nil
+		}
+		return g
+	}
+	return nil
+}
+
+func constFloat(e sql.Expr) (float64, bool) {
+	compiled, err := expr.Compile(e, emptySchema)
+	if err != nil {
+		return 0, false
+	}
+	v, err := compiled(nil)
+	if err != nil {
+		return 0, false
+	}
+	return v.AsFloat()
+}
+
+// geomIndex resolves e as a reference to one of tab's geometry columns
+// (visible under qualifier) that has a spatial index.
+func geomIndex(tab *catalog.Table, qualifier string, e sql.Expr) *catalog.Index {
+	ref, ok := e.(*sql.ColumnRef)
+	if !ok {
+		return nil
+	}
+	if ref.Qualifier != "" && !strings.EqualFold(ref.Qualifier, qualifier) {
+		return nil
+	}
+	col, err := tab.Schema.Resolve("", ref.Name)
+	if err != nil || tab.Schema.Columns[col].Kind != types.KindGeometry {
+		return nil
+	}
+	idx, ok := tab.IndexOn(ref.Name)
+	if !ok || idx.Spatial == nil {
+		return nil
+	}
+	return idx
+}

@@ -1,0 +1,54 @@
+package rec
+
+import "testing"
+
+func benchRatings(users, items int, density float64) []Rating {
+	rng := newDeterministicRand(99)
+	var out []Rating
+	mod := int64(1 / density)
+	if mod < 1 {
+		mod = 1
+	}
+	for u := int64(1); u <= int64(users); u++ {
+		for i := int64(1); i <= int64(items); i++ {
+			if rng.next()%mod == 0 {
+				out = append(out, Rating{u, i, float64(1 + rng.next()%5)})
+			}
+		}
+	}
+	return out
+}
+
+func BenchmarkBuildItemCosCF(b *testing.B) {
+	ratings := benchRatings(200, 400, 0.06)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildNeighborhood(ratings, ItemCosCF, BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainSVD(b *testing.B) {
+	ratings := benchRatings(200, 400, 0.06)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainSVD(ratings, BuildOptions{SVDSeed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictItemCF(b *testing.B) {
+	ratings := benchRatings(200, 400, 0.06)
+	m, err := BuildNeighborhood(ratings, ItemCosCF, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := m.Users()
+	items := m.Items()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(users[i%len(users)], items[i%len(items)])
+	}
+}

@@ -1,0 +1,397 @@
+package rec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Neighbor is one entry of a similarity list: a neighboring entity (item or
+// user) and its similarity score to the list's owner.
+type Neighbor struct {
+	ID  int64
+	Sim float64
+}
+
+// BuildOptions tunes model construction.
+type BuildOptions struct {
+	// NeighborhoodSize truncates each similarity list to the top-N most
+	// similar entries; 0 keeps the full list (the paper's default).
+	NeighborhoodSize int
+	// SVD hyperparameters (used only by the SVD algorithm).
+	SVDFactors int     // latent factor count (default 10)
+	SVDEpochs  int     // SGD passes over the ratings (default 20)
+	SVDRate    float64 // learning rate (default 0.01)
+	SVDLambda  float64 // L2 regularization λ from Equation 3 (default 0.05)
+	SVDSeed    int64   // deterministic initialization seed
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.SVDFactors <= 0 {
+		o.SVDFactors = 10
+	}
+	if o.SVDEpochs <= 0 {
+		o.SVDEpochs = 20
+	}
+	if o.SVDRate <= 0 {
+		o.SVDRate = 0.01
+	}
+	if o.SVDLambda <= 0 {
+		o.SVDLambda = 0.05
+	}
+	return o
+}
+
+// Model is a built recommendation model: it predicts RecScore(u, i) per
+// Step II of §II and knows which (user, item) pairs are already rated.
+type Model interface {
+	// Algorithm returns the algorithm that built the model.
+	Algorithm() Algorithm
+	// Predict estimates RecScore(u, i). ok is false when the model has no
+	// basis for a prediction (the operators then emit 0, per Algorithm 1).
+	Predict(user, item int64) (score float64, ok bool)
+	// Seen returns the rating user gave item, if any.
+	Seen(user, item int64) (float64, bool)
+	// Users returns all user ids known to the model, ascending.
+	Users() []int64
+	// Items returns all item ids known to the model, ascending.
+	Items() []int64
+	// NumRatings returns the number of ratings the model was built from.
+	NumRatings() int
+	// Ratings returns the training ratings sorted by (user, item).
+	Ratings() []Rating
+}
+
+// ratingsIndex is the shared per-user / per-item view of the input.
+type ratingsIndex struct {
+	byUser map[int64]map[int64]float64 // user → item → rating
+	byItem map[int64]map[int64]float64 // item → user → rating
+	users  []int64
+	items  []int64
+	n      int
+}
+
+func indexRatings(ratings []Rating) *ratingsIndex {
+	ix := &ratingsIndex{
+		byUser: make(map[int64]map[int64]float64),
+		byItem: make(map[int64]map[int64]float64),
+	}
+	for _, r := range ratings {
+		u := ix.byUser[r.User]
+		if u == nil {
+			u = make(map[int64]float64)
+			ix.byUser[r.User] = u
+		}
+		if _, dup := u[r.Item]; !dup {
+			ix.n++
+		}
+		u[r.Item] = r.Value
+		it := ix.byItem[r.Item]
+		if it == nil {
+			it = make(map[int64]float64)
+			ix.byItem[r.Item] = it
+		}
+		it[r.User] = r.Value
+	}
+	ix.users = sortedKeys(ix.byUser)
+	ix.items = sortedKeys(ix.byItem)
+	return ix
+}
+
+func sortedKeys(m map[int64]map[int64]float64) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (ix *ratingsIndex) seen(user, item int64) (float64, bool) {
+	v, ok := ix.byUser[user][item]
+	return v, ok
+}
+
+func (ix *ratingsIndex) allRatings() []Rating {
+	out := make([]Rating, 0, ix.n)
+	for _, u := range ix.users {
+		items := make([]int64, 0, len(ix.byUser[u]))
+		for i := range ix.byUser[u] {
+			items = append(items, i)
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		for _, i := range items {
+			out = append(out, Rating{User: u, Item: i, Value: ix.byUser[u][i]})
+		}
+	}
+	return out
+}
+
+// ---- Neighborhood models (ItemCosCF / ItemPearCF / UserCosCF / UserPearCF) ----
+
+// NeighborhoodModel is a similarity-list model: item-item or user-user.
+type NeighborhoodModel struct {
+	algo Algorithm
+	ix   *ratingsIndex
+	// neighbors maps the entity id (item for item-based, user for
+	// user-based) to its similarity list, sorted by descending |sim|.
+	neighbors map[int64][]Neighbor
+}
+
+// BuildNeighborhood computes the similarity lists for a neighborhood
+// algorithm (Step I of §II; Equation 1 for cosine). For Pearson variants
+// the vectors are mean-centered per entity before the cosine, the classic
+// adjusted formulation.
+func BuildNeighborhood(ratings []Rating, algo Algorithm, opts BuildOptions) (*NeighborhoodModel, error) {
+	if !algo.ItemBased() && !algo.UserBased() {
+		return nil, fmt.Errorf("rec: %v is not a neighborhood algorithm", algo)
+	}
+	opts = opts.withDefaults()
+	ix := indexRatings(ratings)
+
+	// For item-based models the "entities" are items and the shared
+	// dimension is users; user-based swaps the roles. vectors[e] maps
+	// dimension → value.
+	var vectors map[int64]map[int64]float64
+	if algo.ItemBased() {
+		vectors = ix.byItem
+	} else {
+		vectors = ix.byUser
+	}
+
+	// Optional mean-centering for Pearson.
+	center := map[int64]float64{}
+	if algo.Pearson() {
+		for e, vec := range vectors {
+			var sum float64
+			for _, v := range vec {
+				sum += v
+			}
+			center[e] = sum / float64(len(vec))
+		}
+	}
+	val := func(e int64, dim int64) float64 {
+		return vectors[e][dim] - center[e]
+	}
+
+	// Accumulate pairwise dot products via the shared dimension: for each
+	// dimension (user for item-based), every pair of co-rated entities
+	// contributes. Norms come per entity.
+	norms := make(map[int64]float64, len(vectors))
+	for e, vec := range vectors {
+		var s float64
+		for dim := range vec {
+			v := val(e, dim)
+			s += v * v
+		}
+		norms[e] = math.Sqrt(s)
+	}
+	type pair struct{ a, b int64 }
+	dots := make(map[pair]float64)
+	var shared map[int64]map[int64]float64
+	if algo.ItemBased() {
+		shared = ix.byUser // user → items rated
+	} else {
+		shared = ix.byItem // item → users who rated
+	}
+	for dim, entities := range shared {
+		ids := make([]int64, 0, len(entities))
+		for e := range entities {
+			ids = append(ids, e)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for x := 0; x < len(ids); x++ {
+			vx := val(ids[x], dim)
+			for y := x + 1; y < len(ids); y++ {
+				dots[pair{ids[x], ids[y]}] += vx * val(ids[y], dim)
+			}
+		}
+	}
+
+	neighbors := make(map[int64][]Neighbor, len(vectors))
+	for p, dot := range dots {
+		na, nb := norms[p.a], norms[p.b]
+		if na == 0 || nb == 0 || dot == 0 {
+			continue
+		}
+		sim := dot / (na * nb)
+		neighbors[p.a] = append(neighbors[p.a], Neighbor{ID: p.b, Sim: sim})
+		neighbors[p.b] = append(neighbors[p.b], Neighbor{ID: p.a, Sim: sim})
+	}
+	for e := range neighbors {
+		list := neighbors[e]
+		sort.Slice(list, func(i, j int) bool {
+			ai, aj := math.Abs(list[i].Sim), math.Abs(list[j].Sim)
+			if ai != aj {
+				return ai > aj
+			}
+			return list[i].ID < list[j].ID
+		})
+		if opts.NeighborhoodSize > 0 && len(list) > opts.NeighborhoodSize {
+			list = list[:opts.NeighborhoodSize]
+		}
+		neighbors[e] = list
+	}
+	return &NeighborhoodModel{algo: algo, ix: ix, neighbors: neighbors}, nil
+}
+
+// Algorithm implements Model.
+func (m *NeighborhoodModel) Algorithm() Algorithm { return m.algo }
+
+// NumRatings implements Model.
+func (m *NeighborhoodModel) NumRatings() int { return m.ix.n }
+
+// Users implements Model.
+func (m *NeighborhoodModel) Users() []int64 { return m.ix.users }
+
+// Items implements Model.
+func (m *NeighborhoodModel) Items() []int64 { return m.ix.items }
+
+// Seen implements Model.
+func (m *NeighborhoodModel) Seen(user, item int64) (float64, bool) { return m.ix.seen(user, item) }
+
+// Ratings implements Model.
+func (m *NeighborhoodModel) Ratings() []Rating { return m.ix.allRatings() }
+
+// Neighbors returns the similarity list for an item (item-based) or user
+// (user-based), sorted by descending |similarity|.
+func (m *NeighborhoodModel) Neighbors(id int64) []Neighbor { return m.neighbors[id] }
+
+// Predict implements Model using Equation 2: the weighted average of the
+// user's ratings over the intersection of the candidate's similarity list
+// with the user's rated items (item-based), or of the neighbors' ratings
+// for the candidate item (user-based).
+func (m *NeighborhoodModel) Predict(user, item int64) (float64, bool) {
+	if m.algo.ItemBased() {
+		return PredictWeighted(m.neighbors[item], m.ix.byUser[user])
+	}
+	return PredictWeighted(m.neighbors[user], m.ix.byItem[item])
+}
+
+// PredictWeighted evaluates Equation 2 given a similarity list and the map
+// of known ratings keyed by the same id space as the list. ok is false when
+// the intersection is empty (the operators then emit 0).
+func PredictWeighted(neighbors []Neighbor, known map[int64]float64) (float64, bool) {
+	if len(neighbors) == 0 || len(known) == 0 {
+		return 0, false
+	}
+	var num, den float64
+	for _, n := range neighbors {
+		if r, ok := known[n.ID]; ok {
+			num += n.Sim * r
+			den += math.Abs(n.Sim)
+		}
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// ---- Matrix factorization (SVD) ----
+
+// FactorModel is the matrix-factorization model of §IV-A3: one latent
+// factor vector per user and per item; prediction is their dot product.
+type FactorModel struct {
+	ix          *ratingsIndex
+	UserFactors map[int64][]float64
+	ItemFactors map[int64][]float64
+	K           int
+}
+
+// TrainSVD learns the factor model by stochastic gradient descent on the
+// regularized squared error of Equation 3.
+func TrainSVD(ratings []Rating, opts BuildOptions) (*FactorModel, error) {
+	opts = opts.withDefaults()
+	ix := indexRatings(ratings)
+	k := opts.SVDFactors
+	rng := rand.New(rand.NewSource(opts.SVDSeed))
+	m := &FactorModel{
+		ix:          ix,
+		UserFactors: make(map[int64][]float64, len(ix.users)),
+		ItemFactors: make(map[int64][]float64, len(ix.items)),
+		K:           k,
+	}
+	initVec := func() []float64 {
+		v := make([]float64, k)
+		for i := range v {
+			v[i] = (rng.Float64() - 0.5) * 0.1
+		}
+		return v
+	}
+	for _, u := range ix.users {
+		m.UserFactors[u] = initVec()
+	}
+	for _, i := range ix.items {
+		m.ItemFactors[i] = initVec()
+	}
+	// Deterministic training order: ratings sorted by (user, item).
+	train := ix.allRatings()
+	lr, lam := opts.SVDRate, opts.SVDLambda
+	for epoch := 0; epoch < opts.SVDEpochs; epoch++ {
+		// Shuffle deterministically per epoch.
+		rng.Shuffle(len(train), func(a, b int) { train[a], train[b] = train[b], train[a] })
+		for _, r := range train {
+			p, q := m.UserFactors[r.User], m.ItemFactors[r.Item]
+			pred := Dot(p, q)
+			err := r.Value - pred
+			for f := 0; f < k; f++ {
+				pf, qf := p[f], q[f]
+				p[f] += lr * (err*qf - lam*pf)
+				q[f] += lr * (err*pf - lam*qf)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Algorithm implements Model.
+func (m *FactorModel) Algorithm() Algorithm { return SVD }
+
+// NumRatings implements Model.
+func (m *FactorModel) NumRatings() int { return m.ix.n }
+
+// Users implements Model.
+func (m *FactorModel) Users() []int64 { return m.ix.users }
+
+// Items implements Model.
+func (m *FactorModel) Items() []int64 { return m.ix.items }
+
+// Seen implements Model.
+func (m *FactorModel) Seen(user, item int64) (float64, bool) { return m.ix.seen(user, item) }
+
+// Ratings implements Model.
+func (m *FactorModel) Ratings() []Rating { return m.ix.allRatings() }
+
+// Predict implements Model: the dot product of the user and item factor
+// vectors (Algorithm 2).
+func (m *FactorModel) Predict(user, item int64) (float64, bool) {
+	p, pok := m.UserFactors[user]
+	q, qok := m.ItemFactors[item]
+	if !pok || !qok {
+		return 0, false
+	}
+	return Dot(p, q), true
+}
+
+// Build constructs the model for any supported algorithm.
+func Build(ratings []Rating, algo Algorithm, opts BuildOptions) (Model, error) {
+	switch algo {
+	case SVD:
+		return TrainSVD(ratings, opts)
+	case Popularity:
+		return BuildPopularity(ratings), nil
+	default:
+		return BuildNeighborhood(ratings, algo, opts)
+	}
+}

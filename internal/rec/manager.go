@@ -1,0 +1,330 @@
+package rec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"recdb/internal/catalog"
+	"recdb/internal/types"
+)
+
+// Options configures the manager.
+type Options struct {
+	// Build tunes model construction for every recommender.
+	Build BuildOptions
+	// RebuildThresholdPct is N from §III-A: the model is rebuilt when the
+	// number of new ratings reaches N% of the ratings used for the current
+	// model. Default 10.
+	RebuildThresholdPct float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.RebuildThresholdPct <= 0 {
+		o.RebuildThresholdPct = 10
+	}
+	return o
+}
+
+// Recommender is one created recommender: its definition, its materialized
+// model store, and its maintenance state.
+type Recommender struct {
+	Name      string
+	Table     string
+	UserCol   string
+	ItemCol   string
+	RatingCol string
+	Algo      Algorithm
+
+	mu         sync.RWMutex
+	store      *ModelStore
+	buildCount int           // ratings used for the current model
+	pending    int           // new ratings since the current model was built
+	buildTime  time.Duration // duration of the last model build (Table II)
+	rebuilds   int
+}
+
+// Store returns the current materialized model. The returned store remains
+// readable even if a rebuild swaps in a replacement concurrently.
+func (r *Recommender) Store() *ModelStore {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store
+}
+
+// BuildTime returns the duration of the most recent model build.
+func (r *Recommender) BuildTime() time.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.buildTime
+}
+
+// Pending returns the count of ratings inserted since the last build.
+func (r *Recommender) Pending() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pending
+}
+
+// Rebuilds returns how many times maintenance has rebuilt the model.
+func (r *Recommender) Rebuilds() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rebuilds
+}
+
+// Manager owns every recommender created with CREATE RECOMMENDER: it
+// builds models, materializes them into the catalog, resolves RECOMMEND
+// clauses to recommenders, and applies the N% maintenance policy on
+// ratings-table inserts.
+type Manager struct {
+	cat  *catalog.Catalog
+	opts Options
+
+	mu   sync.RWMutex
+	recs map[string]*Recommender // keyed by lower-case name
+
+	// onRebuild, when set, is invoked after a model rebuild so dependent
+	// structures (the RecScoreIndex cache) can invalidate.
+	onRebuild func(*Recommender)
+}
+
+// NewManager creates a manager over the catalog.
+func NewManager(cat *catalog.Catalog, opts Options) *Manager {
+	return &Manager{
+		cat:  cat,
+		opts: opts.withDefaults(),
+		recs: make(map[string]*Recommender),
+	}
+}
+
+// OnRebuild registers a callback fired after maintenance rebuilds a model.
+func (m *Manager) OnRebuild(fn func(*Recommender)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onRebuild = fn
+}
+
+// Create implements CREATE RECOMMENDER: it loads the ratings table, builds
+// the model for the algorithm, and materializes it (Recommender
+// Initialization, §III-A).
+func (m *Manager) Create(name, table, userCol, itemCol, ratingCol, algoName string) (*Recommender, error) {
+	algo, err := ParseAlgorithm(algoName)
+	if err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(name)
+	m.mu.Lock()
+	if _, exists := m.recs[key]; exists {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("rec: recommender %q already exists", name)
+	}
+	m.mu.Unlock()
+
+	ratings, err := m.loadRatings(table, userCol, itemCol, ratingCol)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recommender{
+		Name: name, Table: table,
+		UserCol: userCol, ItemCol: itemCol, RatingCol: ratingCol,
+		Algo: algo,
+	}
+	if err := m.buildAndSwap(r, ratings); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.recs[key]; exists {
+		DropTables(m.cat, name)
+		return nil, fmt.Errorf("rec: recommender %q already exists", name)
+	}
+	m.recs[key] = r
+	return r, nil
+}
+
+func (m *Manager) buildAndSwap(r *Recommender, ratings []Rating) error {
+	start := time.Now()
+	model, err := Build(ratings, r.Algo, m.opts.Build)
+	if err != nil {
+		return err
+	}
+	store, err := Materialize(m.cat, r.Name, model)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	r.mu.Lock()
+	r.store = store
+	r.buildCount = model.NumRatings()
+	r.pending = 0
+	r.buildTime = elapsed
+	r.mu.Unlock()
+	return nil
+}
+
+// loadRatings scans the source table, projecting the three named columns.
+func (m *Manager) loadRatings(table, userCol, itemCol, ratingCol string) ([]Rating, error) {
+	t, err := m.cat.Get(table)
+	if err != nil {
+		return nil, err
+	}
+	uIdx, err := t.Schema.Resolve("", userCol)
+	if err != nil {
+		return nil, fmt.Errorf("rec: users column: %w", err)
+	}
+	iIdx, err := t.Schema.Resolve("", itemCol)
+	if err != nil {
+		return nil, fmt.Errorf("rec: items column: %w", err)
+	}
+	rIdx, err := t.Schema.Resolve("", ratingCol)
+	if err != nil {
+		return nil, fmt.Errorf("rec: ratings column: %w", err)
+	}
+	var out []Rating
+	it := t.Heap.Scan()
+	defer it.Close()
+	for {
+		row, _, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		u, uok := row[uIdx].AsInt()
+		i, iok := row[iIdx].AsInt()
+		v, vok := row[rIdx].AsFloat()
+		if !uok || !iok || !vok {
+			continue // skip rows with NULL or non-numeric keys
+		}
+		out = append(out, Rating{User: u, Item: i, Value: v})
+	}
+}
+
+// Drop implements DROP RECOMMENDER.
+func (m *Manager) Drop(name string) error {
+	key := strings.ToLower(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.recs[key]; !exists {
+		return fmt.Errorf("rec: recommender %q does not exist", name)
+	}
+	delete(m.recs, key)
+	DropTables(m.cat, name)
+	return nil
+}
+
+// Get returns the recommender with the given name.
+func (m *Manager) Get(name string) (*Recommender, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.recs[strings.ToLower(name)]
+	return r, ok
+}
+
+// List returns all recommenders, unordered.
+func (m *Manager) List() []*Recommender {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Recommender, 0, len(m.recs))
+	for _, r := range m.recs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// ForQuery resolves a RECOMMEND clause to a created recommender: the
+// clause names the ratings table in FROM and the algorithm in USING, and
+// the engine "figures that a recommender is already created" (§IV-A1). An
+// empty algorithm selects the default.
+func (m *Manager) ForQuery(table, algoName string) (*Recommender, error) {
+	algo, err := ParseAlgorithm(algoName)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, r := range m.recs {
+		if strings.EqualFold(r.Table, table) && r.Algo == algo {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("rec: no %v recommender exists on table %q; run CREATE RECOMMENDER first", algo, table)
+}
+
+// NotifyInsert implements the maintenance policy of §III-A: each new
+// rating inserted into a recommender's source table counts toward its
+// pending updates; when pending reaches N%% of the ratings used to build
+// the current model, the model is rebuilt from the table.
+func (m *Manager) NotifyInsert(table string, count int) error {
+	m.mu.RLock()
+	var due []*Recommender
+	for _, r := range m.recs {
+		if !strings.EqualFold(r.Table, table) {
+			continue
+		}
+		r.mu.Lock()
+		r.pending += count
+		threshold := int(m.opts.RebuildThresholdPct / 100 * float64(r.buildCount))
+		if threshold < 1 {
+			threshold = 1
+		}
+		if r.pending >= threshold {
+			due = append(due, r)
+		}
+		r.mu.Unlock()
+	}
+	onRebuild := m.onRebuild
+	m.mu.RUnlock()
+
+	for _, r := range due {
+		if err := m.Rebuild(r.Name); err != nil {
+			return err
+		}
+		if onRebuild != nil {
+			onRebuild(r)
+		}
+	}
+	return nil
+}
+
+// Rebuild reloads the source table and rebuilds the recommender's model.
+func (m *Manager) Rebuild(name string) error {
+	r, ok := m.Get(name)
+	if !ok {
+		return fmt.Errorf("rec: recommender %q does not exist", name)
+	}
+	ratings, err := m.loadRatings(r.Table, r.UserCol, r.ItemCol, r.RatingCol)
+	if err != nil {
+		return err
+	}
+	if err := m.buildAndSwap(r, ratings); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.rebuilds++
+	r.mu.Unlock()
+	return nil
+}
+
+// RatingsOf loads the current contents of a recommender's source table as
+// rating triples (used by the OnTopDB baseline and the cache manager).
+func (m *Manager) RatingsOf(r *Recommender) ([]Rating, error) {
+	return m.loadRatings(r.Table, r.UserCol, r.ItemCol, r.RatingCol)
+}
+
+// ResolveRatingColumns maps a recommender's (user, item, rating) column
+// names to positions in the source table's schema.
+func (r *Recommender) ResolveRatingColumns(schema *types.Schema) (u, i, v int, err error) {
+	if u, err = schema.Resolve("", r.UserCol); err != nil {
+		return
+	}
+	if i, err = schema.Resolve("", r.ItemCol); err != nil {
+		return
+	}
+	v, err = schema.Resolve("", r.RatingCol)
+	return
+}

@@ -1,0 +1,107 @@
+package rec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildPopularityScores(t *testing.T) {
+	m := BuildPopularity(paperRatings())
+	// Global mean = (1.5+3.5+4.5+2+1+2+1)/7 = 15.5/7.
+	wantMean := 15.5 / 7
+	if math.Abs(m.GlobalMean()-wantMean) > 1e-12 {
+		t.Fatalf("global mean %v, want %v", m.GlobalMean(), wantMean)
+	}
+	// Item 1: ratings 1.5, 4.5, 2 → (8 + 5·mean)/(3+5).
+	want1 := (8 + PopularityDamping*wantMean) / (3 + PopularityDamping)
+	got1, ok := m.Score(1)
+	if !ok || math.Abs(got1-want1) > 1e-12 {
+		t.Fatalf("score(1) = %v, want %v", got1, want1)
+	}
+	// Item 3 has a single rating of 2 and is pulled toward the mean.
+	got3, _ := m.Score(3)
+	want3 := (2 + PopularityDamping*wantMean) / (1 + PopularityDamping)
+	if math.Abs(got3-want3) > 1e-12 {
+		t.Fatalf("score(3) = %v, want %v", got3, want3)
+	}
+	if _, ok := m.Score(99); ok {
+		t.Fatal("unknown item should have no score")
+	}
+}
+
+func TestPopularityPredictIsUserIndependent(t *testing.T) {
+	m := BuildPopularity(paperRatings())
+	p1, ok1 := m.Predict(1, 2)
+	p2, ok2 := m.Predict(3, 2)
+	pCold, okCold := m.Predict(999, 2) // unknown user: cold-start works
+	if !ok1 || !ok2 || !okCold || p1 != p2 || p1 != pCold {
+		t.Fatalf("predictions differ across users: %v %v %v", p1, p2, pCold)
+	}
+	if _, ok := m.Predict(1, 99); ok {
+		t.Fatal("unknown item should not predict")
+	}
+}
+
+func TestPopularityRanking(t *testing.T) {
+	m := BuildPopularity(paperRatings())
+	ranking := m.Ranking()
+	if len(ranking) != 3 {
+		t.Fatalf("ranking: %v", ranking)
+	}
+	for i := 1; i < len(ranking); i++ {
+		a, _ := m.Score(ranking[i-1])
+		b, _ := m.Score(ranking[i])
+		if a < b {
+			t.Fatalf("ranking not descending: %v", ranking)
+		}
+	}
+}
+
+func TestPopularityModelInterface(t *testing.T) {
+	m, err := Build(paperRatings(), Popularity, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Algorithm() != Popularity || m.NumRatings() != 7 {
+		t.Fatalf("model: %v %d", m.Algorithm(), m.NumRatings())
+	}
+	if v, ok := m.Seen(2, 1); !ok || v != 4.5 {
+		t.Fatalf("Seen: %v %v", v, ok)
+	}
+}
+
+func TestPopularityMaterializeAndPredict(t *testing.T) {
+	cat, _ := newCatalogWithRatings(t, paperRatings())
+	model := BuildPopularity(paperRatings())
+	store, err := Materialize(cat, "pop", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cat.Has("_rec_pop_itemscore") {
+		t.Fatal("itemscore table missing")
+	}
+	for _, i := range model.Items() {
+		want, _ := model.Score(i)
+		got, ok, err := store.Predict(1, i)
+		if err != nil || !ok || math.Abs(got-want) > 1e-12 {
+			t.Fatalf("store predict(%d): %v %v %v, want %v", i, got, ok, err, want)
+		}
+	}
+	if _, ok, err := store.Predict(1, 99); err != nil || ok {
+		t.Fatalf("unknown item: %v %v", ok, err)
+	}
+	DropTables(cat, "pop")
+	if cat.Has("_rec_pop_itemscore") {
+		t.Fatal("drop left itemscore behind")
+	}
+}
+
+func TestPopularityEmptyRatings(t *testing.T) {
+	m := BuildPopularity(nil)
+	if m.GlobalMean() != 0 || m.NumRatings() != 0 {
+		t.Fatalf("empty model: %v %d", m.GlobalMean(), m.NumRatings())
+	}
+	if _, ok := m.Predict(1, 1); ok {
+		t.Fatal("empty model should not predict")
+	}
+}

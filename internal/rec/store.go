@@ -1,0 +1,461 @@
+package rec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"recdb/internal/catalog"
+	"recdb/internal/storage"
+	"recdb/internal/types"
+)
+
+// ModelStore is a recommendation model materialized into catalog heap
+// tables, the way RecDB stores models inside the database (§IV-A). The
+// RECOMMEND operator family reads these tables through the buffer pool, so
+// model access is page I/O like any other relational access path.
+//
+// Tables per algorithm (all prefixed "_rec_<name>_"):
+//
+//	all:      uservector        (uid, iid, ratingval)  sorted by uid, indexed on uid and iid
+//	ItemCF:   itemneighborhood  (iid, niid, sim)       sorted by iid, indexed on iid
+//	UserCF:   userneighborhood  (uid, nuid, sim)       sorted by uid, indexed on uid
+//	UserCF:   itemvector        (iid, uid, ratingval)  sorted by iid, indexed on iid
+//	SVD:      userfactor        (uid pk, features)
+//	SVD:      itemfactor        (iid pk, features)
+//	Popularity: itemscore       (iid pk, score)
+type ModelStore struct {
+	Algo             Algorithm
+	UserVector       *catalog.Table
+	ItemNeighborhood *catalog.Table
+	UserNeighborhood *catalog.Table
+	ItemVector       *catalog.Table
+	UserFactor       *catalog.Table
+	ItemFactor       *catalog.Table
+	ItemScore        *catalog.Table
+	K                int // SVD factor count
+
+	userIDs []int64
+	itemIDs []int64
+	itemSet map[int64]bool
+	names   []string // owned table names, for Drop
+}
+
+// prefixFor builds the reserved table-name prefix for a recommender.
+func prefixFor(recommender string) string {
+	return "_rec_" + strings.ToLower(recommender) + "_"
+}
+
+// Materialize writes a built model into fresh catalog tables owned by the
+// named recommender, replacing any previous materialization.
+func Materialize(cat *catalog.Catalog, recommender string, m Model) (*ModelStore, error) {
+	prefix := prefixFor(recommender)
+	DropTables(cat, recommender)
+
+	s := &ModelStore{Algo: m.Algorithm(), userIDs: m.Users(), itemIDs: m.Items()}
+	s.itemSet = make(map[int64]bool, len(s.itemIDs))
+	for _, i := range s.itemIDs {
+		s.itemSet[i] = true
+	}
+
+	create := func(suffix string, schema *types.Schema, pk int) (*catalog.Table, error) {
+		name := prefix + suffix
+		t, err := cat.CreateTable(name, schema, pk)
+		if err != nil {
+			return nil, err
+		}
+		s.names = append(s.names, name)
+		return t, nil
+	}
+
+	// uservector, sorted by uid so Algorithm 1's outer scan sees users
+	// contiguously.
+	uv, err := create("uservector", types.NewSchema(
+		types.Column{Name: "uid", Kind: types.KindInt},
+		types.Column{Name: "iid", Kind: types.KindInt},
+		types.Column{Name: "ratingval", Kind: types.KindFloat},
+	), -1)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range m.Ratings() {
+		if _, err := uv.Insert(types.Row{types.NewInt(r.User), types.NewInt(r.Item), types.NewFloat(r.Value)}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := uv.CreateIndex(prefix+"uservector_uid", "uid"); err != nil {
+		return nil, err
+	}
+	if _, err := uv.CreateIndex(prefix+"uservector_iid", "iid"); err != nil {
+		return nil, err
+	}
+	s.UserVector = uv
+
+	switch model := m.(type) {
+	case *NeighborhoodModel:
+		if model.algo.ItemBased() {
+			in, err := create("itemneighborhood", types.NewSchema(
+				types.Column{Name: "iid", Kind: types.KindInt},
+				types.Column{Name: "niid", Kind: types.KindInt},
+				types.Column{Name: "sim", Kind: types.KindFloat},
+			), -1)
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range s.itemIDs {
+				for _, n := range model.Neighbors(i) {
+					if _, err := in.Insert(types.Row{types.NewInt(i), types.NewInt(n.ID), types.NewFloat(n.Sim)}); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := in.CreateIndex(prefix+"itemneighborhood_iid", "iid"); err != nil {
+				return nil, err
+			}
+			s.ItemNeighborhood = in
+		} else {
+			un, err := create("userneighborhood", types.NewSchema(
+				types.Column{Name: "uid", Kind: types.KindInt},
+				types.Column{Name: "nuid", Kind: types.KindInt},
+				types.Column{Name: "sim", Kind: types.KindFloat},
+			), -1)
+			if err != nil {
+				return nil, err
+			}
+			for _, u := range s.userIDs {
+				for _, n := range model.Neighbors(u) {
+					if _, err := un.Insert(types.Row{types.NewInt(u), types.NewInt(n.ID), types.NewFloat(n.Sim)}); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := un.CreateIndex(prefix+"userneighborhood_uid", "uid"); err != nil {
+				return nil, err
+			}
+			s.UserNeighborhood = un
+
+			iv, err := create("itemvector", types.NewSchema(
+				types.Column{Name: "iid", Kind: types.KindInt},
+				types.Column{Name: "uid", Kind: types.KindInt},
+				types.Column{Name: "ratingval", Kind: types.KindFloat},
+			), -1)
+			if err != nil {
+				return nil, err
+			}
+			byItem := make(map[int64][]Rating)
+			for _, r := range m.Ratings() {
+				byItem[r.Item] = append(byItem[r.Item], r)
+			}
+			for _, i := range s.itemIDs {
+				for _, r := range byItem[i] {
+					if _, err := iv.Insert(types.Row{types.NewInt(i), types.NewInt(r.User), types.NewFloat(r.Value)}); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := iv.CreateIndex(prefix+"itemvector_iid", "iid"); err != nil {
+				return nil, err
+			}
+			s.ItemVector = iv
+		}
+	case *FactorModel:
+		s.K = model.K
+		uf, err := create("userfactor", types.NewSchema(
+			types.Column{Name: "uid", Kind: types.KindInt},
+			types.Column{Name: "features", Kind: types.KindText},
+		), 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range s.userIDs {
+			if _, err := uf.Insert(types.Row{types.NewInt(u), types.NewText(encodeVec(model.UserFactors[u]))}); err != nil {
+				return nil, err
+			}
+		}
+		s.UserFactor = uf
+		itf, err := create("itemfactor", types.NewSchema(
+			types.Column{Name: "iid", Kind: types.KindInt},
+			types.Column{Name: "features", Kind: types.KindText},
+		), 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range s.itemIDs {
+			if _, err := itf.Insert(types.Row{types.NewInt(i), types.NewText(encodeVec(model.ItemFactors[i]))}); err != nil {
+				return nil, err
+			}
+		}
+		s.ItemFactor = itf
+	case *PopularityModel:
+		isc, err := create("itemscore", types.NewSchema(
+			types.Column{Name: "iid", Kind: types.KindInt},
+			types.Column{Name: "score", Kind: types.KindFloat},
+		), 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range s.itemIDs {
+			score, _ := model.Score(i)
+			if _, err := isc.Insert(types.Row{types.NewInt(i), types.NewFloat(score)}); err != nil {
+				return nil, err
+			}
+		}
+		s.ItemScore = isc
+	default:
+		return nil, fmt.Errorf("rec: cannot materialize model type %T", m)
+	}
+	return s, nil
+}
+
+// DropTables removes every materialized table owned by the named
+// recommender. Missing tables are ignored.
+func DropTables(cat *catalog.Catalog, recommender string) {
+	prefix := prefixFor(recommender)
+	for _, suffix := range []string{
+		"uservector", "itemneighborhood", "userneighborhood",
+		"itemvector", "userfactor", "itemfactor", "itemscore",
+	} {
+		if cat.Has(prefix + suffix) {
+			_ = cat.DropTable(prefix + suffix)
+		}
+	}
+}
+
+func encodeVec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, f := range v {
+		parts[i] = strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeVec(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rec: bad factor vector: %w", err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// UserIDs returns all user ids known to the model, ascending.
+func (s *ModelStore) UserIDs() []int64 { return s.userIDs }
+
+// ItemIDs returns all item ids known to the model, ascending.
+func (s *ModelStore) ItemIDs() []int64 { return s.itemIDs }
+
+// HasItem reports whether the model knows item i (i.e. it had at least one
+// rating when the model was built).
+func (s *ModelStore) HasItem(i int64) bool { return s.itemSet[i] }
+
+// UserItems fetches user u's rated items (iid → rating) via the uservector
+// uid index.
+func (s *ModelStore) UserItems(u int64) (map[int64]float64, error) {
+	idx, ok := s.UserVector.IndexOn("uid")
+	if !ok {
+		return nil, fmt.Errorf("rec: uservector has no uid index")
+	}
+	out := make(map[int64]float64)
+	var scanErr error
+	idx.ScanIndex(types.NewInt(u), types.NewInt(u), func(rid storage.RID) bool {
+		row, err := s.UserVector.Heap.Get(rid)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		out[row[1].Int()] = row[2].Float()
+		return true
+	})
+	return out, scanErr
+}
+
+// ItemRaters fetches the users who rated item i (uid → rating) via the
+// itemvector iid index (user-based algorithms).
+func (s *ModelStore) ItemRaters(i int64) (map[int64]float64, error) {
+	if s.ItemVector == nil {
+		return nil, fmt.Errorf("rec: model has no itemvector table")
+	}
+	idx, ok := s.ItemVector.IndexOn("iid")
+	if !ok {
+		return nil, fmt.Errorf("rec: itemvector has no iid index")
+	}
+	out := make(map[int64]float64)
+	var scanErr error
+	idx.ScanIndex(types.NewInt(i), types.NewInt(i), func(rid storage.RID) bool {
+		row, err := s.ItemVector.Heap.Get(rid)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		out[row[1].Int()] = row[2].Float()
+		return true
+	})
+	return out, scanErr
+}
+
+// ItemNeighbors fetches item i's similarity list via the itemneighborhood
+// iid index, sorted by descending |sim|.
+func (s *ModelStore) ItemNeighbors(i int64) ([]Neighbor, error) {
+	return s.neighborsFrom(s.ItemNeighborhood, "iid", i)
+}
+
+// UserNeighbors fetches user u's similarity list via the userneighborhood
+// uid index, sorted by descending |sim|.
+func (s *ModelStore) UserNeighbors(u int64) ([]Neighbor, error) {
+	return s.neighborsFrom(s.UserNeighborhood, "uid", u)
+}
+
+func (s *ModelStore) neighborsFrom(t *catalog.Table, col string, id int64) ([]Neighbor, error) {
+	if t == nil {
+		return nil, fmt.Errorf("rec: model has no %s neighborhood table", col)
+	}
+	idx, ok := t.IndexOn(col)
+	if !ok {
+		return nil, fmt.Errorf("rec: neighborhood table has no %s index", col)
+	}
+	var out []Neighbor
+	var scanErr error
+	idx.ScanIndex(types.NewInt(id), types.NewInt(id), func(rid storage.RID) bool {
+		row, err := t.Heap.Get(rid)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		out = append(out, Neighbor{ID: row[1].Int(), Sim: row[2].Float()})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(a, b int) bool {
+		sa, sb := abs(out[a].Sim), abs(out[b].Sim)
+		if sa != sb {
+			return sa > sb
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// UserFactors fetches user u's latent factor vector (SVD).
+func (s *ModelStore) UserFactors(u int64) ([]float64, error) {
+	return s.factorsFrom(s.UserFactor, u)
+}
+
+// ItemFactors fetches item i's latent factor vector (SVD).
+func (s *ModelStore) ItemFactors(i int64) ([]float64, error) {
+	return s.factorsFrom(s.ItemFactor, i)
+}
+
+func (s *ModelStore) factorsFrom(t *catalog.Table, id int64) ([]float64, error) {
+	if t == nil {
+		return nil, fmt.Errorf("rec: model has no factor tables")
+	}
+	row, _, found, err := t.LookupPK(types.NewInt(id))
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	return decodeVec(row[1].Text())
+}
+
+// ItemScoreOf fetches an item's non-personalized score (Popularity).
+func (s *ModelStore) ItemScoreOf(i int64) (float64, bool, error) {
+	if s.ItemScore == nil {
+		return 0, false, fmt.Errorf("rec: model has no itemscore table")
+	}
+	row, _, found, err := s.ItemScore.LookupPK(types.NewInt(i))
+	if err != nil || !found {
+		return 0, false, err
+	}
+	return row[1].Float(), true, nil
+}
+
+// Seen returns the rating user u gave item i, looked up in the uservector
+// table.
+func (s *ModelStore) Seen(u, i int64) (float64, bool, error) {
+	idx, ok := s.UserVector.IndexOn("uid")
+	if !ok {
+		return 0, false, fmt.Errorf("rec: uservector has no uid index")
+	}
+	var (
+		rating  float64
+		found   bool
+		scanErr error
+	)
+	idx.ScanIndex(types.NewInt(u), types.NewInt(u), func(rid storage.RID) bool {
+		row, err := s.UserVector.Heap.Get(rid)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if row[1].Int() == i {
+			rating, found = row[2].Float(), true
+			return false
+		}
+		return true
+	})
+	return rating, found, scanErr
+}
+
+// Predict estimates RecScore(u, i) from the materialized tables, following
+// the per-algorithm operators of §IV-A. ok is false when the model has no
+// basis for a prediction.
+func (s *ModelStore) Predict(u, i int64) (float64, bool, error) {
+	switch {
+	case s.Algo.ItemBased():
+		userItems, err := s.UserItems(u)
+		if err != nil {
+			return 0, false, err
+		}
+		neighbors, err := s.ItemNeighbors(i)
+		if err != nil {
+			return 0, false, err
+		}
+		score, ok := PredictWeighted(neighbors, userItems)
+		return score, ok, nil
+	case s.Algo.UserBased():
+		raters, err := s.ItemRaters(i)
+		if err != nil {
+			return 0, false, err
+		}
+		neighbors, err := s.UserNeighbors(u)
+		if err != nil {
+			return 0, false, err
+		}
+		score, ok := PredictWeighted(neighbors, raters)
+		return score, ok, nil
+	case s.Algo == Popularity:
+		return s.ItemScoreOf(i)
+	default: // SVD
+		p, err := s.UserFactors(u)
+		if err != nil {
+			return 0, false, err
+		}
+		q, err := s.ItemFactors(i)
+		if err != nil {
+			return 0, false, err
+		}
+		if p == nil || q == nil {
+			return 0, false, nil
+		}
+		return Dot(p, q), true, nil
+	}
+}

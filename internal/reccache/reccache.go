@@ -1,0 +1,338 @@
+// Package reccache implements §IV-D: the statistics (users/items
+// histograms, demand and consumption rates) and the caching algorithm
+// (Algorithm 4) that decide which 〈user, item, ratingval〉 triplets to
+// materialize in the RecScoreIndex. HOTNESS-THRESHOLD trades query latency
+// against storage/maintenance cost: 0 fully materializes, 1 materializes
+// nothing.
+package reccache
+
+import (
+	"sync"
+	"time"
+
+	"recdb/internal/rec"
+	"recdb/internal/recindex"
+)
+
+// Clock abstracts time so the paper's worked example (Table I) is testable
+// with integer timestamps.
+type Clock func() float64
+
+// UserStat is one row of the Users Histogram.
+type UserStat struct {
+	QueryCount int64   // QCu: recommendation queries issued by u
+	LastQuery  float64 // TSu: timestamp of u's last recommendation query
+	DemandRate float64 // Du: QCu / (now − TSinit)
+}
+
+// ItemStat is one row of the Items Histogram.
+type ItemStat struct {
+	UpdateCount     int64   // UCi: rating insertions on item i
+	LastUpdate      float64 // TSi: timestamp of i's last update
+	ConsumptionRate float64 // Pi: UCi / (now − TSinit)
+}
+
+// Manager maintains the histograms for one recommender and runs the
+// materialization decision over its RecScoreIndex.
+type Manager struct {
+	mu     sync.Mutex
+	clock  Clock
+	tsInit float64
+	tsMat  float64 // timestamp of the last maintenance run
+
+	users map[int64]*UserStat
+	items map[int64]*ItemStat
+	dMax  float64 // DMAX
+	pMax  float64 // PMAX
+
+	// Threshold is HOTNESS-THRESHOLD ∈ [0, 1].
+	Threshold float64
+
+	index *recindex.Index
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// Predictor supplies predictions and seen-ness for admission; it is the
+// recommender's model store.
+type Predictor interface {
+	Predict(user, item int64) (float64, bool, error)
+	UserItems(user int64) (map[int64]float64, error)
+	ItemIDs() []int64
+	UserIDs() []int64
+}
+
+// New creates a manager over the given RecScoreIndex. clock may be nil, in
+// which case wall-clock seconds since creation are used.
+func New(index *recindex.Index, threshold float64, clock Clock) *Manager {
+	if clock == nil {
+		start := time.Now()
+		clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	m := &Manager{
+		clock:     clock,
+		users:     make(map[int64]*UserStat),
+		items:     make(map[int64]*ItemStat),
+		Threshold: threshold,
+		index:     index,
+	}
+	m.tsInit = clock()
+	m.tsMat = m.tsInit
+	return m
+}
+
+// Index returns the RecScoreIndex the manager maintains.
+func (m *Manager) Index() *recindex.Index { return m.index }
+
+// RecordQuery updates the Users Histogram for a recommendation query
+// issued by user u.
+func (m *Manager) RecordQuery(u int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.users[u]
+	if s == nil {
+		s = &UserStat{}
+		m.users[u] = s
+	}
+	s.QueryCount++
+	s.LastQuery = m.clock()
+}
+
+// RecordUpdate updates the Items Histogram for a rating inserted on item i.
+func (m *Manager) RecordUpdate(i int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.items[i]
+	if s == nil {
+		s = &ItemStat{}
+		m.items[i] = s
+	}
+	s.UpdateCount++
+	s.LastUpdate = m.clock()
+}
+
+// UserStatOf returns a copy of the histogram row for user u.
+func (m *Manager) UserStatOf(u int64) (UserStat, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.users[u]
+	if !ok {
+		return UserStat{}, false
+	}
+	return *s, true
+}
+
+// ItemStatOf returns a copy of the histogram row for item i.
+func (m *Manager) ItemStatOf(i int64) (ItemStat, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.items[i]
+	if !ok {
+		return ItemStat{}, false
+	}
+	return *s, true
+}
+
+// Hotness returns Hot(u,i) = (Du/DMAX) × (Pi/PMAX) using the rates from
+// the most recent Run.
+func (m *Manager) Hotness(u, i int64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hotnessLocked(u, i)
+}
+
+func (m *Manager) hotnessLocked(u, i int64) float64 {
+	us, uok := m.users[u]
+	is, iok := m.items[i]
+	if !uok || !iok || m.dMax == 0 || m.pMax == 0 {
+		return 0
+	}
+	return (us.DemandRate / m.dMax) * (is.ConsumptionRate / m.pMax)
+}
+
+// Decision is the outcome of one maintenance run.
+type Decision struct {
+	Admitted      int // pairs added to the RecScoreIndex
+	Evicted       int // pairs removed from the RecScoreIndex
+	AdmissionList []Pair
+	EvictionList  []Pair
+}
+
+// Pair is one user/item pair considered by the materialization decision.
+type Pair struct {
+	User, Item int64
+	Hotness    float64
+}
+
+// Run executes Algorithm 4: Step 1 refreshes the demand/consumption rates
+// for users and items touched since the last run; Step 2 computes the
+// hotness ratio for every candidate pair and splits them into admission
+// and eviction lists; finally the lists are applied to the RecScoreIndex,
+// computing predictions through pred for admitted pairs.
+func (m *Manager) Run(pred Predictor) (Decision, error) {
+	m.mu.Lock()
+	now := m.clock()
+	elapsed := now - m.tsInit
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+
+	// Candidate sets: touched since the last maintenance run.
+	var usersDue []int64
+	for u, s := range m.users {
+		if s.LastQuery >= m.tsMat {
+			usersDue = append(usersDue, u)
+		}
+	}
+	var itemsDue []int64
+	for i, s := range m.items {
+		if s.LastUpdate >= m.tsMat {
+			itemsDue = append(itemsDue, i)
+		}
+	}
+
+	// STEP 1: statistics maintenance.
+	for _, i := range itemsDue {
+		s := m.items[i]
+		s.ConsumptionRate = float64(s.UpdateCount) / elapsed
+		if s.ConsumptionRate > m.pMax {
+			m.pMax = s.ConsumptionRate
+		}
+	}
+	for _, u := range usersDue {
+		s := m.users[u]
+		s.DemandRate = float64(s.QueryCount) / elapsed
+		if s.DemandRate > m.dMax {
+			m.dMax = s.DemandRate
+		}
+	}
+
+	// STEP 2: materialization decision over U' × I'.
+	var dec Decision
+	threshold := m.Threshold
+	var admit, evict []Pair
+	for _, u := range usersDue {
+		for _, i := range itemsDue {
+			hot := m.hotnessLocked(u, i)
+			p := Pair{User: u, Item: i, Hotness: hot}
+			if hot >= threshold {
+				admit = append(admit, p)
+			} else {
+				evict = append(evict, p)
+			}
+		}
+	}
+	m.tsMat = now
+	m.mu.Unlock()
+
+	// Apply outside the stats lock: batch-delete the eviction list, then
+	// batch-insert the admission list (skipping already-seen items).
+	for _, p := range evict {
+		if m.index.Remove(p.User, p.Item) {
+			dec.Evicted++
+		}
+	}
+	for _, p := range admit {
+		seen, err := pred.UserItems(p.User)
+		if err != nil {
+			return dec, err
+		}
+		if _, rated := seen[p.Item]; rated {
+			continue
+		}
+		score, ok, err := pred.Predict(p.User, p.Item)
+		if err != nil {
+			return dec, err
+		}
+		if !ok {
+			score = 0 // Algorithm 1 emits 0 when there is no basis
+		}
+		m.index.Put(p.User, p.Item, score)
+		dec.Admitted++
+	}
+	dec.AdmissionList = admit
+	dec.EvictionList = evict
+	return dec, nil
+}
+
+// MaterializeUser pre-computes and stores predictions for every item the
+// user has not rated (full per-user materialization, the warm state of the
+// top-k experiments in §VI-C).
+func (m *Manager) MaterializeUser(pred Predictor, u int64) error {
+	seen, err := pred.UserItems(u)
+	if err != nil {
+		return err
+	}
+	for _, i := range pred.ItemIDs() {
+		if _, rated := seen[i]; rated {
+			continue
+		}
+		score, ok, err := pred.Predict(u, i)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			score = 0
+		}
+		m.index.Put(u, i, score)
+	}
+	return nil
+}
+
+// MaterializeAll pre-computes predictions for every user (HOTNESS-THRESHOLD
+// = 0 behaviour).
+func (m *Manager) MaterializeAll(pred Predictor) error {
+	for _, u := range pred.UserIDs() {
+		if err := m.MaterializeUser(pred, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Invalidate clears the RecScoreIndex (called when the model is rebuilt).
+func (m *Manager) Invalidate() { m.index.Clear() }
+
+// Start launches a background goroutine running maintenance every
+// interval, mirroring the asynchronous cache manager of §IV-D. Stop halts
+// it.
+func (m *Manager) Start(pred Predictor, interval time.Duration) {
+	m.mu.Lock()
+	if m.stopCh != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.stopCh = make(chan struct{})
+	m.doneCh = make(chan struct{})
+	stop, done := m.stopCh, m.doneCh
+	m.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				_, _ = m.Run(pred)
+			}
+		}
+	}()
+}
+
+// Stop halts the background maintenance goroutine, if running.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	stop, done := m.stopCh, m.doneCh
+	m.stopCh, m.doneCh = nil, nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// ensure rec import is referenced (Predictor mirrors *rec.ModelStore).
+var _ Predictor = (*rec.ModelStore)(nil)

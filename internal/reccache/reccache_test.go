@@ -1,0 +1,284 @@
+package reccache
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"recdb/internal/recindex"
+)
+
+// fakePredictor is a deterministic Predictor for tests.
+type fakePredictor struct {
+	users, items []int64
+	seen         map[int64]map[int64]float64 // user → item → rating
+}
+
+func (f *fakePredictor) Predict(u, i int64) (float64, bool, error) {
+	return float64(u*10 + i), true, nil
+}
+
+func (f *fakePredictor) UserItems(u int64) (map[int64]float64, error) {
+	if f.seen == nil {
+		return map[int64]float64{}, nil
+	}
+	m := f.seen[u]
+	if m == nil {
+		m = map[int64]float64{}
+	}
+	return m, nil
+}
+
+func (f *fakePredictor) ItemIDs() []int64 { return f.items }
+func (f *fakePredictor) UserIDs() []int64 { return f.users }
+
+// TestTable1_PaperExample replays the worked example of Table I: two users
+// (Alice=1, Bob=2), three movies (Spartacus=1, Inception=2, TheMatrix=3),
+// TSinit=10, maintenance at TSnow=15, HOTNESS-THRESHOLD=0.5.
+func TestTable1_PaperExample(t *testing.T) {
+	ts := 10.0
+	clock := func() float64 { return ts }
+	ix := recindex.New()
+	m := New(ix, 0.5, clock)
+
+	// Alice: QC=100 at TS=10 → D = 100/(15-10) = 20.
+	for q := 0; q < 100; q++ {
+		m.RecordQuery(1)
+	}
+	// Spartacus: UC=1000; The Matrix: UC=100, both with activity windows
+	// matching the table.
+	for q := 0; q < 100; q++ {
+		m.RecordUpdate(3)
+	}
+	ts = 12
+	// Bob: QC=10 at TS=12 → D = 10/5 = 2.
+	for q := 0; q < 10; q++ {
+		m.RecordQuery(2)
+	}
+	for q := 0; q < 1000; q++ {
+		m.RecordUpdate(1)
+	}
+	for q := 0; q < 10; q++ {
+		m.RecordUpdate(2)
+	}
+
+	// RecScoreIndex initially holds t1 = (Bob, Inception), which the paper
+	// says lands on the eviction list.
+	ix.Put(2, 2, 3.3)
+
+	ts = 15
+	pred := &fakePredictor{users: []int64{1, 2}, items: []int64{1, 2, 3}}
+	dec, err := m.Run(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rates per the table.
+	if s, _ := m.UserStatOf(1); math.Abs(s.DemandRate-20) > 1e-9 {
+		t.Errorf("D_Alice = %v, want 20", s.DemandRate)
+	}
+	if s, _ := m.UserStatOf(2); math.Abs(s.DemandRate-2) > 1e-9 {
+		t.Errorf("D_Bob = %v, want 2", s.DemandRate)
+	}
+	if s, _ := m.ItemStatOf(1); math.Abs(s.ConsumptionRate-200) > 1e-9 {
+		t.Errorf("P_Spartacus = %v, want 200", s.ConsumptionRate)
+	}
+	if s, _ := m.ItemStatOf(2); math.Abs(s.ConsumptionRate-2) > 1e-9 {
+		t.Errorf("P_Inception = %v, want 2", s.ConsumptionRate)
+	}
+	if s, _ := m.ItemStatOf(3); math.Abs(s.ConsumptionRate-20) > 1e-9 {
+		t.Errorf("P_TheMatrix = %v, want 20", s.ConsumptionRate)
+	}
+
+	// Hotness ratios (Table I(c)): note the paper's printed value for
+	// (Alice, The Matrix) is 0.01 but (20/20)×(20/200) = 0.1; we match the
+	// formula.
+	wantHot := map[[2]int64]float64{
+		{1, 1}: 1, {1, 2}: 0.01, {1, 3}: 0.1,
+		{2, 1}: 0.1, {2, 2}: 0.001, {2, 3}: 0.01,
+	}
+	for k, want := range wantHot {
+		if got := m.Hotness(k[0], k[1]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Hot(%d,%d) = %v, want %v", k[0], k[1], got, want)
+		}
+	}
+
+	// Threshold 0.5: only (Alice, Spartacus) admitted; (Bob, Inception)
+	// evicted from the index.
+	if dec.Admitted != 1 {
+		t.Errorf("admitted = %d, want 1", dec.Admitted)
+	}
+	if _, ok := ix.Get(1, 1); !ok {
+		t.Error("(Alice, Spartacus) should be materialized")
+	}
+	if _, ok := ix.Get(2, 2); ok {
+		t.Error("(Bob, Inception) should be evicted")
+	}
+	if dec.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", dec.Evicted)
+	}
+	if len(dec.AdmissionList) != 1 || len(dec.EvictionList) != 5 {
+		t.Errorf("list sizes: %d admit, %d evict", len(dec.AdmissionList), len(dec.EvictionList))
+	}
+}
+
+func TestThresholdZeroMaterializesEverything(t *testing.T) {
+	ts := 0.0
+	clock := func() float64 { return ts }
+	ix := recindex.New()
+	m := New(ix, 0, clock)
+	m.RecordQuery(1)
+	m.RecordQuery(2)
+	m.RecordUpdate(5)
+	m.RecordUpdate(6)
+	ts = 10
+	pred := &fakePredictor{users: []int64{1, 2}, items: []int64{5, 6}}
+	dec, err := m.Run(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Admitted != 4 {
+		t.Fatalf("admitted = %d, want all 4 pairs", dec.Admitted)
+	}
+}
+
+func TestThresholdOneMaterializesNothing(t *testing.T) {
+	ts := 0.0
+	clock := func() float64 { return ts }
+	ix := recindex.New()
+	m := New(ix, 1.0000001, clock)
+	m.RecordQuery(1)
+	m.RecordUpdate(5)
+	ts = 10
+	dec, err := m.Run(&fakePredictor{users: []int64{1}, items: []int64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Admitted != 0 || ix.Len() != 0 {
+		t.Fatalf("admitted = %d with len %d, want 0", dec.Admitted, ix.Len())
+	}
+}
+
+func TestAdmissionSkipsSeenItems(t *testing.T) {
+	ts := 0.0
+	clock := func() float64 { return ts }
+	ix := recindex.New()
+	m := New(ix, 0, clock)
+	m.RecordQuery(1)
+	m.RecordUpdate(5)
+	m.RecordUpdate(6)
+	ts = 10
+	pred := &fakePredictor{
+		users: []int64{1},
+		items: []int64{5, 6},
+		seen:  map[int64]map[int64]float64{1: {5: 4.0}},
+	}
+	dec, err := m.Run(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Admitted != 1 {
+		t.Fatalf("admitted = %d, want 1 (item 5 already rated)", dec.Admitted)
+	}
+	if _, ok := ix.Get(1, 5); ok {
+		t.Fatal("rated item must not be materialized")
+	}
+	if _, ok := ix.Get(1, 6); !ok {
+		t.Fatal("unrated item should be materialized")
+	}
+}
+
+func TestRunOnlyConsidersTouchedSinceLastRun(t *testing.T) {
+	ts := 0.0
+	clock := func() float64 { return ts }
+	ix := recindex.New()
+	m := New(ix, 0, clock)
+	m.RecordQuery(1)
+	m.RecordUpdate(5)
+	ts = 10
+	pred := &fakePredictor{users: []int64{1}, items: []int64{5}}
+	if _, err := m.Run(pred); err != nil {
+		t.Fatal(err)
+	}
+	// Second run with no new activity considers nobody.
+	ts = 20
+	dec, err := m.Run(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.AdmissionList)+len(dec.EvictionList) != 0 {
+		t.Fatalf("stale users/items considered: %+v", dec)
+	}
+}
+
+func TestMaterializeUserAndAll(t *testing.T) {
+	ix := recindex.New()
+	m := New(ix, 0.5, func() float64 { return 0 })
+	pred := &fakePredictor{
+		users: []int64{1, 2},
+		items: []int64{10, 11, 12},
+		seen:  map[int64]map[int64]float64{1: {10: 5}},
+	}
+	if err := m.MaterializeUser(pred, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ix.UserLen(1) != 2 {
+		t.Fatalf("UserLen(1) = %d, want 2 (one item seen)", ix.UserLen(1))
+	}
+	if err := m.MaterializeAll(pred); err != nil {
+		t.Fatal(err)
+	}
+	if ix.UserLen(2) != 3 {
+		t.Fatalf("UserLen(2) = %d, want 3", ix.UserLen(2))
+	}
+	m.Invalidate()
+	if ix.Len() != 0 {
+		t.Fatal("Invalidate should clear the index")
+	}
+}
+
+func TestBackgroundMaintenance(t *testing.T) {
+	ix := recindex.New()
+	m := New(ix, 0, nil) // wall clock
+	pred := &fakePredictor{users: []int64{1}, items: []int64{5}}
+	m.RecordQuery(1)
+	m.RecordUpdate(5)
+	m.Start(pred, 5*time.Millisecond)
+	defer m.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := ix.Get(1, 5); ok {
+			m.Stop()
+			m.Stop() // double-stop is safe
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("background maintenance never materialized the hot pair")
+}
+
+func TestHotnessUnknownIsZero(t *testing.T) {
+	m := New(recindex.New(), 0.5, func() float64 { return 0 })
+	if m.Hotness(1, 1) != 0 {
+		t.Fatal("unknown user/item hotness should be 0")
+	}
+}
+
+func TestWallClockDefault(t *testing.T) {
+	// nil clock uses wall time; rates stay finite and ordered.
+	m := New(recindex.New(), 0.5, nil)
+	m.RecordQuery(1)
+	m.RecordUpdate(2)
+	if s, ok := m.UserStatOf(1); !ok || s.QueryCount != 1 {
+		t.Fatalf("user stat: %+v %v", s, ok)
+	}
+	if s, ok := m.ItemStatOf(2); !ok || s.UpdateCount != 1 {
+		t.Fatalf("item stat: %+v %v", s, ok)
+	}
+	if _, ok := m.UserStatOf(9); ok {
+		t.Fatal("missing user stat should be absent")
+	}
+	if _, ok := m.ItemStatOf(9); ok {
+		t.Fatal("missing item stat should be absent")
+	}
+}

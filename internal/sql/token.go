@@ -1,0 +1,50 @@
+// Package sql implements the lexer, AST, and recursive-descent parser for
+// the engine's SQL dialect, including the paper's extensions: the
+// CREATE/DROP RECOMMENDER statements (§III-A) and the RECOMMEND ... TO ...
+// ON ... USING ... clause in SELECT (§III-B).
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators: ( ) , . * = != <> < <= > >= + - / ;
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; for TokString, the unquoted value
+	Pos  int    // byte offset in the input
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// ParseError is a syntax error with position information.
+type ParseError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: syntax error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}

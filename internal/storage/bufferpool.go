@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats counts page-level I/O across the engine. One Stats instance is
+// shared by all buffer pools of a database so experiments can report
+// logical and physical page accesses.
+type Stats struct {
+	// PageReads counts logical page fetches (buffer pool lookups).
+	PageReads atomic.Int64
+	// PageMisses counts fetches that had to hit the disk manager.
+	PageMisses atomic.Int64
+	// PageWrites counts physical page write-backs.
+	PageWrites atomic.Int64
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() (reads, misses, writes int64) {
+	return s.PageReads.Load(), s.PageMisses.Load(), s.PageWrites.Load()
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.PageReads.Store(0)
+	s.PageMisses.Store(0)
+	s.PageWrites.Store(0)
+}
+
+type frame struct {
+	id      PageID
+	buf     []byte
+	pins    int
+	dirty   bool
+	lruElem *list.Element // non-nil iff unpinned (eligible for eviction)
+}
+
+// BufferPool caches pages of one DiskManager with LRU replacement. Pages are
+// pinned while in use; unpinned pages become eviction candidates.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     DiskManager
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // of PageID, front = most recently unpinned
+	stats    *Stats
+}
+
+// NewBufferPool creates a pool of capacity pages over disk. stats may be
+// nil, in which case a private Stats is used.
+func NewBufferPool(disk DiskManager, capacity int, stats *Stats) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+		stats:    stats,
+	}
+}
+
+// Disk returns the underlying disk manager.
+func (bp *BufferPool) Disk() DiskManager { return bp.disk }
+
+// Fetch pins page id and returns its buffer. Callers must Unpin when done.
+func (bp *BufferPool) Fetch(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats.PageReads.Add(1)
+	if f, ok := bp.frames[id]; ok {
+		bp.pinLocked(f)
+		return f.buf, nil
+	}
+	bp.stats.PageMisses.Add(1)
+	f, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.disk.ReadPage(id, f.buf); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	return f.buf, nil
+}
+
+// NewPage allocates a fresh page on disk, pins it, and returns its id and a
+// zeroed buffer.
+func (bp *BufferPool) NewPage() (PageID, []byte, error) {
+	id, err := bp.disk.Allocate()
+	if err != nil {
+		return InvalidPageID, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return InvalidPageID, nil, err
+	}
+	for i := range f.buf {
+		f.buf[i] = 0
+	}
+	f.dirty = true
+	return id, f.buf, nil
+}
+
+// Unpin releases one pin on page id. dirty marks the page as modified.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
+	}
+	f.dirty = f.dirty || dirty
+	f.pins--
+	if f.pins == 0 {
+		f.lruElem = bp.lru.PushFront(id)
+	}
+}
+
+// FlushAll writes back every dirty page.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if f.dirty {
+			if err := bp.disk.WritePage(id, f.buf); err != nil {
+				return err
+			}
+			bp.stats.PageWrites.Add(1)
+			f.dirty = false
+		}
+	}
+	return bp.disk.Sync()
+}
+
+func (bp *BufferPool) pinLocked(f *frame) {
+	if f.pins == 0 && f.lruElem != nil {
+		bp.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+	f.pins++
+}
+
+func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, buf: make([]byte, PageSize), pins: 1}
+	bp.frames[id] = f
+	return f, nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	elem := bp.lru.Back()
+	if elem == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
+	}
+	victimID := elem.Value.(PageID)
+	victim := bp.frames[victimID]
+	if victim.dirty {
+		if err := bp.disk.WritePage(victimID, victim.buf); err != nil {
+			return err
+		}
+		bp.stats.PageWrites.Add(1)
+	}
+	bp.lru.Remove(elem)
+	delete(bp.frames, victimID)
+	return nil
+}

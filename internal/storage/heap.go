@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"recdb/internal/types"
+)
+
+// RID addresses a tuple: a page within the heap file plus a slot.
+type RID struct {
+	Page PageID
+	Slot SlotID
+}
+
+// String renders the RID for debugging.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// HeapFile stores rows in slotted pages through a buffer pool. Inserts
+// append to the last page with room (the fill pattern the paper's bulk
+// model loads produce); scans visit pages in order, block by block.
+type HeapFile struct {
+	mu   sync.RWMutex
+	pool *BufferPool
+	// lastPage caches the page most likely to have free space.
+	lastPage PageID
+	rowCount int64
+}
+
+// NewHeapFile creates a heap over the pool's disk. The disk may already
+// contain pages (reopening an existing table), in which case the row count
+// is rebuilt by scanning.
+func NewHeapFile(pool *BufferPool) (*HeapFile, error) {
+	h := &HeapFile{pool: pool, lastPage: InvalidPageID}
+	n := pool.Disk().NumPages()
+	if n > 0 {
+		h.lastPage = PageID(n - 1)
+		if err := h.recount(); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+func (h *HeapFile) recount() error {
+	var count int64
+	it := h.Scan()
+	defer it.Close()
+	for {
+		_, _, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	h.rowCount = count
+	return nil
+}
+
+// Pool returns the heap's buffer pool.
+func (h *HeapFile) Pool() *BufferPool { return h.pool }
+
+// NumPages returns the number of pages in the heap.
+func (h *HeapFile) NumPages() uint32 { return h.pool.Disk().NumPages() }
+
+// NumRows returns the number of live rows.
+func (h *HeapFile) NumRows() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rowCount
+}
+
+// Insert encodes row and stores it, returning its RID.
+func (h *HeapFile) Insert(row types.Row) (RID, error) {
+	tuple := types.EncodeRow(nil, row)
+	if len(tuple) > PageSize-pageHeaderSize-slotSize {
+		return RID{}, fmt.Errorf("storage: row of %d bytes exceeds page capacity", len(tuple))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	// Try the cached last page first.
+	if h.lastPage != InvalidPageID {
+		rid, ok, err := h.tryInsert(h.lastPage, tuple)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			h.rowCount++
+			return rid, nil
+		}
+	}
+	// Allocate a fresh page.
+	id, buf, err := h.pool.NewPage()
+	if err != nil {
+		return RID{}, err
+	}
+	p := InitPage(buf)
+	slot, err := p.Insert(tuple)
+	h.pool.Unpin(id, true)
+	if err != nil {
+		return RID{}, err
+	}
+	h.lastPage = id
+	h.rowCount++
+	return RID{Page: id, Slot: slot}, nil
+}
+
+func (h *HeapFile) tryInsert(id PageID, tuple []byte) (RID, bool, error) {
+	buf, err := h.pool.Fetch(id)
+	if err != nil {
+		return RID{}, false, err
+	}
+	p := AsPage(buf)
+	slot, err := p.Insert(tuple)
+	if err == ErrPageFull {
+		h.pool.Unpin(id, false)
+		return RID{}, false, nil
+	}
+	h.pool.Unpin(id, err == nil)
+	if err != nil {
+		return RID{}, false, err
+	}
+	return RID{Page: id, Slot: slot}, true, nil
+}
+
+// Get decodes the row at rid.
+func (h *HeapFile) Get(rid RID) (types.Row, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	buf, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	p := AsPage(buf)
+	tuple, ok := p.Get(rid.Slot)
+	if !ok {
+		return nil, fmt.Errorf("storage: no tuple at %v", rid)
+	}
+	row, _, err := types.DecodeRow(tuple)
+	return row, err
+}
+
+// Delete removes the row at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buf, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	p := AsPage(buf)
+	if _, ok := p.Get(rid.Slot); !ok {
+		h.pool.Unpin(rid.Page, false)
+		return fmt.Errorf("storage: delete of missing tuple at %v", rid)
+	}
+	err = p.Delete(rid.Slot)
+	h.pool.Unpin(rid.Page, err == nil)
+	if err == nil {
+		h.rowCount--
+	}
+	return err
+}
+
+// Update replaces the row at rid in place when it fits in the page after
+// compaction, otherwise deletes and re-inserts, returning the (possibly
+// new) RID.
+func (h *HeapFile) Update(rid RID, row types.Row) (RID, error) {
+	tuple := types.EncodeRow(nil, row)
+	h.mu.Lock()
+	buf, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	p := AsPage(buf)
+	old, ok := p.Get(rid.Slot)
+	if !ok {
+		h.pool.Unpin(rid.Page, false)
+		h.mu.Unlock()
+		return RID{}, fmt.Errorf("storage: update of missing tuple at %v", rid)
+	}
+	if len(tuple) <= len(old) {
+		// Fits in place (slot length shrinks are fine).
+		off, _ := p.slot(rid.Slot)
+		copy(p.buf[off:], tuple)
+		p.setSlot(rid.Slot, off, uint16(len(tuple)))
+		h.pool.Unpin(rid.Page, true)
+		h.mu.Unlock()
+		return rid, nil
+	}
+	// Try same page after dropping the old tuple and compacting.
+	if err := p.Delete(rid.Slot); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	p.Compact()
+	if slot, err := p.Insert(tuple); err == nil {
+		h.pool.Unpin(rid.Page, true)
+		h.mu.Unlock()
+		return RID{Page: rid.Page, Slot: slot}, nil
+	}
+	h.pool.Unpin(rid.Page, true)
+	h.rowCount--
+	h.mu.Unlock()
+	return h.Insert(row)
+}
+
+// Iterator walks all live rows in page order. It holds no pins between
+// Next calls on different pages, so scans of arbitrarily large heaps work
+// with a small pool.
+type Iterator struct {
+	heap   *HeapFile
+	page   PageID
+	slot   int
+	buf    []byte
+	pinned bool
+	closed bool
+}
+
+// Scan returns an iterator positioned before the first row.
+func (h *HeapFile) Scan() *Iterator {
+	return &Iterator{heap: h, page: 0, slot: -1}
+}
+
+// Next returns the next row and its RID. ok=false signals end of heap.
+func (it *Iterator) Next() (types.Row, RID, bool, error) {
+	if it.closed {
+		return nil, RID{}, false, fmt.Errorf("storage: Next on closed iterator")
+	}
+	it.heap.mu.RLock()
+	defer it.heap.mu.RUnlock()
+	for {
+		n := it.heap.pool.Disk().NumPages()
+		if uint32(it.page) >= n {
+			it.unpin()
+			return nil, RID{}, false, nil
+		}
+		if !it.pinned {
+			buf, err := it.heap.pool.Fetch(it.page)
+			if err != nil {
+				return nil, RID{}, false, err
+			}
+			it.buf = buf
+			it.pinned = true
+		}
+		p := AsPage(it.buf)
+		for it.slot+1 < p.NumSlots() {
+			it.slot++
+			tuple, ok := p.Get(SlotID(it.slot))
+			if !ok {
+				continue
+			}
+			row, _, err := types.DecodeRow(tuple)
+			if err != nil {
+				return nil, RID{}, false, err
+			}
+			return row, RID{Page: it.page, Slot: SlotID(it.slot)}, true, nil
+		}
+		it.unpin()
+		it.page++
+		it.slot = -1
+	}
+}
+
+func (it *Iterator) unpin() {
+	if it.pinned {
+		it.heap.pool.Unpin(it.page, false)
+		it.pinned = false
+		it.buf = nil
+	}
+}
+
+// Close releases any held pin. Safe to call multiple times.
+func (it *Iterator) Close() {
+	if !it.closed {
+		it.unpin()
+		it.closed = true
+	}
+}

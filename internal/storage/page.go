@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted page layout (all offsets little-endian uint16):
+//
+//	[0:2]  slot count
+//	[2:4]  free-space lower bound (end of slot array)
+//	[4:6]  free-space upper bound (start of tuple data, grows down)
+//	[6:..] slot array: per slot {offset uint16, length uint16}
+//	  ...  free space ...
+//	[upper:PageSize] tuple data
+//
+// A slot with offset 0 is a dead (deleted) slot; live tuple offsets are
+// always >= pageHeaderSize so 0 is unambiguous.
+const (
+	pageHeaderSize = 6
+	slotSize       = 4
+)
+
+// SlotID indexes a tuple within a page.
+type SlotID uint16
+
+// Page is a PageSize-byte slotted page. Methods operate in place on the
+// underlying buffer (typically a buffer-pool frame).
+type Page struct {
+	buf []byte
+}
+
+// AsPage wraps a PageSize buffer as a Page.
+func AsPage(buf []byte) *Page {
+	if len(buf) != PageSize {
+		panic(fmt.Sprintf("storage: AsPage on %d-byte buffer", len(buf)))
+	}
+	return &Page{buf: buf}
+}
+
+// InitPage formats buf as an empty slotted page.
+func InitPage(buf []byte) *Page {
+	p := AsPage(buf)
+	p.setSlotCount(0)
+	p.setLower(pageHeaderSize)
+	p.setUpper(PageSize)
+	return p
+}
+
+func (p *Page) slotCount() uint16     { return binary.LittleEndian.Uint16(p.buf[0:2]) }
+func (p *Page) setSlotCount(n uint16) { binary.LittleEndian.PutUint16(p.buf[0:2], n) }
+func (p *Page) lower() uint16         { return binary.LittleEndian.Uint16(p.buf[2:4]) }
+func (p *Page) setLower(v uint16)     { binary.LittleEndian.PutUint16(p.buf[2:4], v) }
+func (p *Page) upper() uint16         { return binary.LittleEndian.Uint16(p.buf[4:6]) }
+func (p *Page) setUpper(v uint16)     { binary.LittleEndian.PutUint16(p.buf[4:6], v) }
+
+func (p *Page) slot(i SlotID) (off, ln uint16) {
+	base := pageHeaderSize + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p.buf[base : base+2]),
+		binary.LittleEndian.Uint16(p.buf[base+2 : base+4])
+}
+
+func (p *Page) setSlot(i SlotID, off, ln uint16) {
+	base := pageHeaderSize + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], off)
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], ln)
+}
+
+// NumSlots returns the number of slots (live and dead).
+func (p *Page) NumSlots() int { return int(p.slotCount()) }
+
+// FreeSpace returns the bytes available for a new tuple (including its slot).
+func (p *Page) FreeSpace() int {
+	free := int(p.upper()) - int(p.lower())
+	if free < slotSize {
+		return 0
+	}
+	return free - slotSize
+}
+
+// Insert adds a tuple to the page and returns its slot. It fails with
+// ErrPageFull when the tuple does not fit.
+func (p *Page) Insert(tuple []byte) (SlotID, error) {
+	if len(tuple) > p.FreeSpace() {
+		return 0, ErrPageFull
+	}
+	if len(tuple) == 0 || len(tuple) > PageSize {
+		return 0, fmt.Errorf("storage: invalid tuple size %d", len(tuple))
+	}
+	upper := p.upper() - uint16(len(tuple))
+	copy(p.buf[upper:], tuple)
+	id := SlotID(p.slotCount())
+	p.setSlot(id, upper, uint16(len(tuple)))
+	p.setSlotCount(uint16(id) + 1)
+	p.setLower(p.lower() + slotSize)
+	p.setUpper(upper)
+	return id, nil
+}
+
+// ErrPageFull is returned by Insert when the page has no room.
+var ErrPageFull = fmt.Errorf("storage: page full")
+
+// Get returns the tuple bytes at slot i, or ok=false if the slot is dead or
+// out of range. The returned slice aliases the page buffer.
+func (p *Page) Get(i SlotID) ([]byte, bool) {
+	if int(i) >= p.NumSlots() {
+		return nil, false
+	}
+	off, ln := p.slot(i)
+	if off == 0 {
+		return nil, false
+	}
+	return p.buf[off : off+ln], true
+}
+
+// Delete marks slot i dead. The tuple bytes become reclaimable by Compact.
+func (p *Page) Delete(i SlotID) error {
+	if int(i) >= p.NumSlots() {
+		return fmt.Errorf("storage: delete of slot %d beyond count %d", i, p.NumSlots())
+	}
+	p.setSlot(i, 0, 0)
+	return nil
+}
+
+// Compact rewrites live tuples contiguously at the end of the page,
+// reclaiming space from deleted slots while preserving slot ids.
+func (p *Page) Compact() {
+	type live struct {
+		id  SlotID
+		dat []byte
+	}
+	var tuples []live
+	for i := 0; i < p.NumSlots(); i++ {
+		if d, ok := p.Get(SlotID(i)); ok {
+			cp := make([]byte, len(d))
+			copy(cp, d)
+			tuples = append(tuples, live{SlotID(i), cp})
+		}
+	}
+	upper := uint16(PageSize)
+	for _, t := range tuples {
+		upper -= uint16(len(t.dat))
+		copy(p.buf[upper:], t.dat)
+		p.setSlot(t.id, upper, uint16(len(t.dat)))
+	}
+	p.setUpper(upper)
+}

@@ -1,0 +1,121 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"recdb/internal/geo"
+)
+
+// The binary tuple encoding used by heap pages:
+//
+//	row    := count:uvarint value*
+//	value  := kind:byte payload
+//	int    := zigzag varint
+//	float  := 8 bytes big-endian IEEE 754 bits
+//	text   := len:uvarint bytes
+//	bool   := 1 byte
+//	geom   := len:uvarint WKT bytes
+//
+// The format is self-describing so a heap tuple can be decoded without its
+// schema (the schema is still used for validation at the access layer).
+
+// EncodeRow appends the binary encoding of row to dst and returns it.
+func EncodeRow(dst []byte, row Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindNull:
+		case KindInt:
+			dst = binary.AppendVarint(dst, v.i)
+		case KindFloat:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case KindText:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		case KindBool:
+			b := byte(0)
+			if v.i != 0 {
+				b = 1
+			}
+			dst = append(dst, b)
+		case KindGeometry:
+			w := ""
+			if v.g != nil {
+				w = v.g.WKT()
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(w)))
+			dst = append(dst, w...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes one row from buf. It returns the row and the number of
+// bytes consumed.
+func DecodeRow(buf []byte) (Row, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("types: truncated row header")
+	}
+	off := sz
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(buf) {
+			return nil, 0, fmt.Errorf("types: truncated value %d", i)
+		}
+		kind := Kind(buf[off])
+		off++
+		switch kind {
+		case KindNull:
+			row = append(row, Null())
+		case KindInt:
+			v, sz := binary.Varint(buf[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("types: truncated int value %d", i)
+			}
+			off += sz
+			row = append(row, NewInt(v))
+		case KindFloat:
+			if off+8 > len(buf) {
+				return nil, 0, fmt.Errorf("types: truncated float value %d", i)
+			}
+			bits := binary.BigEndian.Uint64(buf[off:])
+			off += 8
+			row = append(row, NewFloat(math.Float64frombits(bits)))
+		case KindText, KindGeometry:
+			ln, sz := binary.Uvarint(buf[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("types: truncated string header %d", i)
+			}
+			off += sz
+			if off+int(ln) > len(buf) {
+				return nil, 0, fmt.Errorf("types: truncated string value %d", i)
+			}
+			s := string(buf[off : off+int(ln)])
+			off += int(ln)
+			if kind == KindText {
+				row = append(row, NewText(s))
+			} else if s == "" {
+				row = append(row, Value{kind: KindGeometry})
+			} else {
+				g, err := geo.Parse(s)
+				if err != nil {
+					return nil, 0, fmt.Errorf("types: bad geometry value %d: %w", i, err)
+				}
+				row = append(row, NewGeometry(g))
+			}
+		case KindBool:
+			if off >= len(buf) {
+				return nil, 0, fmt.Errorf("types: truncated bool value %d", i)
+			}
+			row = append(row, NewBool(buf[off] != 0))
+			off++
+		default:
+			return nil, 0, fmt.Errorf("types: unknown value kind %d", kind)
+		}
+	}
+	return row, off, nil
+}

@@ -1,0 +1,112 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation. Qualifier is the table name
+// or alias it is visible under in a query (empty for anonymous columns).
+type Column struct {
+	Qualifier string
+	Name      string
+	Kind      Kind
+}
+
+// QualifiedName renders "qualifier.name" (or just "name").
+func (c Column) QualifiedName() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// Schema is an ordered list of columns describing a row shape.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Columns: cols}
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// WithQualifier returns a copy of the schema with every column's qualifier
+// replaced by q. Used when a table is aliased in FROM.
+func (s *Schema) WithQualifier(q string) *Schema {
+	out := &Schema{Columns: make([]Column, len(s.Columns))}
+	for i, c := range s.Columns {
+		c.Qualifier = q
+		out.Columns[i] = c
+	}
+	return out
+}
+
+// Concat returns a schema with s's columns followed by t's (join output).
+func (s *Schema) Concat(t *Schema) *Schema {
+	out := &Schema{Columns: make([]Column, 0, len(s.Columns)+len(t.Columns))}
+	out.Columns = append(out.Columns, s.Columns...)
+	out.Columns = append(out.Columns, t.Columns...)
+	return out
+}
+
+// Resolve finds the index of the column referenced by (qualifier, name).
+// A reference with no qualifier matches any column with that name, but is
+// ambiguous if several qualify.
+func (s *Schema) Resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Columns {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("types: ambiguous column reference %q", ref(qualifier, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("types: unknown column %q", ref(qualifier, name))
+	}
+	return found, nil
+}
+
+func ref(qualifier, name string) string {
+	if qualifier == "" {
+		return name
+	}
+	return qualifier + "." + name
+}
+
+// Row is a tuple of values positionally matching a schema.
+type Row []Value
+
+// Clone returns a copy of the row (values are immutable, so a shallow copy
+// of the slice suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns a new row with r's values followed by other's.
+func (r Row) Concat(other Row) Row {
+	out := make(Row, 0, len(r)+len(other))
+	out = append(out, r...)
+	out = append(out, other...)
+	return out
+}
+
+// String renders the row for debugging.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

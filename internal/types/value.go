@@ -1,0 +1,286 @@
+// Package types defines the value system shared by every layer of the
+// engine: SQL values, rows, schemas, and the binary tuple encoding used by
+// the heap storage layer.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"recdb/internal/geo"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+	KindGeometry
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOLEAN"
+	case KindGeometry:
+		return "GEOMETRY"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// KindFromName resolves a SQL type name (as written in CREATE TABLE) to a
+// Kind. It accepts the common aliases.
+func KindFromName(name string) (Kind, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return KindFloat, nil
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		return KindText, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	case "GEOMETRY":
+		return KindGeometry, nil
+	default:
+		return KindNull, fmt.Errorf("types: unknown type name %q", name)
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	g    geo.Geometry
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns a BIGINT value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewText returns a TEXT value.
+func NewText(v string) Value { return Value{kind: KindText, s: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewGeometry returns a GEOMETRY value.
+func NewGeometry(g geo.Geometry) Value { return Value{kind: KindGeometry, g: g} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the int64 payload; valid only for KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float64 payload; valid only for KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Text returns the string payload; valid only for KindText.
+func (v Value) Text() string { return v.s }
+
+// Bool returns the bool payload; valid only for KindBool.
+func (v Value) Bool() bool { return v.i != 0 }
+
+// Geometry returns the geometry payload; valid only for KindGeometry.
+func (v Value) Geometry() geo.Geometry { return v.g }
+
+// AsFloat coerces numeric values to float64. It returns false for
+// non-numeric kinds (including NULL).
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt coerces numeric values to int64 (floats truncate). It returns false
+// for non-numeric kinds.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value the way the CLI prints it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindGeometry:
+		if v.g == nil {
+			return "GEOMETRY(nil)"
+		}
+		return v.g.WKT()
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare numerically across int/float; text compares lexicographically;
+// bool orders false < true. Comparing incompatible kinds (e.g. text vs int)
+// returns an error so bugs surface instead of silently misordering.
+func Compare(a, b Value) (int, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0, nil
+		case a.kind == KindNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if af, ok := a.AsFloat(); ok {
+		if bf, ok := b.AsFloat(); ok {
+			switch {
+			case af < bf:
+				return -1, nil
+			case af > bf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		return 0, incomparable(a, b)
+	}
+	switch a.kind {
+	case KindText:
+		if b.kind != KindText {
+			return 0, incomparable(a, b)
+		}
+		return strings.Compare(a.s, b.s), nil
+	case KindBool:
+		if b.kind != KindBool {
+			return 0, incomparable(a, b)
+		}
+		switch {
+		case a.i < b.i:
+			return -1, nil
+		case a.i > b.i:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindGeometry:
+		if b.kind != KindGeometry {
+			return 0, incomparable(a, b)
+		}
+		return strings.Compare(a.String(), b.String()), nil
+	}
+	return 0, incomparable(a, b)
+}
+
+func incomparable(a, b Value) error {
+	return fmt.Errorf("types: cannot compare %s with %s", a.kind, b.kind)
+}
+
+// Equal reports whether two values compare equal. Incompatible kinds are
+// simply unequal (no error), which matches SQL equality-predicate behaviour
+// after planning-time type checks.
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return a.kind == b.kind
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Hash returns a 64-bit hash of the value, consistent with Equal across the
+// numeric kinds (1 and 1.0 hash identically).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindInt, KindFloat, KindBool:
+		var bits uint64
+		if f, ok := v.AsFloat(); ok {
+			if f == math.Trunc(f) && !math.IsInf(f, 0) {
+				// Normalize integral floats so 1 and 1.0 collide.
+				bits = uint64(int64(f))
+				mix(1)
+			} else {
+				bits = math.Float64bits(f)
+				mix(2)
+			}
+		} else {
+			bits = uint64(v.i)
+			mix(3)
+		}
+		for s := 0; s < 64; s += 8 {
+			mix(byte(bits >> s))
+		}
+	case KindText:
+		mix(4)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	case KindGeometry:
+		mix(5)
+		s := v.String()
+		for i := 0; i < len(s); i++ {
+			mix(s[i])
+		}
+	}
+	return h
+}

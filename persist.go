@@ -1,0 +1,29 @@
+package recdb
+
+import (
+	"recdb/internal/engine"
+	"recdb/internal/persist"
+)
+
+// SaveTo snapshots the database (user tables, rows, secondary indexes,
+// and recommender definitions) to a directory. Derived state — model
+// tables and the RecScoreIndex — is not stored; OpenDir rebuilds it.
+func (db *DB) SaveTo(dir string) error {
+	return persist.Save(db.eng, dir)
+}
+
+// OpenDir reconstructs a database from a snapshot directory produced by
+// SaveTo. Recommendation models are retrained from their ratings tables
+// using the options in effect here (so a snapshot can be reopened with
+// different tuning).
+func OpenDir(dir string, opts ...Option) (*DB, error) {
+	var cfg engine.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := persist.Load(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}

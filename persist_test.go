@@ -1,0 +1,45 @@
+package recdb
+
+import (
+	"testing"
+)
+
+func TestSaveToOpenDir(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE RECOMMENDER R ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`)
+	dir := t.TempDir()
+	if err := db.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+
+	rows, err := db2.Query("SELECT COUNT(*) FROM ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var n int64
+	if err := rows.Scan(&n); err != nil || n != 7 {
+		t.Fatalf("loaded rating count: %d, %v", n, err)
+	}
+
+	// The recommender works after reopening.
+	rec, err := db2.Query(`SELECT R.iid FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 1`)
+	if err != nil || rec.Len() != 2 {
+		t.Fatalf("recommendation after reopen: %v, %v", rec, err)
+	}
+}
+
+func TestOpenDirMissing(t *testing.T) {
+	if _, err := OpenDir(t.TempDir()); err == nil {
+		t.Fatal("missing snapshot should fail")
+	}
+}

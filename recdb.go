@@ -1,0 +1,377 @@
+// Package recdb is an embeddable Go reproduction of RecDB ("Database
+// System Support for Personalized Recommendation Applications", ICDE
+// 2017): a relational database engine with recommendation functionality
+// built into the kernel.
+//
+// The engine speaks a SQL dialect extended with the paper's statements:
+//
+//	CREATE RECOMMENDER MovieRec ON ratings
+//	    USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval
+//	    USING ItemCosCF;
+//
+//	SELECT R.iid, R.ratingval FROM ratings AS R
+//	    RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+//	    WHERE R.uid = 1
+//	    ORDER BY R.ratingval DESC LIMIT 10;
+//
+// Six recommendation algorithms are supported: the paper's five (ItemCosCF,
+// ItemPearCF, UserCosCF, UserPearCF, SVD) plus a non-personalized
+// Popularity extension. Recommendation runs as query operators
+// inside the executor — RECOMMEND, FILTERRECOMMEND, JOINRECOMMEND, and
+// INDEXRECOMMEND — so selections, joins, and top-k ranking compose with it
+// in a single plan. Pre-computation (the RecScoreIndex) and hotness-based
+// caching further cut latency for interactive workloads.
+//
+// Quick start:
+//
+//	db := recdb.Open()
+//	defer db.Close()
+//	db.MustExec(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)`)
+//	db.MustExec(`INSERT INTO ratings VALUES (1, 1, 4.5), (1, 2, 3.0), (2, 1, 5.0)`)
+//	db.MustExec(`CREATE RECOMMENDER R ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval`)
+//	rows, _ := db.Query(`SELECT R.iid, R.ratingval FROM ratings R
+//	    RECOMMEND R.iid TO R.uid ON R.ratingval WHERE R.uid = 2
+//	    ORDER BY R.ratingval DESC LIMIT 10`)
+//	for rows.Next() {
+//	    var item int64
+//	    var score float64
+//	    _ = rows.Scan(&item, &score)
+//	}
+package recdb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"recdb/internal/engine"
+	"recdb/internal/rec"
+	"recdb/internal/reccache"
+	"recdb/internal/types"
+)
+
+// Value is a SQL value (NULL, BIGINT, DOUBLE, TEXT, BOOLEAN, or GEOMETRY).
+type Value = types.Value
+
+// Row is one result tuple.
+type Row = types.Row
+
+// Option configures Open.
+type Option func(*engine.Config)
+
+// WithPoolPages sets the per-table buffer-pool capacity in 8 KiB pages.
+func WithPoolPages(n int) Option {
+	return func(c *engine.Config) { c.PoolPages = n }
+}
+
+// WithNeighborhoodSize truncates similarity lists to the top-N most
+// similar entries (0 keeps full lists, the paper's default). Smaller
+// neighborhoods trade a little accuracy for much faster prediction.
+func WithNeighborhoodSize(n int) Option {
+	return func(c *engine.Config) { c.Rec.Build.NeighborhoodSize = n }
+}
+
+// WithSVD sets the matrix-factorization hyperparameters (factor count,
+// SGD epochs, learning rate, and the regularization λ of Equation 3).
+func WithSVD(factors, epochs int, rate, lambda float64) Option {
+	return func(c *engine.Config) {
+		c.Rec.Build.SVDFactors = factors
+		c.Rec.Build.SVDEpochs = epochs
+		c.Rec.Build.SVDRate = rate
+		c.Rec.Build.SVDLambda = lambda
+	}
+}
+
+// WithRebuildThresholdPct sets N of the maintenance policy: models rebuild
+// when new ratings reach N% of the ratings used for the current model.
+func WithRebuildThresholdPct(pct float64) Option {
+	return func(c *engine.Config) { c.Rec.RebuildThresholdPct = pct }
+}
+
+// WithHotnessThreshold sets HOTNESS-THRESHOLD for the recommendation
+// cache: 0 materializes every user/item pair, 1 materializes nothing.
+func WithHotnessThreshold(t float64) Option {
+	return func(c *engine.Config) { c.HotnessThreshold = t }
+}
+
+// DB is an embedded RecDB instance. It is safe for concurrent readers;
+// writes are serialized per table.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Open creates a new in-memory database.
+func Open(opts ...Option) *DB {
+	var cfg engine.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &DB{eng: engine.New(cfg)}
+}
+
+// Close stops background workers. The DB must not be used afterwards.
+func (db *DB) Close() { db.eng.Close() }
+
+// Result reports the effect of a statement.
+type Result struct {
+	// RowsAffected counts inserted/updated/deleted rows (or result rows
+	// for a SELECT run through Exec).
+	RowsAffected int64
+}
+
+// Exec runs one SQL statement.
+func (db *DB) Exec(query string) (Result, error) {
+	r, err := db.eng.Exec(query)
+	return Result{RowsAffected: r.RowsAffected}, err
+}
+
+// MustExec runs one SQL statement and panics on error. Intended for
+// examples and tests.
+func (db *DB) MustExec(query string) Result {
+	r, err := db.Exec(query)
+	if err != nil {
+		panic(fmt.Sprintf("recdb: %v", err))
+	}
+	return r
+}
+
+// ExecScript runs a semicolon-separated script, stopping at the first
+// error.
+func (db *DB) ExecScript(script string) (Result, error) {
+	r, err := db.eng.ExecScript(script)
+	return Result{RowsAffected: r.RowsAffected}, err
+}
+
+// Query runs a SELECT (optionally with a RECOMMEND clause) and returns its
+// materialized result.
+func (db *DB) Query(query string) (*Rows, error) {
+	res, err := db.eng.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, res.Schema.Len())
+	for i, c := range res.Schema.Columns {
+		cols[i] = c.Name
+	}
+	strategy := ""
+	if res.Explain != nil {
+		strategy = res.Explain.Strategy
+	}
+	return &Rows{cols: cols, rows: res.Rows, pos: -1, strategy: strategy}, nil
+}
+
+// Rows is a materialized query result. Iterate with Next, read with Row or
+// Scan.
+type Rows struct {
+	cols     []string
+	rows     []types.Row
+	pos      int
+	strategy string
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// Strategy names the recommendation plan the optimizer chose
+// ("Recommend", "FilterRecommend", "JoinRecommend", "IndexRecommend"), or
+// "" for plain queries. Useful for tests and EXPLAIN-style diagnostics.
+func (r *Rows) Strategy() string { return r.strategy }
+
+// Next advances to the next row; it returns false when exhausted.
+func (r *Rows) Next() bool {
+	if r.pos+1 >= len(r.rows) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Row returns the current row.
+func (r *Rows) Row() Row {
+	if r.pos < 0 || r.pos >= len(r.rows) {
+		return nil
+	}
+	return r.rows[r.pos]
+}
+
+// All returns every row (independent of iteration state).
+func (r *Rows) All() []Row { return r.rows }
+
+// Scan copies the current row into dest pointers: *int64, *float64,
+// *string, *bool, or *Value. Numeric values coerce between int64 and
+// float64.
+func (r *Rows) Scan(dest ...any) error {
+	row := r.Row()
+	if row == nil {
+		return fmt.Errorf("recdb: Scan called without a current row")
+	}
+	if len(dest) != len(row) {
+		return fmt.Errorf("recdb: Scan has %d targets for %d columns", len(dest), len(row))
+	}
+	for i, d := range dest {
+		v := row[i]
+		switch p := d.(type) {
+		case *Value:
+			*p = v
+		case *int64:
+			n, ok := v.AsInt()
+			if !ok {
+				return fmt.Errorf("recdb: column %d (%s) is not numeric", i, r.cols[i])
+			}
+			*p = n
+		case *float64:
+			f, ok := v.AsFloat()
+			if !ok {
+				return fmt.Errorf("recdb: column %d (%s) is not numeric", i, r.cols[i])
+			}
+			*p = f
+		case *string:
+			*p = v.String()
+		case *bool:
+			if v.Kind() != types.KindBool {
+				return fmt.Errorf("recdb: column %d (%s) is not boolean", i, r.cols[i])
+			}
+			*p = v.Bool()
+		default:
+			return fmt.Errorf("recdb: unsupported Scan target %T", d)
+		}
+	}
+	return nil
+}
+
+// ---- Recommendation management ----
+
+// RunCacheMaintenance triggers one pass of the hotness-based caching
+// algorithm (Algorithm 4) for a recommender.
+func (db *DB) RunCacheMaintenance(recommender string) (CacheDecision, error) {
+	dec, err := db.eng.RunCacheMaintenance(recommender)
+	return CacheDecision{Admitted: dec.Admitted, Evicted: dec.Evicted}, err
+}
+
+// CacheDecision summarizes one cache-maintenance pass.
+type CacheDecision struct {
+	Admitted int
+	Evicted  int
+}
+
+// Materialize fully pre-computes the RecScoreIndex for a recommender so
+// subsequent top-k queries use the INDEXRECOMMEND path.
+func (db *DB) Materialize(recommender string) error {
+	return db.eng.Materialize(recommender)
+}
+
+// MaterializeUser pre-computes a single user's predictions.
+func (db *DB) MaterializeUser(recommender string, user int64) error {
+	return db.eng.MaterializeUser(recommender, user)
+}
+
+// StartCacheDaemon runs the cache manager asynchronously every interval,
+// as in §IV-D. Stop it with StopCacheDaemon or Close.
+func (db *DB) StartCacheDaemon(recommender string, interval time.Duration) error {
+	r, ok := db.eng.Recommenders().Get(recommender)
+	if !ok {
+		return fmt.Errorf("recdb: no recommender %q", recommender)
+	}
+	c, err := db.eng.CacheOf(recommender)
+	if err != nil {
+		return err
+	}
+	c.Start(r.Store(), interval)
+	return nil
+}
+
+// StopCacheDaemon halts a recommender's background cache manager.
+func (db *DB) StopCacheDaemon(recommender string) error {
+	c, err := db.eng.CacheOf(recommender)
+	if err != nil {
+		return err
+	}
+	c.Stop()
+	return nil
+}
+
+// ModelBuildTime reports how long the recommender's most recent model
+// build took (Table II of the paper).
+func (db *DB) ModelBuildTime(recommender string) (time.Duration, error) {
+	r, ok := db.eng.Recommenders().Get(recommender)
+	if !ok {
+		return 0, fmt.Errorf("recdb: no recommender %q", recommender)
+	}
+	return r.BuildTime(), nil
+}
+
+// Stats reports cumulative page I/O: logical reads, buffer misses, and
+// physical writes.
+func (db *DB) Stats() (reads, misses, writes int64) {
+	return db.eng.Stats().Snapshot()
+}
+
+// ResetStats zeroes the I/O counters.
+func (db *DB) ResetStats() { db.eng.Stats().Reset() }
+
+// Engine exposes the underlying engine for advanced integration (the
+// bench harness uses it to flip planner ablation switches). Most callers
+// never need it.
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// CacheManagerClock is re-exported for tests that need deterministic cache
+// timestamps.
+type CacheManagerClock = reccache.Clock
+
+// Algorithms lists the supported recommendation algorithm names: the
+// paper's five plus the non-personalized Popularity extension.
+func Algorithms() []string {
+	return []string{
+		rec.ItemCosCF.String(), rec.ItemPearCF.String(),
+		rec.UserCosCF.String(), rec.UserPearCF.String(),
+		rec.SVD.String(), rec.Popularity.String(),
+	}
+}
+
+// TableInfo describes one user table.
+type TableInfo struct {
+	Name  string
+	Rows  int64
+	Pages uint32
+}
+
+// Tables lists the database's tables (including internal model tables,
+// whose names start with "_rec_").
+func (db *DB) Tables() []TableInfo {
+	var out []TableInfo
+	for _, name := range db.eng.Catalog().Names() {
+		t, err := db.eng.Catalog().Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, TableInfo{Name: t.Name, Rows: t.Heap.NumRows(), Pages: t.Heap.NumPages()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RecommenderInfo describes one created recommender.
+type RecommenderInfo struct {
+	Name      string
+	Table     string
+	Algorithm string
+	BuildTime time.Duration
+	Rebuilds  int
+	Pending   int
+}
+
+// Recommenders lists the recommenders created with CREATE RECOMMENDER.
+func (db *DB) Recommenders() []RecommenderInfo {
+	var out []RecommenderInfo
+	for _, r := range db.eng.Recommenders().List() {
+		out = append(out, RecommenderInfo{
+			Name: r.Name, Table: r.Table, Algorithm: r.Algo.String(),
+			BuildTime: r.BuildTime(), Rebuilds: r.Rebuilds(), Pending: r.Pending(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

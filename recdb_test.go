@@ -1,0 +1,267 @@
+package recdb
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func newDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	db := Open(opts...)
+	t.Cleanup(db.Close)
+	db.MustExec(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)`)
+	db.MustExec(`INSERT INTO ratings VALUES
+		(1, 1, 1.5),
+		(2, 2, 3.5), (2, 1, 4.5), (2, 3, 2),
+		(3, 2, 1), (3, 1, 2),
+		(4, 2, 1)`)
+	return db
+}
+
+func TestOpenExecQuery(t *testing.T) {
+	db := newDB(t)
+	rows, err := db.Query("SELECT uid, iid, ratingval FROM ratings WHERE uid = 2 ORDER BY iid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Columns(); len(got) != 3 || got[0] != "uid" {
+		t.Fatalf("columns: %v", got)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("len: %d", rows.Len())
+	}
+	var count int
+	for rows.Next() {
+		var uid, iid int64
+		var rv float64
+		if err := rows.Scan(&uid, &iid, &rv); err != nil {
+			t.Fatal(err)
+		}
+		if uid != 2 {
+			t.Fatalf("uid = %d", uid)
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("iterated %d rows", count)
+	}
+}
+
+func TestScanVariants(t *testing.T) {
+	db := newDB(t)
+	db.MustExec("CREATE TABLE t (i INT, f FLOAT, s TEXT, b BOOLEAN)")
+	db.MustExec("INSERT INTO t VALUES (7, 2.5, 'hello', TRUE)")
+	rows, err := db.Query("SELECT i, f, s, b FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("no row")
+	}
+	var i int64
+	var f float64
+	var s string
+	var b bool
+	if err := rows.Scan(&i, &f, &s, &b); err != nil {
+		t.Fatal(err)
+	}
+	if i != 7 || f != 2.5 || s != "hello" || !b {
+		t.Fatalf("scanned %v %v %v %v", i, f, s, b)
+	}
+	// Coercions and errors.
+	var v Value
+	var f2, f3, f4 float64
+	if err := rows.Scan(&f2, &f3, &v, &v); err != nil {
+		t.Fatal(err) // int coerces to float; Value accepts anything
+	}
+	_ = f4
+	if err := rows.Scan(&i, &f, &s); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if err := rows.Scan(&i, &f, &f, &b); err == nil {
+		t.Fatal("text into float should fail")
+	}
+	if rows.Next() {
+		t.Fatal("only one row expected")
+	}
+}
+
+func TestEndToEndRecommendation(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE RECOMMENDER MovieRec ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`)
+	rows, err := db.Query(`SELECT R.iid, R.ratingval FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 || rows.Strategy() != "FilterRecommend" {
+		t.Fatalf("len=%d strategy=%q", rows.Len(), rows.Strategy())
+	}
+
+	// Materialize and re-run: strategy switches to IndexRecommend with the
+	// same answer.
+	if err := db.Materialize("MovieRec"); err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := db.Query(`SELECT R.iid, R.ratingval FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows2.Strategy() != "IndexRecommend" {
+		t.Fatalf("strategy after materialize: %q", rows2.Strategy())
+	}
+	if rows2.Len() != rows.Len() {
+		t.Fatalf("results differ: %d vs %d", rows2.Len(), rows.Len())
+	}
+}
+
+func TestModelBuildTime(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval`)
+	d, err := db.ModelBuildTime("r")
+	if err != nil || d <= 0 {
+		t.Fatalf("build time: %v %v", d, err)
+	}
+	if _, err := db.ModelBuildTime("nope"); err == nil {
+		t.Fatal("missing recommender should fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := newDB(t)
+	reads, _, _ := db.Stats()
+	if reads == 0 {
+		t.Fatal("inserts should have counted page reads")
+	}
+	db.ResetStats()
+	if r, m, w := db.Stats(); r != 0 || m != 0 || w != 0 {
+		t.Fatal("ResetStats should zero counters")
+	}
+}
+
+func TestCacheDaemonLifecycle(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval`)
+	if err := db.StartCacheDaemon("r", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.StopCacheDaemon("r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.StartCacheDaemon("missing", time.Second); err == nil {
+		t.Fatal("missing recommender should fail")
+	}
+}
+
+func TestRunCacheMaintenance(t *testing.T) {
+	db := newDB(t, WithHotnessThreshold(0.1))
+	db.MustExec(`CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval`)
+	// Drive demand + consumption, then run maintenance.
+	for i := 0; i < 5; i++ {
+		if _, err := db.Query(`SELECT R.iid FROM ratings R
+			RECOMMEND R.iid TO R.uid ON R.ratingval WHERE R.uid = 1`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.MustExec("INSERT INTO ratings VALUES (4, 3, 2.0)")
+	dec, err := db.RunCacheMaintenance("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Admitted == 0 {
+		t.Fatalf("maintenance admitted nothing: %+v", dec)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	db := Open(
+		WithPoolPages(64),
+		WithNeighborhoodSize(10),
+		WithSVD(4, 5, 0.02, 0.1),
+		WithRebuildThresholdPct(50),
+		WithHotnessThreshold(0.9),
+	)
+	defer db.Close()
+	db.MustExec(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)`)
+	db.MustExec(`INSERT INTO ratings VALUES (1,1,5),(1,2,3),(2,1,4)`)
+	db.MustExec(`CREATE RECOMMENDER r ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING SVD`)
+	rows, err := db.Query(`SELECT R.iid, R.ratingval FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING SVD WHERE R.uid = 2`)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("svd query: %v %v", rows, err)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	if _, err := db.Exec("SELECT FROM"); err == nil {
+		t.Fatal("syntax error should surface")
+	}
+	if _, err := db.Query("SELECT * FROM missing"); err == nil {
+		t.Fatal("missing table should surface")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExec should panic on error")
+		}
+	}()
+	db.MustExec("NONSENSE")
+}
+
+func TestExecScript(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	res, err := db.ExecScript(`
+		CREATE TABLE a (x INT);
+		INSERT INTO a VALUES (1), (2), (3);
+	`)
+	if err != nil || res.RowsAffected != 3 {
+		t.Fatalf("script: %v %v", res, err)
+	}
+	if _, err := db.ExecScript("CREATE TABLE b (x INT); BROKEN;"); err == nil {
+		t.Fatal("script error should surface")
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) != 6 || algos[0] != "ItemCosCF" {
+		t.Fatalf("algorithms: %v", algos)
+	}
+	joined := strings.Join(algos, ",")
+	for _, want := range []string{"ItemPearCF", "UserCosCF", "UserPearCF", "SVD", "Popularity"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %s in %v", want, algos)
+		}
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE RECOMMENDER IntroRec ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING SVD`)
+	tables := db.Tables()
+	names := map[string]bool{}
+	for _, ti := range tables {
+		names[ti.Name] = true
+		if ti.Name == "ratings" && ti.Rows != 7 {
+			t.Fatalf("ratings rows: %d", ti.Rows)
+		}
+	}
+	if !names["ratings"] || !names["_rec_introrec_userfactor"] {
+		t.Fatalf("tables: %v", tables)
+	}
+	recs := db.Recommenders()
+	if len(recs) != 1 || recs[0].Name != "IntroRec" || recs[0].Algorithm != "SVD" {
+		t.Fatalf("recommenders: %+v", recs)
+	}
+	if recs[0].BuildTime <= 0 || recs[0].Rebuilds != 0 {
+		t.Fatalf("recommender stats: %+v", recs[0])
+	}
+}

@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-paper vet fmt examples clean
+.PHONY: all build test race cover bench bench-paper vet lint fmt examples clean
 
-all: vet test build
+all: vet lint test build
 
 build:
 	$(GO) build ./...
@@ -27,8 +27,15 @@ bench-paper:
 vet:
 	$(GO) vet ./...
 
+# RecDB's own analyzer suite (pin/unpin balance, operator Close
+# propagation, lock discipline, error wrapping, no library panics).
+lint:
+	$(GO) run ./cmd/recdb-lint ./...
+
+# go fmt works package-wise, so analyzer testdata fixtures (including the
+# deliberately unparseable loader fixture) are left alone.
 fmt:
-	gofmt -w .
+	$(GO) fmt ./...
 
 examples:
 	$(GO) run ./examples/quickstart

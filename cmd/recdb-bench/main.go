@@ -147,5 +147,5 @@ func render(t bench.Table, md bool) {
 	for _, row := range t.Rows {
 		fmt.Fprintln(w, strings.Join(row, "\t"))
 	}
-	w.Flush()
+	_ = w.Flush() // best-effort table output to stdout
 }

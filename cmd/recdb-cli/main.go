@@ -304,7 +304,7 @@ func printResult(res *engine.QueryResult) {
 		}
 		fmt.Fprintln(w, strings.Join(cells, "\t"))
 	}
-	w.Flush()
+	_ = w.Flush() // best-effort table output to stdout
 	plan := ""
 	if res.Explain != nil && res.Explain.Strategy != "" {
 		plan = fmt.Sprintf(" [plan: %s]", res.Explain.Strategy)

@@ -1,0 +1,98 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"recdb/internal/analysis"
+)
+
+// funcmark reports every function declaration — a trivial analyzer used to
+// exercise the runner.
+var funcmark = &analysis.Analyzer{
+	Name: "funcmark",
+	Doc:  "test analyzer reporting each function",
+	Run: func(pass *analysis.Pass) error {
+		// Report in reverse file order to prove the runner sorts output.
+		decls := analysis.FuncDecls(pass.Files)
+		for i := len(decls) - 1; i >= 0; i-- {
+			pass.Reportf(decls[i].Pos(), "func %s", decls[i].Name.Name)
+		}
+		return nil
+	},
+}
+
+func load(t *testing.T, pkg string) (*analysis.Loader, *analysis.Package) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p, err := loader.LoadDir(filepath.Join("testdata", "src", pkg))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", pkg, err)
+	}
+	return loader, p
+}
+
+// TestLoaderToleratesParseErrors: a package with a syntax error must still
+// load, report its errors, and expose whatever was recovered — one broken
+// file must not make the whole module un-analyzable.
+func TestLoaderToleratesParseErrors(t *testing.T) {
+	_, p := load(t, "broken")
+	if len(p.Errors) == 0 {
+		t.Fatal("expected parse errors for the broken fixture, got none")
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("expected a (partial) AST even with parse errors")
+	}
+	// Running analyzers over the partial package must not panic or error.
+	if _, err := analysis.Run([]*analysis.Package{p}, []*analysis.Analyzer{funcmark}); err != nil {
+		t.Fatalf("Run over broken package: %v", err)
+	}
+}
+
+// TestDeterministicOrder: diagnostics come back sorted by position no
+// matter what order the analyzer reported them in.
+func TestDeterministicOrder(t *testing.T) {
+	_, p := load(t, "ok")
+	diags, err := analysis.Run([]*analysis.Package{p}, []*analysis.Analyzer{funcmark})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	sorted := sort.SliceIsSorted(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		return diags[i].Pos.Line < diags[j].Pos.Line
+	})
+	if !sorted {
+		t.Errorf("diagnostics not sorted by position: %v", diags)
+	}
+}
+
+// TestSuppression: a //lint:ignore directive naming the analyzer silences
+// the finding on the next line; other findings survive.
+func TestSuppression(t *testing.T) {
+	_, p := load(t, "ok")
+	diags, err := analysis.Run([]*analysis.Package{p}, []*analysis.Analyzer{funcmark})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := make(map[string]bool)
+	for _, d := range diags {
+		got[d.Message] = true
+	}
+	if got["func Middle"] {
+		t.Error("finding on Middle should have been suppressed by //lint:ignore")
+	}
+	for _, want := range []string{"func Zebra", "func Alpha"} {
+		if !got[want] {
+			t.Errorf("missing expected diagnostic %q (got %v)", want, diags)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package analysistest runs an analyzer over golden-file fixture packages
+// and checks its diagnostics against expectations embedded in the fixture
+// source. An expectation is a trailing comment of the form
+//
+//	// want "substring" ["substring" ...]
+//
+// on the line the diagnostic must land on. Every want must be matched by a
+// diagnostic on its line, every diagnostic must be matched by a want, and
+// a fixture with no want comments asserts the analyzer stays silent.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"recdb/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> relative to dir and applies the analyzer,
+// comparing diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p, err := loader.LoadDir(filepath.Join(dir, "testdata", "src", pkg))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", pkg, err)
+	}
+	for _, e := range p.Errors {
+		t.Errorf("fixture %s does not type-check: %v", pkg, e)
+	}
+	diags, err := analysis.Run([]*analysis.Package{p}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]string)
+	for _, f := range p.Files {
+		fname := loader.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				line := loader.Fset.Position(c.Pos()).Line
+				for _, w := range parseWants(t, c, rest) {
+					wants[key{fname, line}] = append(wants[key{fname, line}], w)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, w := range wants[k] {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", k.file, k.line, w)
+		}
+	}
+}
+
+// parseWants splits the quoted expectations out of a want comment.
+func parseWants(t *testing.T, c *ast.Comment, rest string) []string {
+	t.Helper()
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if rest[0] != '"' {
+			t.Errorf("malformed want comment %q", c.Text)
+			return out
+		}
+		end := 1
+		for end < len(rest) && rest[end] != '"' {
+			if rest[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(rest) {
+			t.Errorf("unterminated want comment %q", c.Text)
+			return out
+		}
+		s, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			t.Errorf("bad want string in %q: %v", c.Text, err)
+			return out
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return out
+}

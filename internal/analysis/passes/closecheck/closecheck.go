@@ -1,0 +1,284 @@
+// Package closecheck enforces the volcano iterator contract
+// (exec.Operator: Open → Next* → Close) in two directions.
+//
+// Structurally, every operator type — a struct with the Open/Next/Close
+// method shape — whose fields hold child operators must propagate Close to
+// each child. The contract makes Close idempotent, so "the child was
+// already closed by Collect in Open" is not a reason to skip it: an Open
+// that fails halfway leaves children open, and only an unconditional
+// Close-propagation releases them (and the buffer-pool pins scans hold).
+//
+// At call sites, an operator constructed by a function and kept in a local
+// variable must be closed (directly or via defer) unless it escapes —
+// returned, stored, or handed to another call such as exec.Collect or a
+// parent operator's constructor, which then owns it.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"recdb/internal/analysis"
+)
+
+// Analyzer is the closecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc:  "operators must be closed, and Close must propagate to child operators",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkClosePropagation(pass)
+	checkConstructionSites(pass)
+	return nil
+}
+
+// isOperatorType reports whether t (or *t) has the volcano method shape:
+// Open() error, Close() error, and a 3-result Next.
+func isOperatorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		return ifaceHasShape(iface)
+	}
+	named := analysis.NamedOf(t)
+	if named == nil {
+		return false
+	}
+	if iface, ok := named.Underlying().(*types.Interface); ok {
+		return ifaceHasShape(iface)
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	return hasShape(func(name string) *types.Func {
+		sel := ms.Lookup(nil, name)
+		if sel == nil {
+			// Exported methods may live in another package.
+			for pkg := named.Obj().Pkg(); pkg != nil; {
+				sel = ms.Lookup(pkg, name)
+				break
+			}
+		}
+		if sel == nil {
+			return nil
+		}
+		f, _ := sel.Obj().(*types.Func)
+		return f
+	})
+}
+
+func ifaceHasShape(iface *types.Interface) bool {
+	return hasShape(func(name string) *types.Func {
+		for i := 0; i < iface.NumMethods(); i++ {
+			if m := iface.Method(i); m.Name() == name {
+				return m
+			}
+		}
+		return nil
+	})
+}
+
+func hasShape(lookup func(string) *types.Func) bool {
+	open, next, cl := lookup("Open"), lookup("Next"), lookup("Close")
+	if open == nil || next == nil || cl == nil {
+		return false
+	}
+	returnsError := func(f *types.Func) bool {
+		sig := f.Type().(*types.Signature)
+		return sig.Results().Len() == 1 && analysis.ErrorType(sig.Results().At(0).Type())
+	}
+	nextSig := next.Type().(*types.Signature)
+	return returnsError(open) && returnsError(cl) && nextSig.Results().Len() == 3
+}
+
+// checkClosePropagation verifies each operator struct's Close method
+// closes every operator-typed field.
+func checkClosePropagation(pass *analysis.Pass) {
+	// Map receiver type name -> Close method decl in this package.
+	closeDecls := make(map[string]*ast.FuncDecl)
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		if fd.Recv == nil || fd.Name.Name != "Close" || len(fd.Recv.List) == 0 {
+			continue
+		}
+		if named := analysis.NamedOf(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)); named != nil {
+			closeDecls[named.Obj().Name()] = fd
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil || !isOperatorType(obj.Type()) {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			closeDecl := closeDecls[ts.Name.Name]
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if !isOperatorType(field.Type()) {
+					continue
+				}
+				if closeDecl == nil {
+					pass.Reportf(ts.Pos(), "operator %s holds child operator %s but declares no Close in this package", ts.Name.Name, field.Name())
+					continue
+				}
+				if !closesField(closeDecl.Body, field.Name()) {
+					pass.Reportf(closeDecl.Pos(), "%s.Close does not close child operator field %s", ts.Name.Name, field.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// closesField reports whether body contains a call <x>.<field>.Close().
+func closesField(body *ast.BlockStmt, field string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == field {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkConstructionSites flags locally constructed operators that are used
+// (Open/Next called) but never closed and never escape.
+func checkConstructionSites(pass *analysis.Pass) {
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		checkSites(pass, fd)
+	}
+}
+
+func checkSites(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok.String() != ":=" || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Constructor call: plain (non-method) call returning one
+		// operator-typed value.
+		if _, isMethod := call.Fun.(*ast.SelectorExpr); isMethod {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				// Allow package-qualified constructors (exec.NewSeqScan).
+				if _, isPkg := info.Uses[identOf(sel.X)].(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+		}
+		obj := identObj(info, as.Lhs[0])
+		if obj == nil || !isOperatorType(obj.Type()) {
+			return true
+		}
+		use := classifyUses(fd.Body, info, obj, as)
+		if use.escapes || use.closed || !use.used {
+			return true
+		}
+		pass.Reportf(as.Pos(), "operator %s is opened or iterated but never closed and never handed off", obj.Name())
+		return true
+	})
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id := identOf(e)
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+type usage struct {
+	used    bool // Open/Next/Schema called on it
+	closed  bool // .Close() called (possibly deferred)
+	escapes bool // returned, stored, reassigned, or passed to a call
+}
+
+func classifyUses(body *ast.BlockStmt, info *types.Info, obj types.Object, def ast.Stmt) usage {
+	var u usage
+	isObj := func(e ast.Expr) bool {
+		id := identOf(e)
+		return id != nil && (info.Uses[id] == obj || info.Defs[id] == obj)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == def {
+			return false // skip the defining statement itself
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && isObj(sel.X) {
+				if sel.Sel.Name == "Close" {
+					u.closed = true
+				} else {
+					u.used = true
+				}
+				return true
+			}
+			for _, arg := range v.Args {
+				if isObj(arg) {
+					u.escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if isObj(r) {
+					u.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				if isObj(rhs) {
+					u.escapes = true
+				}
+			}
+		case *ast.ValueSpec:
+			// var op Operator = x hands ownership to op.
+			for _, val := range v.Values {
+				if isObj(val) {
+					u.escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if isObj(kv.Value) {
+						u.escapes = true
+					}
+				} else if isObj(el) {
+					u.escapes = true
+				}
+			}
+		}
+		return true
+	})
+	return u
+}

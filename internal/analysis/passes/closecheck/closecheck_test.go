@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/closecheck"
+)
+
+func TestViolations(t *testing.T) { analysistest.Run(t, ".", closecheck.Analyzer, "a") }
+
+func TestCompliant(t *testing.T) { analysistest.Run(t, ".", closecheck.Analyzer, "b") }

@@ -1,0 +1,47 @@
+// Package a holds operator-close violations for the closecheck analyzer.
+package a
+
+type Row []string
+
+type Operator interface {
+	Open() error
+	Next() (Row, bool, error)
+	Close() error
+}
+
+type Source struct{ rows []Row }
+
+func (s *Source) Open() error              { return nil }
+func (s *Source) Next() (Row, bool, error) { return nil, false, nil }
+func (s *Source) Close() error             { return nil }
+
+func NewSource() Operator { return &Source{} }
+
+// BadFilter forgets to propagate Close to its child.
+type BadFilter struct {
+	Child Operator
+}
+
+func (f *BadFilter) Open() error              { return f.Child.Open() }
+func (f *BadFilter) Next() (Row, bool, error) { return f.Child.Next() }
+
+func (f *BadFilter) Close() error { // want "does not close child operator field Child"
+	return nil
+}
+
+// drain iterates an operator but never closes it.
+func drain() int {
+	op := NewSource() // want "never closed"
+	if err := op.Open(); err != nil {
+		return 0
+	}
+	n := 0
+	for {
+		_, ok, _ := op.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+// Package b holds compliant operator usage; the analyzer must stay silent.
+package b
+
+type Row []string
+
+type Operator interface {
+	Open() error
+	Next() (Row, bool, error)
+	Close() error
+}
+
+type Source struct{ rows []Row }
+
+func (s *Source) Open() error              { return nil }
+func (s *Source) Next() (Row, bool, error) { return nil, false, nil }
+func (s *Source) Close() error             { return nil }
+
+func NewSource() Operator { return &Source{} }
+
+// GoodFilter propagates Close to its child.
+type GoodFilter struct {
+	Child Operator
+}
+
+func (f *GoodFilter) Open() error              { return f.Child.Open() }
+func (f *GoodFilter) Next() (Row, bool, error) { return f.Child.Next() }
+func (f *GoodFilter) Close() error             { return f.Child.Close() }
+
+// Join closes both children even when the left Close fails.
+type Join struct {
+	Left  Operator
+	Right Operator
+}
+
+func (j *Join) Open() error              { return nil }
+func (j *Join) Next() (Row, bool, error) { return nil, false, nil }
+func (j *Join) Close() error {
+	lerr := j.Left.Close()
+	rerr := j.Right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}
+
+func drainClosed() (int, error) {
+	op := NewSource()
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	n := 0
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n, nil
+}
+
+// handoff transfers ownership to the caller, who must close it.
+func handoff() Operator {
+	op := NewSource()
+	return op
+}
+
+// wrapped hands the operator to a parent, which owns closing it.
+func wrapped() Operator {
+	op := NewSource()
+	var parent Operator = &GoodFilter{Child: op}
+	return parent
+}

@@ -1,0 +1,179 @@
+// Package errwrap enforces the module's error-propagation discipline.
+//
+// First, fmt.Errorf calls that embed an error value must use the %w verb,
+// not %v or %s: without %w the cause is flattened to text and callers lose
+// errors.Is/errors.As matching — which the storage layer relies on to
+// distinguish, say, a missing page file from a corrupt one.
+//
+// Second, a call whose final result is an error must not be discarded by
+// using it as a bare expression statement. On flush/persist paths a
+// swallowed error turns data loss into silence. An explicit `_ = f()`
+// states intent and is allowed, as are deferred cleanup calls and the
+// well-known never-fails writers (strings.Builder, bytes.Buffer,
+// hash.Hash).
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"recdb/internal/analysis"
+)
+
+// Analyzer is the errwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must use %w; no silently discarded errors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, v)
+			case *ast.ExprStmt:
+				checkDiscard(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf verifies that error-typed arguments to fmt.Errorf line up
+// with %w verbs in the (constant) format string.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := scanVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		if !analysis.ErrorType(pass.TypesInfo.TypeOf(arg)) {
+			continue
+		}
+		if i < len(verbs) && verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "error argument formatted with %%%c; use %%w so callers can unwrap it", verbs[i])
+		}
+	}
+}
+
+// scanVerbs returns the verb character consuming each successive argument
+// of a Printf-style format string. A '*' width or precision consumes an
+// argument of its own and is recorded as '*'.
+func scanVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0123456789.[]", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue // literal %%
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}
+
+// checkDiscard flags expression statements that drop an error result.
+func checkDiscard(pass *analysis.Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	var last types.Type
+	switch rt := tv.Type.(type) {
+	case *types.Tuple:
+		if rt.Len() == 0 {
+			return
+		}
+		last = rt.At(rt.Len() - 1).Type()
+	default:
+		last = rt
+	}
+	if !analysis.ErrorType(last) {
+		return
+	}
+	if neverFails(pass.TypesInfo, call) {
+		return
+	}
+	name := callName(call)
+	pass.Reportf(stmt.Pos(), "result of %s is an error and is silently discarded; handle it or assign to _ explicitly", name)
+}
+
+// neverFails exempts callees whose error results are documented to always
+// be nil (or go to a human, not a recovery path).
+func neverFails(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Printing to standard streams: failures are not actionable.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			return true
+		}
+	}
+	named := analysis.NamedOf(info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if b := analysis.BaseString(f.X); b != "" {
+			return b + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

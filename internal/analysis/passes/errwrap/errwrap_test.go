@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/errwrap"
+)
+
+func TestViolations(t *testing.T) { analysistest.Run(t, ".", errwrap.Analyzer, "a") }
+
+func TestCompliant(t *testing.T) { analysistest.Run(t, ".", errwrap.Analyzer, "b") }

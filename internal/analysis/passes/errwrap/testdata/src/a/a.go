@@ -1,0 +1,31 @@
+// Package a holds error-handling violations for the errwrap analyzer.
+package a
+
+import (
+	"fmt"
+	"os"
+)
+
+// wrapV flattens the cause to text; callers lose errors.Is matching.
+func wrapV(err error) error {
+	return fmt.Errorf("context: %v", err) // want "use %w"
+}
+
+// wrapS is the same mistake with %s.
+func wrapS(op string, err error) error {
+	return fmt.Errorf("%s failed: %s", op, err) // want "use %w"
+}
+
+// discard drops the error from a filesystem operation on the floor.
+func discard(path string) {
+	os.Remove(path) // want "silently discarded"
+}
+
+type flusher struct{}
+
+func (f *flusher) Flush() error { return nil }
+
+// discardMethod drops a flush error, the classic persist-path bug.
+func discardMethod(f *flusher) {
+	f.Flush() // want "silently discarded"
+}

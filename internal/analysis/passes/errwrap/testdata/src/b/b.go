@@ -1,0 +1,42 @@
+// Package b holds compliant error handling; the analyzer must stay silent.
+package b
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func wrapGood(err error) error {
+	return fmt.Errorf("context: %w", err)
+}
+
+func wrapMixed(op string, n int, err error) error {
+	return fmt.Errorf("%s attempt %d: %w", op, n, err)
+}
+
+func removeChecked(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("remove %s: %w", path, err)
+	}
+	return nil
+}
+
+// explicitDiscard states intent with the blank identifier.
+func explicitDiscard(path string) {
+	_ = os.Remove(path)
+}
+
+// builder uses a never-fails writer; its error results are noise.
+func builder(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// prints to stdout; a print failure is not recoverable.
+func prints(msg string) {
+	fmt.Println(msg)
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/locksafe"
+)
+
+func TestViolations(t *testing.T) { analysistest.Run(t, ".", locksafe.Analyzer, "a") }
+
+func TestCompliant(t *testing.T) { analysistest.Run(t, ".", locksafe.Analyzer, "b") }

@@ -1,0 +1,52 @@
+// Package a holds lock-discipline violations for the locksafe analyzer.
+package a
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc writes n under the lock, establishing n as a guarded field.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Bad reads the guarded field without the lock.
+func (c *Counter) Bad() int {
+	return c.n // want "read without holding"
+}
+
+// BadWrite mutates the guarded field without the lock.
+func (c *Counter) BadWrite(v int) {
+	c.n = v // want "written without holding"
+}
+
+// Deadlock calls a lock-acquiring method while already holding the lock.
+func (c *Counter) Deadlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want "self-deadlock"
+}
+
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Set writes through m under the exclusive lock, guarding it.
+func (s *Store) Set(k string, v int) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// BadSet writes while holding only the read lock.
+func (s *Store) BadSet(k string) {
+	s.mu.RLock()
+	s.m[k] = 1 // want "read lock"
+	s.mu.RUnlock()
+}

@@ -1,0 +1,71 @@
+// Package b holds compliant locking; the analyzer must stay silent.
+package b
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// EarlyExit unlocks inside a branch before returning; the fallthrough path
+// is still locked and the analyzer must model that.
+func (c *Counter) EarlyExit(fast bool) int {
+	c.mu.Lock()
+	if fast {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	n := c.n * 2
+	c.mu.Unlock()
+	return n
+}
+
+// incLocked follows the *Locked convention: the caller holds the lock.
+func (c *Counter) incLocked() {
+	c.n++
+}
+
+func (c *Counter) IncTwice() {
+	c.mu.Lock()
+	c.incLocked()
+	c.incLocked()
+	c.mu.Unlock()
+}
+
+// NewCounter fills in a freshly constructed value before sharing it.
+func NewCounter(start int) *Counter {
+	c := &Counter{}
+	c.n = start
+	return c
+}
+
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (s *Store) Set(k string, v int) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+func (s *Store) Get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}

@@ -1,0 +1,46 @@
+// Package nopanic forbids panic in library packages. RecDB is a database
+// engine: a panic in the storage or execution layer tears down the whole
+// process, including unrelated sessions, where an error return would have
+// failed one query. The only legitimate panics are truly-unreachable
+// invariant violations — and those must carry an explicit
+// //lint:ignore nopanic <reason> suppression so the exception is visible
+// in review.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"recdb/internal/analysis"
+)
+
+// Analyzer is the nopanic pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "library packages must return errors, not panic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return nil // a command may panic; it owns the process
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library code: return an error instead (or suppress with //lint:ignore nopanic <why unreachable>)")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/nopanic"
+)
+
+func TestViolations(t *testing.T) { analysistest.Run(t, ".", nopanic.Analyzer, "a") }
+
+func TestCompliant(t *testing.T) { analysistest.Run(t, ".", nopanic.Analyzer, "b") }

@@ -1,0 +1,15 @@
+// Package a holds panics the nopanic analyzer must flag.
+package a
+
+import "fmt"
+
+func Explode(x int) int {
+	if x < 0 {
+		panic("negative input") // want "panic in library code"
+	}
+	return x
+}
+
+func ExplodeFormatted(x int) {
+	panic(fmt.Sprintf("bad value %d", x)) // want "panic in library code"
+}

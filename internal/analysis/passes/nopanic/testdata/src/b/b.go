@@ -1,0 +1,22 @@
+// Package b holds compliant code: errors instead of panics, and one
+// suppressed invariant panic.
+package b
+
+import "errors"
+
+func Safe(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative input")
+	}
+	return x, nil
+}
+
+// invariant demonstrates the sanctioned escape hatch: an explicitly
+// suppressed, documented, unreachable panic.
+func invariant(x int) int {
+	if x < 0 {
+		//lint:ignore nopanic callers validate x at the API boundary
+		panic("unreachable: negative after validation")
+	}
+	return x
+}

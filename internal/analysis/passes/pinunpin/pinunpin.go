@@ -1,0 +1,434 @@
+// Package pinunpin enforces the buffer-pool pin discipline: every page
+// pinned through BufferPool.Fetch or BufferPool.NewPage must reach a
+// matching Unpin on every control-flow path of the enclosing function
+// (error returns included), unless ownership of the pin escapes — the
+// pinned buffer is stored in a field, captured in a composite literal, or
+// returned to the caller, as the heap iterator does.
+//
+// A leaked pin never crashes; it silently shrinks the pool's eviction
+// candidate set until "buffer pool exhausted (N pages, all pinned)"
+// surfaces under load, far from the leak. That failure mode is exactly
+// what this analyzer turns into a compile-time-style report.
+package pinunpin
+
+import (
+	"go/ast"
+	"go/types"
+
+	"recdb/internal/analysis"
+)
+
+// Analyzer is the pinunpin pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinunpin",
+	Doc:  "every BufferPool.Fetch/NewPage must be balanced by Unpin on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		checkFunc(pass, fd)
+	}
+	return nil
+}
+
+// pin is one Fetch/NewPage call site.
+type pin struct {
+	call   *ast.CallExpr
+	method string
+	// bufObj is the variable holding the pinned buffer (nil when the
+	// result is discarded or not a simple assignment).
+	bufObj types.Object
+	// errObj is the error result variable, used to recognize the
+	// "if err != nil { return }" failure path where no pin is held.
+	errObj types.Object
+	stmt   ast.Stmt // the statement containing the call
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var pins []pin
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Rhs) != 1 {
+				return true
+			}
+			call, ok := v.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := pinCall(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			p := pin{call: call, method: method, stmt: v}
+			// Fetch returns (buf, err); NewPage returns (id, buf, err).
+			bufIdx := 0
+			if method == "NewPage" {
+				bufIdx = 1
+			}
+			if bufIdx < len(v.Lhs) {
+				p.bufObj = identObj(pass.TypesInfo, v.Lhs[bufIdx])
+			}
+			if last := v.Lhs[len(v.Lhs)-1]; len(v.Lhs) > 1 {
+				if o := identObj(pass.TypesInfo, last); o != nil && analysis.ErrorType(o.Type()) {
+					p.errObj = o
+				}
+			}
+			pins = append(pins, p)
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				if method, ok := pinCall(pass.TypesInfo, call); ok {
+					pass.Reportf(call.Pos(), "result of %s discarded: the page stays pinned forever", method)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, p := range pins {
+		if p.bufObj != nil && escapes(fd.Body, pass.TypesInfo, p.bufObj) {
+			continue // pin ownership transferred; caller releases
+		}
+		c := &checker{info: pass.TypesInfo, pin: p}
+		if c.leaks(fd) {
+			pass.Reportf(p.call.Pos(), "page pinned by %s is not unpinned on every path (missing Unpin before return)", p.method)
+		}
+	}
+}
+
+// pinCall reports whether call pins a page, returning the method name.
+func pinCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	for _, m := range []string{"Fetch", "NewPage"} {
+		if _, ok := analysis.MethodCall(info, call, "BufferPool", m); ok {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// escapes reports whether the pinned buffer's ownership leaves the
+// function: stored through a selector or index expression, placed in a
+// composite literal, or returned.
+func escapes(body *ast.BlockStmt, info *types.Info, obj types.Object) bool {
+	usesObj := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					rhs := v.Rhs[0]
+					if len(v.Rhs) == len(v.Lhs) {
+						rhs = v.Rhs[i]
+					}
+					if usesObj(rhs) {
+						escaped = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if id, ok := r.(*ast.Ident); ok && info.Uses[id] == obj {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				if usesObj(el) {
+					escaped = true
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// checker walks control flow from a pin site looking for a path that
+// reaches a return (or the end of the function) without an Unpin.
+type checker struct {
+	info *types.Info
+	pin  pin
+
+	deferRelease bool
+	leak         bool
+}
+
+// stateSet tracks which pin states are possible at a program point.
+type stateSet struct {
+	released   bool // some path has already unpinned
+	unreleased bool // some path still holds the pin
+}
+
+func (s stateSet) union(o stateSet) stateSet {
+	return stateSet{s.released || o.released, s.unreleased || o.unreleased}
+}
+
+func (s stateSet) empty() bool { return !s.released && !s.unreleased }
+
+// leaks runs the walk: the statements after the pin in its enclosing
+// block, then the remainders of every enclosing block outward.
+func (c *checker) leaks(fd *ast.FuncDecl) bool {
+	lists := enclosingLists(fd.Body, c.pin.stmt)
+	if lists == nil {
+		return false // should not happen; be silent rather than wrong
+	}
+	in := stateSet{unreleased: true}
+	for _, le := range lists {
+		in = c.walkList(le.list[le.index+1:], in)
+		if in.empty() {
+			break
+		}
+	}
+	// Falling off the end of the function still holding the pin.
+	if in.unreleased && !c.deferRelease {
+		c.leak = true
+	}
+	return c.leak
+}
+
+// listEntry is one enclosing statement list and the index of the child
+// containing the pin.
+type listEntry struct {
+	list  []ast.Stmt
+	index int
+}
+
+// enclosingLists returns the chain of statement lists enclosing target,
+// innermost first.
+func enclosingLists(body *ast.BlockStmt, target ast.Stmt) []listEntry {
+	var path []listEntry
+	var find func(list []ast.Stmt) bool
+	contains := func(s ast.Stmt) bool {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if n == target {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	var findIn func(s ast.Stmt) bool
+	find = func(list []ast.Stmt) bool {
+		for i, s := range list {
+			if s == target {
+				path = append(path, listEntry{list, i})
+				return true
+			}
+			if contains(s) {
+				if findIn(s) {
+					path = append(path, listEntry{list, i})
+					return true
+				}
+				return false
+			}
+		}
+		return false
+	}
+	findIn = func(s ast.Stmt) bool {
+		switch v := s.(type) {
+		case *ast.BlockStmt:
+			return find(v.List)
+		case *ast.IfStmt:
+			if find(v.Body.List) {
+				return true
+			}
+			if v.Else != nil {
+				return findIn(v.Else)
+			}
+			return false
+		case *ast.ForStmt:
+			return find(v.Body.List)
+		case *ast.RangeStmt:
+			return find(v.Body.List)
+		case *ast.SwitchStmt:
+			return findIn(&ast.BlockStmt{List: caseBodies(v.Body)})
+		case *ast.TypeSwitchStmt:
+			return findIn(&ast.BlockStmt{List: caseBodies(v.Body)})
+		case *ast.SelectStmt:
+			return findIn(&ast.BlockStmt{List: commBodies(v.Body)})
+		case *ast.LabeledStmt:
+			return findIn(v.Stmt)
+		}
+		return false
+	}
+	if !find(body.List) {
+		return nil
+	}
+	return path
+}
+
+func caseBodies(b *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range b.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			out = append(out, cc.Body...)
+		}
+	}
+	return out
+}
+
+func commBodies(b *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range b.List {
+		if cc, ok := s.(*ast.CommClause); ok {
+			out = append(out, cc.Body...)
+		}
+	}
+	return out
+}
+
+// walkList interprets a statement sequence, returning the possible states
+// on fallthrough. Returns encountered while unreleased mark a leak.
+func (c *checker) walkList(stmts []ast.Stmt, in stateSet) stateSet {
+	states := in
+	for _, s := range stmts {
+		if states.empty() {
+			return states
+		}
+		states = c.walkStmt(s, states)
+	}
+	return states
+}
+
+func (c *checker) walkStmt(s ast.Stmt, in stateSet) stateSet {
+	switch v := s.(type) {
+	case *ast.ReturnStmt:
+		if in.unreleased && !c.deferRelease {
+			c.leak = true
+		}
+		return stateSet{}
+	case *ast.DeferStmt:
+		if containsUnpin(c.info, v) {
+			c.deferRelease = true
+			return stateSet{released: true}
+		}
+		return in
+	case *ast.IfStmt:
+		if c.isErrGuard(v.Cond) {
+			// The failure path of the pin itself: no pin is held inside,
+			// so its returns are exempt. Fallthrough keeps the pin state.
+			return in
+		}
+		out := c.walkList(v.Body.List, in)
+		if v.Else != nil {
+			out = out.union(c.walkStmt(v.Else, in))
+		} else {
+			out = out.union(in)
+		}
+		return out
+	case *ast.BlockStmt:
+		return c.walkList(v.List, in)
+	case *ast.ForStmt:
+		return in.union(c.walkList(v.Body.List, in))
+	case *ast.RangeStmt:
+		return in.union(c.walkList(v.Body.List, in))
+	case *ast.SwitchStmt:
+		return c.walkCases(v.Body, in, hasDefault(v.Body))
+	case *ast.TypeSwitchStmt:
+		return c.walkCases(v.Body, in, hasDefault(v.Body))
+	case *ast.SelectStmt:
+		return c.walkCases(v.Body, in, false)
+	case *ast.LabeledStmt:
+		return c.walkStmt(v.Stmt, in)
+	case *ast.BranchStmt:
+		// break/continue/goto: stop tracking this path rather than guess.
+		return stateSet{}
+	default:
+		if containsUnpin(c.info, s) {
+			return stateSet{released: true}
+		}
+		return in
+	}
+}
+
+func hasDefault(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if cc, ok := s.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkCases(b *ast.BlockStmt, in stateSet, exhaustive bool) stateSet {
+	var out stateSet
+	for _, s := range b.List {
+		var body []ast.Stmt
+		switch cc := s.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			body = cc.Body
+		default:
+			continue
+		}
+		out = out.union(c.walkList(body, in))
+	}
+	if !exhaustive {
+		out = out.union(in)
+	}
+	return out
+}
+
+// isErrGuard reports whether cond tests the pin's error result against
+// nil ("err != nil" in either operand order).
+func (c *checker) isErrGuard(cond ast.Expr) bool {
+	if c.pin.errObj == nil {
+		return false
+	}
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "!=" {
+		return false
+	}
+	isErr := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && c.info.Uses[id] == c.pin.errObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isErr(be.X) && isNil(be.Y)) || (isErr(be.Y) && isNil(be.X))
+}
+
+// containsUnpin reports whether an Unpin call on a BufferPool occurs
+// anywhere inside the node.
+func containsUnpin(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := analysis.MethodCall(info, call, "BufferPool", "Unpin"); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package pinunpin_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/pinunpin"
+)
+
+func TestViolations(t *testing.T) { analysistest.Run(t, ".", pinunpin.Analyzer, "a") }
+
+func TestCompliant(t *testing.T) { analysistest.Run(t, ".", pinunpin.Analyzer, "b") }

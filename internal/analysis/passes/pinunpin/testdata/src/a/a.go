@@ -1,0 +1,51 @@
+// Package a holds pin-discipline violations for the pinunpin analyzer.
+// The BufferPool here mirrors the storage one by name and method shape.
+package a
+
+type PageID uint32
+
+type BufferPool struct{}
+
+func (bp *BufferPool) Fetch(id PageID) ([]byte, error)  { return nil, nil }
+func (bp *BufferPool) NewPage() (PageID, []byte, error) { return 0, nil, nil }
+func (bp *BufferPool) Unpin(id PageID, dirty bool)      {}
+
+// leakOnEarlyReturn unpins on the happy path but leaks when returning from
+// the middle of the function.
+func leakOnEarlyReturn(bp *BufferPool, id PageID) error {
+	buf, err := bp.Fetch(id) // want "not unpinned on every path"
+	if err != nil {
+		return err
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	bp.Unpin(id, false)
+	return nil
+}
+
+// leakAtEnd never unpins at all.
+func leakAtEnd(bp *BufferPool, id PageID) {
+	buf, err := bp.Fetch(id) // want "not unpinned on every path"
+	_ = buf
+	_ = err
+}
+
+// leakNewPage leaks the freshly allocated page on the full branch.
+func leakNewPage(bp *BufferPool, full bool) error {
+	id, buf, err := bp.NewPage() // want "not unpinned on every path"
+	if err != nil {
+		return err
+	}
+	_ = buf
+	if full {
+		return nil
+	}
+	bp.Unpin(id, true)
+	return nil
+}
+
+// discarded drops the pinned buffer on the floor.
+func discarded(bp *BufferPool, id PageID) {
+	bp.Fetch(id) // want "discarded"
+}

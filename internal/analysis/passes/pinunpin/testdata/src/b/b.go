@@ -1,0 +1,66 @@
+// Package b holds compliant pin usage; the analyzer must stay silent.
+package b
+
+type PageID uint32
+
+type BufferPool struct{}
+
+func (bp *BufferPool) Fetch(id PageID) ([]byte, error)  { return nil, nil }
+func (bp *BufferPool) NewPage() (PageID, []byte, error) { return 0, nil, nil }
+func (bp *BufferPool) Unpin(id PageID, dirty bool)      {}
+
+func balanced(bp *BufferPool, id PageID) error {
+	buf, err := bp.Fetch(id)
+	if err != nil {
+		return err
+	}
+	_ = buf
+	bp.Unpin(id, false)
+	return nil
+}
+
+func deferred(bp *BufferPool, id PageID) (int, error) {
+	buf, err := bp.Fetch(id)
+	if err != nil {
+		return 0, err
+	}
+	defer bp.Unpin(id, false)
+	return len(buf), nil
+}
+
+func unpinInAllBranches(bp *BufferPool, id PageID, flag bool) {
+	buf, _ := bp.Fetch(id)
+	_ = buf
+	if flag {
+		bp.Unpin(id, false)
+		return
+	}
+	bp.Unpin(id, true)
+}
+
+type iterator struct {
+	buf    []byte
+	pinned bool
+}
+
+// escapeToField transfers pin ownership to the iterator, which unpins in
+// its own Close; the analyzer must not flag the transfer.
+func escapeToField(bp *BufferPool, id PageID, it *iterator) error {
+	buf, err := bp.Fetch(id)
+	if err != nil {
+		return err
+	}
+	it.buf = buf
+	it.pinned = true
+	return nil
+}
+
+func newPageBalanced(bp *BufferPool) (PageID, error) {
+	id, buf, err := bp.NewPage()
+	if err != nil {
+		return 0, err
+	}
+	buf[0] = 1
+	bp.Unpin(id, true)
+	return id, nil
+}

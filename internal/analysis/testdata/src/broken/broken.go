@@ -1,0 +1,6 @@
+// Package broken exists to prove the loader survives syntax errors.
+package broken
+
+func fine() int { return 1 }
+
+func bad(x int { return x }

@@ -1,0 +1,10 @@
+// Package ok is a well-formed fixture for framework tests. Function order
+// is deliberately non-alphabetical so sorting by position is observable.
+package ok
+
+func Zebra() int { return 1 }
+
+//lint:ignore funcmark suppressed on purpose for the framework test
+func Middle() int { return 2 }
+
+func Alpha() int { return 3 }

@@ -209,7 +209,7 @@ func (a *HashAggregate) Next() (types.Row, bool, error) {
 // Close implements Operator.
 func (a *HashAggregate) Close() error {
 	a.out = nil
-	return nil
+	return a.Child.Close()
 }
 
 // Distinct suppresses duplicate rows (SELECT DISTINCT).

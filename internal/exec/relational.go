@@ -463,7 +463,9 @@ func (s *Sort) Next() (types.Row, bool, error) {
 // Close implements Operator.
 func (s *Sort) Close() error {
 	s.rows = nil
-	return nil // child already closed by Collect
+	// Collect in Open closes the child on the happy path, but Close is
+	// idempotent and an Open that failed early leaves the child open.
+	return s.Child.Close()
 }
 
 // ---- Limit ----

@@ -118,6 +118,7 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) {
 	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok || f.pins == 0 {
+		//lint:ignore nopanic unpin of an unpinned page is caller corruption; continuing would double-free the frame
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
 	}
 	f.dirty = f.dirty || dirty

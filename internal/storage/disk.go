@@ -109,11 +109,11 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
 	if st.Size()%PageSize != 0 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: %s has size %d, not a multiple of the page size", path, st.Size())
 	}
 	return &FileDisk{f: f, n: uint32(st.Size() / PageSize), path: path}, nil

@@ -56,7 +56,9 @@ func (h *HeapFile) recount() error {
 		}
 		count++
 	}
+	h.mu.Lock()
 	h.rowCount = count
+	h.mu.Unlock()
 	return nil
 }
 

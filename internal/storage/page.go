@@ -33,6 +33,7 @@ type Page struct {
 // AsPage wraps a PageSize buffer as a Page.
 func AsPage(buf []byte) *Page {
 	if len(buf) != PageSize {
+		//lint:ignore nopanic all callers pass pool frames, which are PageSize by construction
 		panic(fmt.Sprintf("storage: AsPage on %d-byte buffer", len(buf)))
 	}
 	return &Page{buf: buf}

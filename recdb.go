@@ -130,6 +130,7 @@ func (db *DB) Exec(query string) (Result, error) {
 func (db *DB) MustExec(query string) Result {
 	r, err := db.Exec(query)
 	if err != nil {
+		//lint:ignore nopanic MustExec's documented contract, mirroring template.Must
 		panic(fmt.Sprintf("recdb: %v", err))
 	}
 	return r

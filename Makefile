@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-paper vet lint fmt examples clean
+.PHONY: all build test race cover bench bench-build bench-paper vet lint fmt examples clean
 
 all: vet lint test build
 
@@ -12,6 +12,7 @@ test:
 
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -cpu=1,4 ./internal/rec/... ./internal/reccache/... ./internal/exec/...
 
 cover:
 	$(GO) test -cover ./...
@@ -19,6 +20,11 @@ cover:
 # testing.B benches for every paper table/figure (scaled datasets).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Worker-scaling experiment for the parallel build kernels (short mode:
+# scaled-down MovieLens). Writes BENCH_build.json.
+bench-build:
+	$(GO) run ./cmd/recdb-bench -exp scaling -scale 0.25 -workers 1,2,4 -json BENCH_build.json
 
 # Regenerate the paper's tables at full scale (see EXPERIMENTS.md).
 bench-paper:

@@ -4,18 +4,21 @@
 //
 //	recdb-bench                      # all experiments at defaults
 //	recdb-bench -exp fig6,fig10      # a subset
-//	recdb-bench -scale 0.25          # scaled-down datasets (quick run)
+//	recdb-bench -scale 0.25         # scaled-down datasets (quick run)
 //	recdb-bench -neighborhood 0      # full similarity lists (paper setting)
 //	recdb-bench -md                  # Markdown output for EXPERIMENTS.md
+//	recdb-bench -exp scaling -workers 1,2,4 -json BENCH_build.json
 //
 // Experiment ids: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
-// ablations (or individual a1..a6), all.
+// ablations (or individual a1..a6), scaling, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -30,7 +33,15 @@ func main() {
 	neighborhood := flag.Int("neighborhood", 64, "similarity-list cap (0 = full lists, the paper's setting; 64 keeps full-scale OnTopDB runs tractable)")
 	reps := flag.Int("reps", 3, "repetitions per RecDB-side measurement")
 	md := flag.Bool("md", false, "emit Markdown tables")
+	workers := flag.String("workers", "1,2,4", "worker counts for the scaling experiment")
+	jsonPath := flag.String("json", "", "also write the result tables as JSON to this file")
 	flag.Parse()
+
+	workerCounts, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recdb-bench: -workers: %v\n", err)
+		os.Exit(2)
+	}
 
 	bench.Reps = *reps
 	spec := func(s dataset.Spec) dataset.Spec {
@@ -85,6 +96,9 @@ func main() {
 		{"a6", func() (bench.Table, error) {
 			return bench.RunPageIO(spec(dataset.MovieLens), *neighborhood)
 		}},
+		{"scaling", func() (bench.Table, error) {
+			return bench.RunScaling(spec(dataset.MovieLens), *neighborhood, workerCounts)
+		}},
 	}
 
 	wanted := map[string]bool{}
@@ -107,25 +121,59 @@ func main() {
 		}
 	}
 
-	ran := 0
+	var tables []bench.Table
 	for _, e := range experiments {
 		if !wanted[e.id] {
 			continue
 		}
-		ran++
 		start := time.Now()
 		tab, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "recdb-bench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		tables = append(tables, tab)
 		render(tab, *md)
 		fmt.Printf("  (experiment wall time: %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
-	if ran == 0 {
+	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "recdb-bench: no experiment matched %q\n", *exp)
 		os.Exit(2)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "recdb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("worker counts must be positive integers, got %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts given")
+	}
+	return out, nil
+}
+
+func writeJSON(path string, tables []bench.Table) error {
+	data, err := json.MarshalIndent(tables, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func render(t bench.Table, md bool) {

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"recdb/internal/catalog"
+	"recdb/internal/dataset"
+	"recdb/internal/rec"
+	"recdb/internal/reccache"
+	"recdb/internal/recindex"
+)
+
+// RunScaling measures the three parallel kernels — neighborhood build, SVD
+// training, and full RecScoreIndex materialization — at each worker count,
+// reporting wall time and speedup over the single-worker serial path. The
+// kernels are deterministic at every worker count (see DESIGN.md), so the
+// experiment compares identical work.
+func RunScaling(spec dataset.Spec, neighborhood int, workerCounts []int) (Table, error) {
+	t := Table{
+		ID:    "Scaling",
+		Title: fmt.Sprintf("Model build time vs workers (%s)", spec.Name),
+		Header: []string{
+			"Workers", "ItemCosCF", "speedup", "SVD", "speedup", "MaterializeAll", "speedup",
+		},
+	}
+	d := dataset.Generate(spec)
+	ratings := d.Ratings
+
+	var base [3]time.Duration
+	for n, w := range workerCounts {
+		opts := rec.BuildOptions{NeighborhoodSize: neighborhood, SVDSeed: 42, Workers: w}
+
+		start := time.Now()
+		model, err := rec.BuildNeighborhood(ratings, rec.ItemCosCF, opts)
+		if err != nil {
+			return t, err
+		}
+		dNeigh := time.Since(start)
+
+		start = time.Now()
+		if _, err := rec.TrainSVD(ratings, opts); err != nil {
+			return t, err
+		}
+		dSVD := time.Since(start)
+
+		cat := catalog.New(nil, 0)
+		store, err := rec.Materialize(cat, "scaling", model)
+		if err != nil {
+			return t, err
+		}
+		cache := reccache.New(recindex.New(), 0, func() float64 { return 0 })
+		cache.Workers = w
+		start = time.Now()
+		if err := cache.MaterializeAll(store); err != nil {
+			return t, err
+		}
+		dMat := time.Since(start)
+
+		timings := [3]time.Duration{dNeigh, dSVD, dMat}
+		if n == 0 {
+			base = timings
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			dur(dNeigh), speedup(dNeigh, base[0]),
+			dur(dSVD), speedup(dSVD, base[1]),
+			dur(dMat), speedup(dMat, base[2]),
+		})
+	}
+	return t, nil
+}

@@ -492,12 +492,23 @@ func matchRIDs(tab *catalog.Table, pred expr.Compiled) ([]storage.RID, error) {
 }
 
 func (e *Engine) execCreateRecommender(s *sql.CreateRecommender) (Result, error) {
-	_, err := e.rec.Create(s.Name, s.Table, s.UserCol, s.ItemCol, s.RatingCol, s.Algorithm)
+	_, err := e.rec.CreateFromSpec(rec.CreateSpec{
+		Name: s.Name, Table: s.Table,
+		UserCol: s.UserCol, ItemCol: s.ItemCol, RatingCol: s.RatingCol,
+		Algorithm: s.Algorithm, Workers: s.Workers,
+	})
 	if err != nil {
 		return Result{}, err
 	}
+	cache := reccache.New(recindex.New(), e.cfg.HotnessThreshold, e.cfg.CacheClock)
+	// The recommender's WORKERS setting also bounds cache materialization;
+	// with none given, fall back to the engine-wide build parallelism.
+	cache.Workers = s.Workers
+	if cache.Workers == 0 {
+		cache.Workers = e.cfg.Rec.Build.Workers
+	}
 	e.mu.Lock()
-	e.caches[strings.ToLower(s.Name)] = reccache.New(recindex.New(), e.cfg.HotnessThreshold, e.cfg.CacheClock)
+	e.caches[strings.ToLower(s.Name)] = cache
 	e.mu.Unlock()
 	return Result{}, nil
 }

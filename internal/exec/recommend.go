@@ -49,10 +49,11 @@ type Recommend struct {
 	curNeighbors []rec.Neighbor // user-based: current user's similarity list
 	curFactors   []float64      // SVD: current user's factor vector
 
-	// Per-item state is memoized across the user loop when more than one
-	// user is scanned: Algorithm 1 re-reads the item-side table for every
-	// user, and with a warm buffer pool those repeat reads are cache hits;
-	// the memo models that without per-pair index-scan overhead.
+	// Per-item state is memoized across the user loop: Algorithm 1
+	// re-reads the item-side table for every user, and with a warm buffer
+	// pool those repeat reads are cache hits; the memo models that without
+	// per-pair index-scan overhead. Single-user scans benefit too, since
+	// the restricted item list can still repeat lookups across operators.
 	itemNeighborsMemo map[int64][]rec.Neighbor
 	itemRatersMemo    map[int64]map[int64]float64
 	itemFactorsMemo   map[int64][]float64
@@ -80,15 +81,13 @@ func (r *Recommend) Open() error {
 	}
 	r.ui, r.ii = 0, 0
 	r.curUserItems = nil
-	if len(r.users) > 1 {
-		switch {
-		case r.Store.Algo.ItemBased():
-			r.itemNeighborsMemo = make(map[int64][]rec.Neighbor)
-		case r.Store.Algo.UserBased():
-			r.itemRatersMemo = make(map[int64]map[int64]float64)
-		case r.Store.Algo == rec.SVD:
-			r.itemFactorsMemo = make(map[int64][]float64)
-		}
+	switch {
+	case r.Store.Algo.ItemBased():
+		r.itemNeighborsMemo = make(map[int64][]rec.Neighbor)
+	case r.Store.Algo.UserBased():
+		r.itemRatersMemo = make(map[int64]map[int64]float64)
+	case r.Store.Algo == rec.SVD:
+		r.itemFactorsMemo = make(map[int64][]float64)
 	}
 	return nil
 }
@@ -169,27 +168,23 @@ func (r *Recommend) predict(u, i int64) (float64, bool, error) {
 	switch {
 	case r.Store.Algo.ItemBased():
 		neighbors, cached := r.itemNeighborsMemo[i]
-		if !cached || r.itemNeighborsMemo == nil {
+		if !cached {
 			var err error
 			if neighbors, err = r.Store.ItemNeighbors(i); err != nil {
 				return 0, false, err
 			}
-			if r.itemNeighborsMemo != nil {
-				r.itemNeighborsMemo[i] = neighbors
-			}
+			r.itemNeighborsMemo[i] = neighbors
 		}
 		s, ok := rec.PredictWeighted(neighbors, r.curUserItems)
 		return s, ok, nil
 	case r.Store.Algo.UserBased():
 		raters, cached := r.itemRatersMemo[i]
-		if !cached || r.itemRatersMemo == nil {
+		if !cached {
 			var err error
 			if raters, err = r.Store.ItemRaters(i); err != nil {
 				return 0, false, err
 			}
-			if r.itemRatersMemo != nil {
-				r.itemRatersMemo[i] = raters
-			}
+			r.itemRatersMemo[i] = raters
 		}
 		s, ok := rec.PredictWeighted(r.curNeighbors, raters)
 		return s, ok, nil
@@ -197,14 +192,12 @@ func (r *Recommend) predict(u, i int64) (float64, bool, error) {
 		return r.Store.ItemScoreOf(i)
 	default: // SVD, Algorithm 2
 		q, cached := r.itemFactorsMemo[i]
-		if !cached || r.itemFactorsMemo == nil {
+		if !cached {
 			var err error
 			if q, err = r.Store.ItemFactors(i); err != nil {
 				return 0, false, err
 			}
-			if r.itemFactorsMemo != nil {
-				r.itemFactorsMemo[i] = q
-			}
+			r.itemFactorsMemo[i] = q
 		}
 		if r.curFactors == nil || q == nil {
 			return 0, false, nil

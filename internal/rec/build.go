@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 )
 
 // Neighbor is one entry of a similarity list: a neighboring entity (item or
@@ -19,15 +20,27 @@ type BuildOptions struct {
 	// NeighborhoodSize truncates each similarity list to the top-N most
 	// similar entries; 0 keeps the full list (the paper's default).
 	NeighborhoodSize int
+	// Workers bounds the worker pool used by the model-build kernels
+	// (neighborhood similarity, SVD training, bulk prediction). 0 selects
+	// runtime.NumCPU(); 1 is the serial path (no goroutines). Every kernel
+	// produces a bit-identical model at any worker count.
+	Workers int
 	// SVD hyperparameters (used only by the SVD algorithm).
 	SVDFactors int     // latent factor count (default 10)
 	SVDEpochs  int     // SGD passes over the ratings (default 20)
 	SVDRate    float64 // learning rate (default 0.01)
 	SVDLambda  float64 // L2 regularization λ from Equation 3 (default 0.05)
 	SVDSeed    int64   // deterministic initialization seed
+	// SVDHogwild selects the lock-free fast mode for SVD training: workers
+	// update shared item factors through atomics without the stratified
+	// schedule's rotation barriers (Niu et al., Hogwild!, NIPS 2011).
+	// Faster on high-core machines, but the trained factors depend on the
+	// goroutine interleaving and are NOT reproducible run to run.
+	SVDHogwild bool
 }
 
 func (o BuildOptions) withDefaults() BuildOptions {
+	o.Workers = resolveWorkers(o.Workers)
 	if o.SVDFactors <= 0 {
 		o.SVDFactors = 10
 	}
@@ -143,95 +156,172 @@ type NeighborhoodModel struct {
 // algorithm (Step I of §II; Equation 1 for cosine). For Pearson variants
 // the vectors are mean-centered per entity before the cosine, the classic
 // adjusted formulation.
+//
+// The pairwise dot products are accumulated in parallel over
+// opts.Workers workers. Each (a, b) accumulator is owned by exactly one
+// worker — the one that owns entity a's position — and every worker
+// walks the shared dimensions in ascending order, so the float sums are
+// formed in the same order at any worker count and the model is
+// bit-identical whether built serially or in parallel.
 func BuildNeighborhood(ratings []Rating, algo Algorithm, opts BuildOptions) (*NeighborhoodModel, error) {
 	if !algo.ItemBased() && !algo.UserBased() {
 		return nil, fmt.Errorf("rec: %v is not a neighborhood algorithm", algo)
 	}
 	opts = opts.withDefaults()
+	workers := opts.Workers
 	ix := indexRatings(ratings)
 
 	// For item-based models the "entities" are items and the shared
 	// dimension is users; user-based swaps the roles. vectors[e] maps
 	// dimension → value.
-	var vectors map[int64]map[int64]float64
+	var vectors, shared map[int64]map[int64]float64
+	var entities, dims []int64
 	if algo.ItemBased() {
-		vectors = ix.byItem
+		vectors, entities = ix.byItem, ix.items
+		shared, dims = ix.byUser, ix.users // user → items rated
 	} else {
-		vectors = ix.byUser
+		vectors, entities = ix.byUser, ix.users
+		shared, dims = ix.byItem, ix.items // item → users who rated
+	}
+	ne := len(entities)
+	pos := make(map[int64]int32, ne)
+	for p, e := range entities {
+		pos[e] = int32(p)
 	}
 
-	// Optional mean-centering for Pearson.
-	center := map[int64]float64{}
-	if algo.Pearson() {
-		for e, vec := range vectors {
-			var sum float64
-			for _, v := range vec {
-				sum += v
+	// Per-entity mean (Pearson only) and vector norm, chunked by entity.
+	// Norm terms are summed in ascending dimension order so the value does
+	// not depend on map iteration order.
+	pearson := algo.Pearson()
+	center := make([]float64, ne)
+	norms := make([]float64, ne)
+	runChunks(workers, ne, func(lo, hi int) {
+		var dimbuf []int64
+		for pe := lo; pe < hi; pe++ {
+			vec := vectors[entities[pe]]
+			dimbuf = dimbuf[:0]
+			for d := range vec {
+				dimbuf = append(dimbuf, d)
 			}
-			center[e] = sum / float64(len(vec))
+			sort.Slice(dimbuf, func(i, j int) bool { return dimbuf[i] < dimbuf[j] })
+			if pearson {
+				var sum float64
+				for _, d := range dimbuf {
+					sum += vec[d]
+				}
+				center[pe] = sum / float64(len(dimbuf))
+			}
+			var s float64
+			c := center[pe]
+			for _, d := range dimbuf {
+				v := vec[d] - c
+				s += v * v
+			}
+			norms[pe] = math.Sqrt(s)
 		}
-	}
-	val := func(e int64, dim int64) float64 {
-		return vectors[e][dim] - center[e]
-	}
+	})
 
-	// Accumulate pairwise dot products via the shared dimension: for each
-	// dimension (user for item-based), every pair of co-rated entities
-	// contributes. Norms come per entity.
-	norms := make(map[int64]float64, len(vectors))
-	for e, vec := range vectors {
-		var s float64
-		for dim := range vec {
-			v := val(e, dim)
-			s += v * v
-		}
-		norms[e] = math.Sqrt(s)
+	// Flatten the shared-dimension view into one CSR-style buffer: for each
+	// dimension, the ascending entity positions that co-occur on it and
+	// their centered values. One allocation replaces the per-dimension ids
+	// slice of the old serial loop.
+	nd := len(dims)
+	offsets := make([]int, nd+1)
+	for pd, d := range dims {
+		offsets[pd+1] = offsets[pd] + len(shared[d])
 	}
-	type pair struct{ a, b int64 }
-	dots := make(map[pair]float64)
-	var shared map[int64]map[int64]float64
-	if algo.ItemBased() {
-		shared = ix.byUser // user → items rated
-	} else {
-		shared = ix.byItem // item → users who rated
-	}
-	for dim, entities := range shared {
-		ids := make([]int64, 0, len(entities))
-		for e := range entities {
-			ids = append(ids, e)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for x := 0; x < len(ids); x++ {
-			vx := val(ids[x], dim)
-			for y := x + 1; y < len(ids); y++ {
-				dots[pair{ids[x], ids[y]}] += vx * val(ids[y], dim)
+	dimPos := make([]int32, offsets[nd])
+	dimVal := make([]float64, offsets[nd])
+	runChunks(workers, nd, func(lo, hi int) {
+		for pd := lo; pd < hi; pd++ {
+			row := shared[dims[pd]]
+			seg := dimPos[offsets[pd]:offsets[pd+1]]
+			x := 0
+			for e := range row {
+				seg[x] = pos[e]
+				x++
+			}
+			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			vseg := dimVal[offsets[pd]:offsets[pd+1]]
+			for x, pe := range seg {
+				vseg[x] = row[entities[pe]] - center[pe]
 			}
 		}
-	}
+	})
 
-	neighbors := make(map[int64][]Neighbor, len(vectors))
-	for p, dot := range dots {
-		na, nb := norms[p.a], norms[p.b]
-		if na == 0 || nb == 0 || dot == 0 {
-			continue
-		}
-		sim := dot / (na * nb)
-		neighbors[p.a] = append(neighbors[p.a], Neighbor{ID: p.b, Sim: sim})
-		neighbors[p.b] = append(neighbors[p.b], Neighbor{ID: p.a, Sim: sim})
-	}
-	for e := range neighbors {
-		list := neighbors[e]
-		sort.Slice(list, func(i, j int) bool {
-			ai, aj := math.Abs(list[i].Sim), math.Abs(list[j].Sim)
-			if ai != aj {
-				return ai > aj
+	// Sharded dot-product accumulation: worker w owns every pair whose
+	// first (lower) entity position is ≡ w mod workers. The outer scan over
+	// dimensions is replicated per worker — O(nnz), cheap — while the
+	// quadratic inner loop is partitioned.
+	shards := make([]map[uint64]float64, workers)
+	runWorkers(workers, func(w int) {
+		dots := make(map[uint64]float64)
+		for pd := 0; pd < nd; pd++ {
+			seg := dimPos[offsets[pd]:offsets[pd+1]]
+			vseg := dimVal[offsets[pd]:offsets[pd+1]]
+			for x := 0; x < len(seg); x++ {
+				if int(seg[x])%workers != w {
+					continue
+				}
+				vx := vseg[x]
+				base := uint64(seg[x]) << 32
+				for y := x + 1; y < len(seg); y++ {
+					dots[base|uint64(seg[y])] += vx * vseg[y]
+				}
 			}
-			return list[i].ID < list[j].ID
-		})
-		if opts.NeighborhoodSize > 0 && len(list) > opts.NeighborhoodSize {
-			list = list[:opts.NeighborhoodSize]
 		}
-		neighbors[e] = list
+		shards[w] = dots
+	})
+
+	// Merge shards into per-entity lists, then sort and truncate, chunked
+	// by entity position. Concurrent chunk workers only read the shard
+	// maps and write disjoint list slots. Append order varies with map
+	// iteration, but the sort's (|sim| desc, ID asc) key is total, so the
+	// final lists are deterministic.
+	lists := make([][]Neighbor, ne)
+	runChunks(workers, ne, func(lo, hi int) {
+		for _, dots := range shards {
+			for key, dot := range dots {
+				pa, pb := int(key>>32), int(key&0xffffffff)
+				aIn := pa >= lo && pa < hi
+				bIn := pb >= lo && pb < hi
+				if !aIn && !bIn {
+					continue
+				}
+				na, nb := norms[pa], norms[pb]
+				if na == 0 || nb == 0 || dot == 0 {
+					continue
+				}
+				sim := dot / (na * nb)
+				if aIn {
+					lists[pa] = append(lists[pa], Neighbor{ID: entities[pb], Sim: sim})
+				}
+				if bIn {
+					lists[pb] = append(lists[pb], Neighbor{ID: entities[pa], Sim: sim})
+				}
+			}
+		}
+		for pe := lo; pe < hi; pe++ {
+			list := lists[pe]
+			sort.Slice(list, func(i, j int) bool {
+				ai, aj := math.Abs(list[i].Sim), math.Abs(list[j].Sim)
+				if ai != aj {
+					return ai > aj
+				}
+				return list[i].ID < list[j].ID
+			})
+			if opts.NeighborhoodSize > 0 && len(list) > opts.NeighborhoodSize {
+				list = list[:opts.NeighborhoodSize]
+			}
+			lists[pe] = list
+		}
+	})
+
+	neighbors := make(map[int64][]Neighbor, ne)
+	for pe, list := range lists {
+		if len(list) > 0 {
+			neighbors[entities[pe]] = list
+		}
 	}
 	return &NeighborhoodModel{algo: algo, ix: ix, neighbors: neighbors}, nil
 }
@@ -302,6 +392,15 @@ type FactorModel struct {
 
 // TrainSVD learns the factor model by stochastic gradient descent on the
 // regularized squared error of Equation 3.
+//
+// Training uses a stratified parallel schedule (Gemulla et al., KDD 2011):
+// users and items are each split into svdStrata strata, and within one
+// rotation the worker pool processes blocks that are pairwise disjoint in
+// both users and items, so concurrent updates never touch the same factor
+// vector. The schedule — block order, per-block visit order, and RNG
+// streams — is fixed by SVDSeed alone, so the trained factors are
+// bit-identical at any worker count (Workers: 1 runs the same schedule
+// serially). Set SVDHogwild for the faster non-reproducible mode.
 func TrainSVD(ratings []Rating, opts BuildOptions) (*FactorModel, error) {
 	opts = opts.withDefaults()
 	ix := indexRatings(ratings)
@@ -326,24 +425,127 @@ func TrainSVD(ratings []Rating, opts BuildOptions) (*FactorModel, error) {
 	for _, i := range ix.items {
 		m.ItemFactors[i] = initVec()
 	}
-	// Deterministic training order: ratings sorted by (user, item).
-	train := ix.allRatings()
-	lr, lam := opts.SVDRate, opts.SVDLambda
-	for epoch := 0; epoch < opts.SVDEpochs; epoch++ {
-		// Shuffle deterministically per epoch.
-		rng.Shuffle(len(train), func(a, b int) { train[a], train[b] = train[b], train[a] })
-		for _, r := range train {
-			p, q := m.UserFactors[r.User], m.ItemFactors[r.Item]
-			pred := Dot(p, q)
-			err := r.Value - pred
-			for f := 0; f < k; f++ {
-				pf, qf := p[f], q[f]
-				p[f] += lr * (err*qf - lam*pf)
-				q[f] += lr * (err*pf - lam*qf)
-			}
-		}
+	if opts.SVDHogwild && opts.Workers > 1 {
+		trainHogwild(m, ix, opts)
+	} else {
+		trainStratified(m, ix, opts)
 	}
 	return m, nil
+}
+
+// svdStrata is the stratification degree S of the DSGD schedule: ratings
+// are bucketed into an S×S grid of (user stratum, item stratum) blocks.
+const svdStrata = 8
+
+// trainStratified runs the deterministic DSGD schedule: SVDEpochs epochs
+// of svdStrata rotations; rotation rot processes the blocks
+// (us, (us+rot) mod S) for every user stratum us, which are pairwise
+// disjoint in users and items and therefore safe to run concurrently.
+// Each block shuffles and applies its ratings under an RNG derived from
+// (SVDSeed, epoch, rot, us), so the result does not depend on how blocks
+// are assigned to workers.
+func trainStratified(m *FactorModel, ix *ratingsIndex, opts BuildOptions) {
+	k, lr, lam := m.K, opts.SVDRate, opts.SVDLambda
+	userStratum := make(map[int64]int, len(ix.users))
+	for p, u := range ix.users {
+		userStratum[u] = p % svdStrata
+	}
+	itemStratum := make(map[int64]int, len(ix.items))
+	for p, i := range ix.items {
+		itemStratum[i] = p % svdStrata
+	}
+	blocks := make([][]Rating, svdStrata*svdStrata)
+	for _, r := range ix.allRatings() {
+		b := userStratum[r.User]*svdStrata + itemStratum[r.Item]
+		blocks[b] = append(blocks[b], r)
+	}
+	workers := opts.Workers
+	if workers > svdStrata {
+		workers = svdStrata
+	}
+	for epoch := 0; epoch < opts.SVDEpochs; epoch++ {
+		for rot := 0; rot < svdStrata; rot++ {
+			runWorkers(workers, func(w int) {
+				for us := w; us < svdStrata; us += workers {
+					is := (us + rot) % svdStrata
+					block := blocks[us*svdStrata+is]
+					if len(block) == 0 {
+						continue
+					}
+					rng := rand.New(rand.NewSource(mixSeed(opts.SVDSeed, int64(epoch), int64(rot), int64(us))))
+					rng.Shuffle(len(block), func(a, b int) { block[a], block[b] = block[b], block[a] })
+					for _, r := range block {
+						p, q := m.UserFactors[r.User], m.ItemFactors[r.Item]
+						pred := Dot(p, q)
+						err := r.Value - pred
+						for f := 0; f < k; f++ {
+							pf, qf := p[f], q[f]
+							p[f] += lr * (err*qf - lam*pf)
+							q[f] += lr * (err*pf - lam*qf)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// trainHogwild is the documented fast mode: users are partitioned across
+// workers (each worker exclusively owns its users' factor vectors) while
+// item factors are shared and updated lock-free through atomic loads and
+// stores of their bit patterns — the Hogwild! recipe, made race-detector
+// clean. Concurrent item updates can lose writes, which SGD tolerates;
+// the trade is speed for run-to-run reproducibility.
+func trainHogwild(m *FactorModel, ix *ratingsIndex, opts BuildOptions) {
+	k, lr, lam := m.K, opts.SVDRate, opts.SVDLambda
+	workers := opts.Workers
+	qbits := make(map[int64][]uint64, len(ix.items))
+	for _, it := range ix.items {
+		q := m.ItemFactors[it]
+		b := make([]uint64, k)
+		for f := range q {
+			b[f] = math.Float64bits(q[f])
+		}
+		qbits[it] = b
+	}
+	userPart := make(map[int64]int, len(ix.users))
+	for p, u := range ix.users {
+		userPart[u] = p % workers
+	}
+	parts := make([][]Rating, workers)
+	for _, r := range ix.allRatings() {
+		w := userPart[r.User]
+		parts[w] = append(parts[w], r)
+	}
+	for epoch := 0; epoch < opts.SVDEpochs; epoch++ {
+		runWorkers(workers, func(w int) {
+			part := parts[w]
+			rng := rand.New(rand.NewSource(mixSeed(opts.SVDSeed, int64(epoch), int64(w))))
+			rng.Shuffle(len(part), func(a, b int) { part[a], part[b] = part[b], part[a] })
+			qf := make([]float64, k)
+			for _, r := range part {
+				p := m.UserFactors[r.User]
+				qb := qbits[r.Item]
+				for f := 0; f < k; f++ {
+					qf[f] = math.Float64frombits(atomic.LoadUint64(&qb[f]))
+				}
+				pred := Dot(p, qf)
+				err := r.Value - pred
+				for f := 0; f < k; f++ {
+					pf, qv := p[f], qf[f]
+					p[f] += lr * (err*qv - lam*pf)
+					atomic.StoreUint64(&qb[f], math.Float64bits(qv+lr*(err*pf-lam*qv)))
+				}
+			}
+		})
+	}
+	for _, it := range ix.items {
+		b := qbits[it]
+		q := m.ItemFactors[it]
+		for f := range q {
+			q[f] = math.Float64frombits(b[f])
+		}
+	}
 }
 
 // Dot returns the inner product of two equal-length vectors.

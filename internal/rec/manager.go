@@ -36,6 +36,10 @@ type Recommender struct {
 	ItemCol   string
 	RatingCol string
 	Algo      Algorithm
+	// Workers is this recommender's build parallelism (CREATE RECOMMENDER
+	// ... WITH WORKERS n). 0 defers to the manager-wide
+	// Options.Build.Workers.
+	Workers int
 
 	mu         sync.RWMutex
 	store      *ModelStore
@@ -106,30 +110,54 @@ func (m *Manager) OnRebuild(fn func(*Recommender)) {
 	m.onRebuild = fn
 }
 
+// CreateSpec is the full definition accepted by CreateFromSpec, carrying
+// the per-recommender build options of CREATE RECOMMENDER.
+type CreateSpec struct {
+	Name      string
+	Table     string
+	UserCol   string
+	ItemCol   string
+	RatingCol string
+	Algorithm string
+	// Workers overrides Options.Build.Workers for this recommender's
+	// builds (including maintenance rebuilds); 0 keeps the manager-wide
+	// default.
+	Workers int
+}
+
 // Create implements CREATE RECOMMENDER: it loads the ratings table, builds
 // the model for the algorithm, and materializes it (Recommender
 // Initialization, §III-A).
 func (m *Manager) Create(name, table, userCol, itemCol, ratingCol, algoName string) (*Recommender, error) {
-	algo, err := ParseAlgorithm(algoName)
+	return m.CreateFromSpec(CreateSpec{
+		Name: name, Table: table,
+		UserCol: userCol, ItemCol: itemCol, RatingCol: ratingCol,
+		Algorithm: algoName,
+	})
+}
+
+// CreateFromSpec is Create with the full option set.
+func (m *Manager) CreateFromSpec(spec CreateSpec) (*Recommender, error) {
+	algo, err := ParseAlgorithm(spec.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	key := strings.ToLower(name)
+	key := strings.ToLower(spec.Name)
 	m.mu.Lock()
 	if _, exists := m.recs[key]; exists {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("rec: recommender %q already exists", name)
+		return nil, fmt.Errorf("rec: recommender %q already exists", spec.Name)
 	}
 	m.mu.Unlock()
 
-	ratings, err := m.loadRatings(table, userCol, itemCol, ratingCol)
+	ratings, err := m.loadRatings(spec.Table, spec.UserCol, spec.ItemCol, spec.RatingCol)
 	if err != nil {
 		return nil, err
 	}
 	r := &Recommender{
-		Name: name, Table: table,
-		UserCol: userCol, ItemCol: itemCol, RatingCol: ratingCol,
-		Algo: algo,
+		Name: spec.Name, Table: spec.Table,
+		UserCol: spec.UserCol, ItemCol: spec.ItemCol, RatingCol: spec.RatingCol,
+		Algo: algo, Workers: spec.Workers,
 	}
 	if err := m.buildAndSwap(r, ratings); err != nil {
 		return nil, err
@@ -138,8 +166,8 @@ func (m *Manager) Create(name, table, userCol, itemCol, ratingCol, algoName stri
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, exists := m.recs[key]; exists {
-		DropTables(m.cat, name)
-		return nil, fmt.Errorf("rec: recommender %q already exists", name)
+		DropTables(m.cat, spec.Name)
+		return nil, fmt.Errorf("rec: recommender %q already exists", spec.Name)
 	}
 	m.recs[key] = r
 	return r, nil
@@ -147,7 +175,11 @@ func (m *Manager) Create(name, table, userCol, itemCol, ratingCol, algoName stri
 
 func (m *Manager) buildAndSwap(r *Recommender, ratings []Rating) error {
 	start := time.Now()
-	model, err := Build(ratings, r.Algo, m.opts.Build)
+	opts := m.opts.Build
+	if r.Workers != 0 {
+		opts.Workers = r.Workers
+	}
+	model, err := Build(ratings, r.Algo, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,83 @@
+package rec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The parallel kernel layer: model building fans work out over a bounded
+// pool of workers sized by BuildOptions.Workers. Every kernel is designed
+// so the floating-point result is bit-identical at any worker count — each
+// accumulator is owned by exactly one worker and sums its terms in a fixed
+// order — so `Workers: 1` (the serial path, which spawns no goroutines)
+// and `Workers: N` build the same model.
+
+// resolveWorkers maps the Workers knob to an effective pool size:
+// 0 selects runtime.NumCPU(), anything below 1 is clamped to 1.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runWorkers runs fn(w) for every w in [0, workers). With a single worker
+// fn runs on the calling goroutine, so the serial path stays goroutine-free.
+func runWorkers(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runChunks splits [0, n) into one contiguous chunk per worker and runs
+// fn(lo, hi) on each. Chunk boundaries depend only on n and workers, and
+// every index belongs to exactly one chunk, so chunked writes are
+// conflict-free.
+func runChunks(workers, n int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	runWorkers(workers, func(w int) {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}
+
+// mixSeed derives an independent RNG seed from a base seed and a position
+// in the deterministic schedule (epoch, rotation, shard, ...), using
+// splitmix64 finalization so nearby schedule positions get uncorrelated
+// streams.
+func mixSeed(seed int64, parts ...int64) int64 {
+	z := uint64(seed)
+	for _, p := range parts {
+		z += 0x9e3779b97f4a7c15 + uint64(p)
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}

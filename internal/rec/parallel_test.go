@@ -1,0 +1,233 @@
+package rec
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// equivalenceRatings is a small but irregular dataset: ragged user
+// histories, duplicate values, and a rating count that does not divide
+// evenly by any worker count.
+func equivalenceRatings() []Rating {
+	rng := newDeterministicRand(7)
+	var out []Rating
+	for u := int64(1); u <= 60; u++ {
+		n := 3 + rng.next()%12
+		for x := int64(0); x < n; x++ {
+			out = append(out, Rating{
+				User:  u,
+				Item:  1 + rng.next()%80,
+				Value: float64(1 + rng.next()%5),
+			})
+		}
+	}
+	return out
+}
+
+// TestNeighborhoodParallelEquivalence asserts the tentpole guarantee for
+// the four neighborhood algorithms: the model built with one worker is
+// bit-identical to the model built with four (and with a worker count
+// larger than the entity count).
+func TestNeighborhoodParallelEquivalence(t *testing.T) {
+	ratings := equivalenceRatings()
+	for _, algo := range []Algorithm{ItemCosCF, ItemPearCF, UserCosCF, UserPearCF} {
+		serial, err := BuildNeighborhood(ratings, algo, BuildOptions{Workers: 1, NeighborhoodSize: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, 1000} {
+			parallel, err := BuildNeighborhood(ratings, algo, BuildOptions{Workers: workers, NeighborhoodSize: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parallel.neighbors) != len(serial.neighbors) {
+				t.Fatalf("%v workers=%d: %d entities with neighbors, want %d",
+					algo, workers, len(parallel.neighbors), len(serial.neighbors))
+			}
+			for e, want := range serial.neighbors {
+				got := parallel.neighbors[e]
+				if len(got) != len(want) {
+					t.Fatalf("%v workers=%d entity %d: %d neighbors, want %d", algo, workers, e, len(got), len(want))
+				}
+				for x := range want {
+					if got[x] != want[x] {
+						t.Fatalf("%v workers=%d entity %d neighbor %d: got %+v, want %+v",
+							algo, workers, e, x, got[x], want[x])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSVDParallelEquivalence asserts the stratified SGD schedule trains
+// bit-identical factors at any worker count.
+func TestSVDParallelEquivalence(t *testing.T) {
+	ratings := equivalenceRatings()
+	serial, err := TrainSVD(ratings, BuildOptions{Workers: 1, SVDSeed: 42, SVDEpochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 32} {
+		parallel, err := TrainSVD(ratings, BuildOptions{Workers: workers, SVDSeed: 42, SVDEpochs: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, want := range serial.UserFactors {
+			got := parallel.UserFactors[u]
+			for f := range want {
+				if got[f] != want[f] {
+					t.Fatalf("workers=%d user %d factor %d: got %v, want %v", workers, u, f, got[f], want[f])
+				}
+			}
+		}
+		for i, want := range serial.ItemFactors {
+			got := parallel.ItemFactors[i]
+			for f := range want {
+				if got[f] != want[f] {
+					t.Fatalf("workers=%d item %d factor %d: got %v, want %v", workers, i, f, got[f], want[f])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictionParallelEquivalence closes the loop at the Model level for
+// all five algorithms: every (user, item) prediction from a Workers: 4
+// build equals the Workers: 1 build exactly.
+func TestPredictionParallelEquivalence(t *testing.T) {
+	ratings := equivalenceRatings()
+	for _, algo := range []Algorithm{ItemCosCF, ItemPearCF, UserCosCF, UserPearCF, SVD} {
+		serial, err := Build(ratings, algo, BuildOptions{Workers: 1, SVDSeed: 9, SVDEpochs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Build(ratings, algo, BuildOptions{Workers: 4, SVDSeed: 9, SVDEpochs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range serial.Users() {
+			for _, i := range serial.Items() {
+				ws, wok := serial.Predict(u, i)
+				ps, pok := parallel.Predict(u, i)
+				if wok != pok || ws != ps {
+					t.Fatalf("%v predict(%d, %d): workers=4 got (%v, %v), workers=1 got (%v, %v)",
+						algo, u, i, ps, pok, ws, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestSVDHogwildLearns checks the documented fast mode still converges on
+// learnable structure, without asserting exact factor values (Hogwild is
+// nondeterministic by design).
+func TestSVDHogwildLearns(t *testing.T) {
+	var ratings []Rating
+	for u := int64(1); u <= 24; u++ {
+		for i := int64(1); i <= 24; i++ {
+			if (u+i)%3 == 0 {
+				continue
+			}
+			ratings = append(ratings, Rating{User: u, Item: i, Value: float64((u % 2) * (i % 2) * 4)})
+		}
+	}
+	m, err := TrainSVD(ratings, BuildOptions{
+		Workers: 4, SVDHogwild: true,
+		SVDSeed: 3, SVDFactors: 4, SVDEpochs: 200, SVDRate: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse float64
+	for _, r := range ratings {
+		pred, ok := m.Predict(r.User, r.Item)
+		if !ok {
+			t.Fatalf("no prediction for (%d, %d)", r.User, r.Item)
+		}
+		sse += (pred - r.Value) * (pred - r.Value)
+	}
+	rmse := math.Sqrt(sse / float64(len(ratings)))
+	if rmse > 0.5 {
+		t.Fatalf("hogwild RMSE on training data = %v, want < 0.5", rmse)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(1); got != 1 {
+		t.Fatalf("resolveWorkers(1) = %d", got)
+	}
+	if got := resolveWorkers(-3); got != 1 {
+		t.Fatalf("resolveWorkers(-3) = %d", got)
+	}
+	if got := resolveWorkers(0); got < 1 {
+		t.Fatalf("resolveWorkers(0) = %d", got)
+	}
+	if got := resolveWorkers(16); got != 16 {
+		t.Fatalf("resolveWorkers(16) = %d", got)
+	}
+}
+
+func TestRunChunksCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		counts := make([]int32, 37)
+		runChunks(workers, len(counts), func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				counts[x]++
+			}
+		})
+		for x, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, x, c)
+			}
+		}
+	}
+}
+
+// movieLensRatings is the MovieLens-100K-shaped synthetic dataset of the
+// scaling experiments: 943 users × 1682 items at ~6.3% density ≈ 100K
+// ratings.
+func movieLensRatings() []Rating {
+	return benchRatings(943, 1682, 0.063)
+}
+
+func BenchmarkBuildNeighborhood(b *testing.B) {
+	ratings := movieLensRatings()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildNeighborhood(ratings, ItemCosCF, BuildOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildSVD(b *testing.B) {
+	ratings := movieLensRatings()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := TrainSVD(ratings, BuildOptions{Workers: workers, SVDSeed: 1, SVDEpochs: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildSVDHogwild(b *testing.B) {
+	ratings := movieLensRatings()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := BuildOptions{Workers: workers, SVDHogwild: true, SVDSeed: 1, SVDEpochs: 5}
+				if _, err := TrainSVD(ratings, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

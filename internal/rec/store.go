@@ -415,6 +415,70 @@ func (s *ModelStore) Seen(u, i int64) (float64, bool, error) {
 	return rating, found, scanErr
 }
 
+// PredictForUser estimates RecScore(u, i) for a whole batch of items,
+// fetching the per-user state (rated items, neighbor list, or factor
+// vector) once instead of once per pair the way repeated Predict calls
+// would. The storage layer's page latches make concurrent PredictForUser
+// calls for different users safe, which is what parallel cache
+// materialization relies on.
+func (s *ModelStore) PredictForUser(u int64, items []int64) ([]float64, []bool, error) {
+	scores := make([]float64, len(items))
+	oks := make([]bool, len(items))
+	switch {
+	case s.Algo.ItemBased():
+		userItems, err := s.UserItems(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		for x, i := range items {
+			neighbors, err := s.ItemNeighbors(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			scores[x], oks[x] = PredictWeighted(neighbors, userItems)
+		}
+	case s.Algo.UserBased():
+		neighbors, err := s.UserNeighbors(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		for x, i := range items {
+			raters, err := s.ItemRaters(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			scores[x], oks[x] = PredictWeighted(neighbors, raters)
+		}
+	case s.Algo == Popularity:
+		for x, i := range items {
+			score, ok, err := s.ItemScoreOf(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			scores[x], oks[x] = score, ok
+		}
+	default: // SVD
+		p, err := s.UserFactors(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		for x, i := range items {
+			if p == nil {
+				break
+			}
+			q, err := s.ItemFactors(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			if q == nil {
+				continue
+			}
+			scores[x], oks[x] = Dot(p, q), true
+		}
+	}
+	return scores, oks, nil
+}
+
 // Predict estimates RecScore(u, i) from the materialized tables, following
 // the per-algorithm operators of §IV-A. ok is false when the model has no
 // basis for a prediction.

@@ -7,6 +7,7 @@
 package reccache
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -48,6 +49,13 @@ type Manager struct {
 	// Threshold is HOTNESS-THRESHOLD ∈ [0, 1].
 	Threshold float64
 
+	// Workers bounds the pool used by MaterializeAll to compute
+	// predictions concurrently. 0 selects runtime.NumCPU(); 1 keeps the
+	// serial path. The RecScoreIndex contents are identical at any
+	// setting: predictions are computed in parallel but applied in
+	// ascending user order.
+	Workers int
+
 	index *recindex.Index
 
 	stopCh chan struct{}
@@ -61,6 +69,16 @@ type Predictor interface {
 	UserItems(user int64) (map[int64]float64, error)
 	ItemIDs() []int64
 	UserIDs() []int64
+}
+
+// UserBatchPredictor is the optional bulk interface: predictors that can
+// amortize per-user state over a batch of items (rec.ModelStore fetches
+// the user's rated items, neighbor list, or factor vector exactly once).
+// Materialization uses it when available and must be safe to call
+// concurrently for different users.
+type UserBatchPredictor interface {
+	Predictor
+	PredictForUser(user int64, items []int64) ([]float64, []bool, error)
 }
 
 // New creates a manager over the given RecScoreIndex. clock may be nil, in
@@ -256,36 +274,120 @@ func (m *Manager) Run(pred Predictor) (Decision, error) {
 	return dec, nil
 }
 
-// MaterializeUser pre-computes and stores predictions for every item the
-// user has not rated (full per-user materialization, the warm state of the
-// top-k experiments in §VI-C).
-func (m *Manager) MaterializeUser(pred Predictor, u int64) error {
+// entry is one computed (item, score) prediction awaiting insertion.
+type entry struct {
+	item  int64
+	score float64
+}
+
+// userEntries computes the predictions to materialize for user u: every
+// unrated item, scored through the batch interface when the predictor
+// offers it, and through per-pair Predict otherwise. Unpredictable pairs
+// score 0, as Algorithm 1 emits.
+func userEntries(pred Predictor, u int64) ([]entry, error) {
 	seen, err := pred.UserItems(u)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for _, i := range pred.ItemIDs() {
-		if _, rated := seen[i]; rated {
-			continue
+	items := pred.ItemIDs()
+	todo := make([]int64, 0, len(items))
+	for _, i := range items {
+		if _, rated := seen[i]; !rated {
+			todo = append(todo, i)
 		}
+	}
+	out := make([]entry, 0, len(todo))
+	if bp, ok := pred.(UserBatchPredictor); ok {
+		scores, oks, err := bp.PredictForUser(u, todo)
+		if err != nil {
+			return nil, err
+		}
+		for x, i := range todo {
+			s := scores[x]
+			if !oks[x] {
+				s = 0
+			}
+			out = append(out, entry{item: i, score: s})
+		}
+		return out, nil
+	}
+	for _, i := range todo {
 		score, ok, err := pred.Predict(u, i)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !ok {
 			score = 0
 		}
-		m.index.Put(u, i, score)
+		out = append(out, entry{item: i, score: score})
+	}
+	return out, nil
+}
+
+// MaterializeUser pre-computes and stores predictions for every item the
+// user has not rated (full per-user materialization, the warm state of the
+// top-k experiments in §VI-C).
+func (m *Manager) MaterializeUser(pred Predictor, u int64) error {
+	entries, err := userEntries(pred, u)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		m.index.Put(u, e.item, e.score)
 	}
 	return nil
 }
 
 // MaterializeAll pre-computes predictions for every user (HOTNESS-THRESHOLD
-// = 0 behaviour).
+// = 0 behaviour). Users are processed in batches: a bounded pool of
+// m.Workers workers computes each batch's predictions concurrently, then
+// the results are written to the RecScoreIndex in ascending user order, so
+// the index contents match the serial path exactly.
 func (m *Manager) MaterializeAll(pred Predictor) error {
-	for _, u := range pred.UserIDs() {
-		if err := m.MaterializeUser(pred, u); err != nil {
-			return err
+	users := pred.UserIDs()
+	workers := m.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if workers <= 1 {
+		for _, u := range users {
+			if err := m.MaterializeUser(pred, u); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Batching bounds buffered predictions to ~4 users' worth per worker.
+	batch := workers * 4
+	for lo := 0; lo < len(users); lo += batch {
+		hi := lo + batch
+		if hi > len(users) {
+			hi = len(users)
+		}
+		span := users[lo:hi]
+		results := make([][]entry, len(span))
+		errs := make([]error, len(span))
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for x := w; x < len(span); x += workers {
+					results[x], errs[x] = userEntries(pred, span[x])
+				}
+			}(w)
+		}
+		wg.Wait()
+		for x, u := range span {
+			if errs[x] != nil {
+				return errs[x]
+			}
+			for _, e := range results[x] {
+				m.index.Put(u, e.item, e.score)
+			}
 		}
 	}
 	return nil
@@ -335,4 +437,7 @@ func (m *Manager) Stop() {
 }
 
 // ensure rec import is referenced (Predictor mirrors *rec.ModelStore).
-var _ Predictor = (*rec.ModelStore)(nil)
+var (
+	_ Predictor          = (*rec.ModelStore)(nil)
+	_ UserBatchPredictor = (*rec.ModelStore)(nil)
+)

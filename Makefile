@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-build bench-paper vet lint fmt examples clean
+.PHONY: all build test race cover bench bench-build bench-durability bench-paper fault-sweep vet lint fmt examples clean
 
 all: vet lint test build
 
@@ -25,6 +25,16 @@ bench:
 # scaled-down MovieLens). Writes BENCH_build.json.
 bench-build:
 	$(GO) run ./cmd/recdb-bench -exp scaling -scale 0.25 -workers 1,2,4 -json BENCH_build.json
+
+# Durability cost on the real filesystem: commit throughput per WAL sync
+# policy, checkpoint time, cold recovery. Writes BENCH_durability.json.
+bench-durability:
+	$(GO) run ./cmd/recdb-bench -exp durability -json BENCH_durability.json
+
+# Exhaustive crash simulation: every fault point x every fault mode, and
+# every byte of a snapshot flipped (the default test run samples both).
+fault-sweep:
+	RECDB_FAULT_SWEEP=1 $(GO) test -run 'TestCrashSweep|TestSnapshotCorruptionSweep' -v .
 
 # Regenerate the paper's tables at full scale (see EXPERIMENTS.md).
 bench-paper:

@@ -10,7 +10,7 @@
 //	recdb-bench -exp scaling -workers 1,2,4 -json BENCH_build.json
 //
 // Experiment ids: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
-// ablations (or individual a1..a6), scaling, all.
+// ablations (or individual a1..a6), scaling, durability, all.
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per RecDB-side measurement")
 	md := flag.Bool("md", false, "emit Markdown tables")
 	workers := flag.String("workers", "1,2,4", "worker counts for the scaling experiment")
+	commits := flag.Int("commits", 2000, "statements per phase of the durability experiment")
 	jsonPath := flag.String("json", "", "also write the result tables as JSON to this file")
 	flag.Parse()
 
@@ -98,6 +99,9 @@ func main() {
 		}},
 		{"scaling", func() (bench.Table, error) {
 			return bench.RunScaling(spec(dataset.MovieLens), *neighborhood, workerCounts)
+		}},
+		{"durability", func() (bench.Table, error) {
+			return bench.RunDurability(*commits)
 		}},
 	}
 

@@ -6,7 +6,10 @@
 //	\rec                   list recommenders
 //	\materialize NAME      pre-compute the RecScoreIndex for a recommender
 //	\maintain NAME         run one cache-maintenance pass (Algorithm 4)
-//	\save DIR              snapshot the database to a directory
+//	\save DIR              snapshot the database to DIR and keep it durable
+//	                       there (later commits go through DIR's write-ahead
+//	                       log; -open replays them)
+//	\health                recommender rebuild health (failures, backoff)
 //	\evaluate NAME [K]     hold out every K-th rating (default 10), retrain,
 //	                       and report RMSE/MAE
 //	\stats                 show page-I/O counters
@@ -28,9 +31,9 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"recdb"
 	"recdb/internal/dataset"
 	"recdb/internal/engine"
-	"recdb/internal/persist"
 	"recdb/internal/rec"
 )
 
@@ -42,18 +45,24 @@ func main() {
 	loadCSV := flag.String("load", "", "import a CSV dataset directory (as written by recdb-datagen)")
 	flag.Parse()
 
-	var eng *engine.Engine
+	var db *recdb.DB
 	if *open != "" {
-		loaded, err := persist.Load(*open, engine.Config{})
+		opened, err := recdb.OpenDir(*open)
 		if err != nil {
 			fatal(err)
 		}
-		eng = loaded
-		fmt.Printf("opened snapshot %s\n", *open)
+		db = opened
+		d := db.Durability()
+		fmt.Printf("opened %s (generation %d, WAL seq %d", *open, d.Generation, d.WALSeq)
+		if d.SkippedGenerations > 0 {
+			fmt.Printf(", %d corrupt generation(s) skipped", d.SkippedGenerations)
+		}
+		fmt.Println(")")
 	} else {
-		eng = engine.New(engine.Config{})
+		db = recdb.Open()
 	}
-	defer eng.Close()
+	defer db.Close()
+	eng := db.Engine()
 
 	if *datasetName != "" {
 		spec, err := specFor(*datasetName)
@@ -84,14 +93,42 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runStatement(eng, string(content)); err != nil {
+		if err := runScript(db, string(content)); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	fmt.Println("RecDB-Go shell — end statements with ';', \\q to quit, \\d to list tables")
-	repl(eng)
+	repl(db)
+}
+
+// runScript runs a -f script: lines starting with \ are meta-commands,
+// everything else accumulates into SQL statements, exactly as in the REPL.
+func runScript(db *recdb.DB, content string) error {
+	var buf strings.Builder
+	for _, line := range strings.Split(content, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if meta(db, trimmed) {
+				return nil
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			if err := runStatement(db, stmt); err != nil {
+				return err
+			}
+		}
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		return runStatement(db, buf.String())
+	}
+	return nil
 }
 
 func geoNote(geo bool) string {
@@ -117,7 +154,7 @@ func specFor(name string) (dataset.Spec, error) {
 // timing is toggled by the \timing meta-command.
 var timing bool
 
-func repl(eng *engine.Engine) {
+func repl(db *recdb.DB) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -131,7 +168,7 @@ func repl(eng *engine.Engine) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if meta(eng, trimmed) {
+			if meta(db, trimmed) {
 				return
 			}
 			continue
@@ -143,7 +180,7 @@ func repl(eng *engine.Engine) {
 			buf.Reset()
 			prompt = "recdb> "
 			start := time.Now()
-			if err := runStatement(eng, stmt); err != nil {
+			if err := runStatement(db, stmt); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 			if timing {
@@ -156,7 +193,8 @@ func repl(eng *engine.Engine) {
 }
 
 // meta handles backslash commands; it returns true to quit.
-func meta(eng *engine.Engine, cmd string) bool {
+func meta(db *recdb.DB, cmd string) bool {
+	eng := db.Engine()
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
@@ -200,10 +238,27 @@ func meta(eng *engine.Engine, cmd string) bool {
 			fmt.Fprintln(os.Stderr, "usage: \\save DIR")
 			break
 		}
-		if err := persist.Save(eng, fields[1]); err != nil {
+		if err := db.SaveTo(fields[1]); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		} else {
-			fmt.Println("saved to", fields[1])
+			d := db.Durability()
+			fmt.Printf("saved to %s (generation %d); commits now go through its write-ahead log\n",
+				fields[1], d.Generation)
+		}
+	case "\\health":
+		hs := db.Health()
+		if len(hs) == 0 {
+			fmt.Println("no recommenders")
+			break
+		}
+		for _, h := range hs {
+			status := "healthy"
+			if !h.Healthy {
+				status = fmt.Sprintf("DEGRADED: %s (retry after %s)",
+					h.LastError, h.NextRetry.Format(time.TimeOnly))
+			}
+			fmt.Printf("%s: %d rebuilds, %d pending, %d failed — %s\n",
+				h.Name, h.Rebuilds, h.Pending, h.Failures, status)
 		}
 	case "\\evaluate":
 		if len(fields) < 2 || len(fields) > 3 {
@@ -259,7 +314,7 @@ func evaluate(eng *engine.Engine, name string, k int) error {
 	return nil
 }
 
-func runStatement(eng *engine.Engine, input string) error {
+func runStatement(db *recdb.DB, input string) error {
 	trimmed := strings.TrimSpace(input)
 	if trimmed == "" {
 		return nil
@@ -267,14 +322,14 @@ func runStatement(eng *engine.Engine, input string) error {
 	if isQuery(trimmed) {
 		// A single SELECT or EXPLAIN prints its rows.
 		stmtText := strings.TrimSuffix(trimmed, ";")
-		res, err := eng.Query(stmtText)
+		res, err := db.Engine().Query(stmtText)
 		if err != nil {
 			return err
 		}
 		printResult(res)
 		return nil
 	}
-	r, err := eng.ExecScript(input)
+	r, err := db.ExecScript(input)
 	if err != nil {
 		return err
 	}

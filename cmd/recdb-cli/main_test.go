@@ -7,8 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"recdb/internal/engine"
-	"recdb/internal/persist"
+	"recdb"
 )
 
 // capture redirects stdout while fn runs and returns what it printed.
@@ -34,10 +33,11 @@ func capture(t *testing.T, fn func()) string {
 	return out
 }
 
-func testEngine(t *testing.T) *engine.Engine {
+func testDB(t *testing.T) *recdb.DB {
 	t.Helper()
-	e := engine.New(engine.Config{})
-	if _, err := e.ExecScript(`
+	db := recdb.Open()
+	t.Cleanup(db.Close)
+	if _, err := db.ExecScript(`
 		CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
 		INSERT INTO ratings VALUES (1,1,5),(1,2,3),(2,1,4),(2,3,2),(3,2,1);
 		CREATE RECOMMENDER CliRec ON ratings
@@ -45,7 +45,7 @@ func testEngine(t *testing.T) *engine.Engine {
 	`); err != nil {
 		t.Fatal(err)
 	}
-	return e
+	return db
 }
 
 func TestSpecFor(t *testing.T) {
@@ -77,9 +77,9 @@ func TestIsQuery(t *testing.T) {
 }
 
 func TestRunStatementSelectPrintsRows(t *testing.T) {
-	e := testEngine(t)
+	db := testDB(t)
 	out := capture(t, func() {
-		if err := runStatement(e, "SELECT uid, iid FROM ratings WHERE uid = 1 ORDER BY iid;"); err != nil {
+		if err := runStatement(db, "SELECT uid, iid FROM ratings WHERE uid = 1 ORDER BY iid;"); err != nil {
 			t.Error(err)
 		}
 	})
@@ -89,9 +89,9 @@ func TestRunStatementSelectPrintsRows(t *testing.T) {
 }
 
 func TestRunStatementRecommendShowsPlan(t *testing.T) {
-	e := testEngine(t)
+	db := testDB(t)
 	out := capture(t, func() {
-		if err := runStatement(e, `SELECT R.iid, R.ratingval FROM ratings R
+		if err := runStatement(db, `SELECT R.iid, R.ratingval FROM ratings R
 			RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
 			WHERE R.uid = 3`); err != nil {
 			t.Error(err)
@@ -103,9 +103,9 @@ func TestRunStatementRecommendShowsPlan(t *testing.T) {
 }
 
 func TestRunStatementExplain(t *testing.T) {
-	e := testEngine(t)
+	db := testDB(t)
 	out := capture(t, func() {
-		if err := runStatement(e, `EXPLAIN SELECT uid FROM ratings WHERE uid = 1`); err != nil {
+		if err := runStatement(db, `EXPLAIN SELECT uid FROM ratings WHERE uid = 1`); err != nil {
 			t.Error(err)
 		}
 	})
@@ -115,74 +115,81 @@ func TestRunStatementExplain(t *testing.T) {
 }
 
 func TestRunStatementScript(t *testing.T) {
-	e := testEngine(t)
+	db := testDB(t)
 	out := capture(t, func() {
-		if err := runStatement(e, "CREATE TABLE x (a INT); INSERT INTO x VALUES (1), (2);"); err != nil {
+		if err := runStatement(db, "CREATE TABLE x (a INT); INSERT INTO x VALUES (1), (2);"); err != nil {
 			t.Error(err)
 		}
 	})
 	if !strings.Contains(out, "OK (2 rows affected)") {
 		t.Fatalf("script output:\n%s", out)
 	}
-	if err := runStatement(e, "BROKEN;"); err == nil {
+	if err := runStatement(db, "BROKEN;"); err == nil {
 		t.Fatal("broken statement should error")
 	}
-	if err := runStatement(e, "   "); err != nil {
+	if err := runStatement(db, "   "); err != nil {
 		t.Fatal("blank input should be a no-op")
 	}
 }
 
 func TestMetaCommands(t *testing.T) {
-	e := testEngine(t)
-	if meta(e, "\\q") != true {
+	db := testDB(t)
+	if meta(db, "\\q") != true {
 		t.Fatal("\\q should quit")
 	}
 	out := capture(t, func() {
-		if meta(e, "\\d") {
+		if meta(db, "\\d") {
 			t.Error("\\d should not quit")
 		}
 	})
 	if !strings.Contains(out, "ratings") {
 		t.Fatalf("\\d output:\n%s", out)
 	}
-	out = capture(t, func() { meta(e, "\\rec") })
+	out = capture(t, func() { meta(db, "\\rec") })
 	if !strings.Contains(out, "CliRec ON ratings USING ItemCosCF") {
 		t.Fatalf("\\rec output:\n%s", out)
 	}
-	out = capture(t, func() { meta(e, "\\materialize CliRec") })
+	out = capture(t, func() { meta(db, "\\materialize CliRec") })
 	if !strings.Contains(out, "materialized") {
 		t.Fatalf("\\materialize output:\n%s", out)
 	}
-	out = capture(t, func() { meta(e, "\\maintain CliRec") })
+	out = capture(t, func() { meta(db, "\\maintain CliRec") })
 	if !strings.Contains(out, "admitted") {
 		t.Fatalf("\\maintain output:\n%s", out)
 	}
-	out = capture(t, func() { meta(e, "\\stats") })
+	out = capture(t, func() { meta(db, "\\stats") })
 	if !strings.Contains(out, "page reads:") {
 		t.Fatalf("\\stats output:\n%s", out)
 	}
 }
 
 func TestMetaSaveRoundTrip(t *testing.T) {
-	e := testEngine(t)
+	db := testDB(t)
 	dir := filepath.Join(t.TempDir(), "snap")
-	out := capture(t, func() { meta(e, "\\save "+dir) })
+	out := capture(t, func() { meta(db, "\\save "+dir) })
 	if !strings.Contains(out, "saved to") {
 		t.Fatalf("\\save output:\n%s", out)
 	}
-	loaded, err := persist.Load(dir, engine.Config{})
+	// Commits after \save go through the directory's write-ahead log...
+	if _, err := db.Exec("INSERT INTO ratings VALUES (9, 9, 4)"); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a reopen replays them on top of the snapshot.
+	loaded, err := recdb.OpenDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := loaded.Query("SELECT COUNT(*) FROM ratings")
-	if err != nil || res.Rows[0][0].Int() != 5 {
-		t.Fatalf("loaded snapshot: %v %v", res, err)
+	defer loaded.Close()
+	res, err := loaded.Engine().Query("SELECT COUNT(*) FROM ratings")
+	if err != nil || res.Rows[0][0].Int() != 6 {
+		t.Fatalf("reopened database: %v %v", res, err)
 	}
 }
 
 func TestMetaEvaluate(t *testing.T) {
-	e := engine.New(engine.Config{})
-	if _, err := e.ExecScript(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);`); err != nil {
+	db := recdb.Open()
+	defer db.Close()
+	if _, err := db.ExecScript(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);`); err != nil {
 		t.Fatal(err)
 	}
 	var rows []string
@@ -194,18 +201,18 @@ func TestMetaEvaluate(t *testing.T) {
 			rows = append(rows, fmt.Sprintf("(%d, %d, %d)", u, i, 1+(u+i)%5))
 		}
 	}
-	if _, err := e.Exec("INSERT INTO ratings VALUES " + strings.Join(rows, ", ")); err != nil {
+	if _, err := db.Exec("INSERT INTO ratings VALUES " + strings.Join(rows, ", ")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Exec(`CREATE RECOMMENDER EvalRec ON ratings
+	if _, err := db.Exec(`CREATE RECOMMENDER EvalRec ON ratings
 		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`); err != nil {
 		t.Fatal(err)
 	}
-	out := capture(t, func() { meta(e, "\\evaluate EvalRec 5") })
+	out := capture(t, func() { meta(db, "\\evaluate EvalRec 5") })
 	if !strings.Contains(out, "RMSE") || !strings.Contains(out, "MAE") {
 		t.Fatalf("\\evaluate output:\n%s", out)
 	}
-	if err := evaluate(e, "missing", 5); err == nil {
+	if err := evaluate(db.Engine(), "missing", 5); err == nil {
 		t.Fatal("missing recommender should fail")
 	}
 }

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"recdb/internal/engine"
+	"recdb/internal/fault"
+	"recdb/internal/persist"
+	"recdb/internal/wal"
+)
+
+// durabilitySchema is the benchmark's working set: a plain ratings table,
+// no recommender, so the timings isolate the durability machinery (WAL
+// framing + fsync, snapshot write, replay) from model training.
+const durabilitySchema = `
+	CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+`
+
+// RunDurability measures the cost of crash safety on the real filesystem:
+// commit throughput under each WAL sync policy (per-commit fsync, group
+// commit, no fsync), snapshot checkpoint time, and cold recovery
+// (snapshot load + WAL replay + post-recovery checkpoint). Every phase
+// runs in its own temp directory with real fsyncs, so the numbers reflect
+// what durability actually charges the commit path.
+func RunDurability(commits int) (Table, error) {
+	t := Table{
+		ID:     "Durability",
+		Title:  fmt.Sprintf("Durable commit, checkpoint, and recovery (%d commits, OS filesystem)", commits),
+		Header: []string{"Phase", "Ops", "Wall", "Ops/s"},
+	}
+	row := func(phase string, ops int, d time.Duration) {
+		t.Rows = append(t.Rows, []string{
+			phase, fmt.Sprintf("%d", ops), dur(d), fmt.Sprintf("%.0f", float64(ops)/d.Seconds()),
+		})
+	}
+
+	policies := []struct {
+		syncEvery int
+		name      string
+	}{
+		{1, "commit, fsync every statement"},
+		{8, "commit, group commit of 8"},
+		{64, "commit, group commit of 64"},
+		{-1, "commit, no fsync (checkpoint-only)"},
+	}
+	for _, p := range policies {
+		d, err := timeCommits(p.syncEvery, commits)
+		if err != nil {
+			return t, err
+		}
+		row(p.name, commits, d)
+	}
+
+	// Checkpoint and recovery share one database: commit through the log,
+	// time the snapshot that absorbs it, commit again, close, and time the
+	// cold reopen (load + replay + post-recovery checkpoint — the same
+	// sequence recdb.OpenDir performs).
+	dir, err := os.MkdirTemp("", "recdb-durability-")
+	if err != nil {
+		return t, err
+	}
+	defer os.RemoveAll(dir)
+	eng, l, err := durableEngine(dir, -1)
+	if err != nil {
+		return t, err
+	}
+	for i := 0; i < commits; i++ {
+		if _, err := eng.Exec(insertStmt(i)); err != nil {
+			return t, err
+		}
+	}
+	start := time.Now()
+	if _, err := persist.SaveFS(fault.OS, eng, dir, l.Seq()); err != nil {
+		return t, err
+	}
+	if err := l.Reset(); err != nil {
+		return t, err
+	}
+	row("checkpoint (snapshot + log reset)", commits, time.Since(start))
+
+	for i := 0; i < commits; i++ {
+		if _, err := eng.Exec(insertStmt(commits+i)); err != nil {
+			return t, err
+		}
+	}
+	if err := l.Sync(); err != nil {
+		return t, err
+	}
+	if err := l.Close(); err != nil {
+		return t, err
+	}
+	eng.Close()
+
+	start = time.Now()
+	eng2, info, err := persist.LoadFS(fault.OS, dir, engine.Config{})
+	if err != nil {
+		return t, err
+	}
+	replayed := 0
+	seq, err := wal.Replay(fault.OS, filepath.Join(dir, "wal"), info.WALSeq, func(_ uint64, payload []byte) error {
+		replayed++
+		_, eerr := eng2.Exec(string(payload))
+		return eerr
+	})
+	if err != nil {
+		return t, err
+	}
+	if _, err := persist.SaveFS(fault.OS, eng2, dir, seq); err != nil {
+		return t, err
+	}
+	row("recover (load + replay + checkpoint)", replayed, time.Since(start))
+	eng2.Close()
+	if replayed != commits {
+		return t, fmt.Errorf("bench: recovery replayed %d of %d commits", replayed, commits)
+	}
+	return t, nil
+}
+
+// timeCommits measures committing n statements through the WAL under one
+// sync policy, including the trailing flush that makes the tail durable
+// (except under the never-sync policy, whose whole point is to skip it).
+func timeCommits(syncEvery, n int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "recdb-durability-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	eng, l, err := durableEngine(dir, syncEvery)
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	defer l.Close()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := eng.Exec(insertStmt(i)); err != nil {
+			return 0, err
+		}
+	}
+	if syncEvery >= 0 {
+		if err := l.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// durableEngine builds an engine whose commits append to a WAL in
+// dir/wal, the same wiring recdb uses after SaveTo.
+func durableEngine(dir string, syncEvery int) (*engine.Engine, *wal.Log, error) {
+	eng := engine.New(engine.Config{})
+	if _, err := eng.ExecScript(durabilitySchema); err != nil {
+		eng.Close()
+		return nil, nil, err
+	}
+	l, err := wal.Open(fault.OS, filepath.Join(dir, "wal"), 0, wal.Options{SyncEvery: syncEvery})
+	if err != nil {
+		eng.Close()
+		return nil, nil, err
+	}
+	eng.SetCommitHook(func(stmt string) error {
+		_, aerr := l.Append([]byte(stmt))
+		return aerr
+	})
+	return eng, l, nil
+}
+
+func insertStmt(i int) string {
+	return fmt.Sprintf("INSERT INTO ratings VALUES (%d, %d, %d.5)", i%997, i, i%4+1)
+}

@@ -33,6 +33,10 @@ type Config struct {
 	HotnessThreshold float64
 	// CacheClock overrides the cache managers' clock (tests).
 	CacheClock reccache.Clock
+	// WALSyncEvery is consumed by the recdb layer's durable open paths:
+	// it is the write-ahead log's group-commit factor (1 = fsync every
+	// commit). The engine itself does not read it.
+	WALSyncEvery int
 }
 
 // Engine is one embedded database instance.
@@ -45,6 +49,36 @@ type Engine struct {
 
 	mu     sync.RWMutex
 	caches map[string]*reccache.Manager // by lower-case recommender name
+
+	commitHook CommitHook
+}
+
+// CommitHook observes every successfully executed mutating statement's
+// source text. recdb.DB installs one that appends the statement to the
+// write-ahead log; a hook error is returned from Exec/ExecScript so the
+// caller learns the statement is applied in memory but not yet durable.
+type CommitHook func(stmtText string) error
+
+// SetCommitHook installs (or, with nil, removes) the commit hook. It is
+// not synchronized with in-flight statements: install it before serving.
+func (e *Engine) SetCommitHook(h CommitHook) { e.commitHook = h }
+
+// mutates reports whether a statement changes durable state (anything
+// but SELECT/EXPLAIN) and therefore must reach the commit hook.
+func mutates(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.Select, *sql.Explain:
+		return false
+	}
+	return true
+}
+
+// commit routes a successfully executed statement's text to the hook.
+func (e *Engine) commit(stmt sql.Statement, text string) error {
+	if e.commitHook == nil || !mutates(stmt) {
+		return nil
+	}
+	return e.commitHook(text)
 }
 
 // New creates an empty engine.
@@ -132,7 +166,14 @@ func (e *Engine) Exec(query string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return e.ExecStmt(stmt)
+	res, err := e.ExecStmt(stmt)
+	if err != nil {
+		return res, err
+	}
+	if err := e.commit(stmt, query); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // ExecStmt runs a parsed statement.
@@ -247,17 +288,20 @@ func (e *Engine) query(sel *sql.Select) (*QueryResult, error) {
 // ExecScript runs a semicolon-separated script, stopping at the first
 // error. It returns the sum of affected rows.
 func (e *Engine) ExecScript(script string) (Result, error) {
-	stmts, err := sql.ParseAll(script)
+	stmts, err := sql.ParseScript(script)
 	if err != nil {
 		return Result{}, err
 	}
 	var total Result
-	for _, stmt := range stmts {
-		r, err := e.ExecStmt(stmt)
+	for _, s := range stmts {
+		r, err := e.ExecStmt(s.Stmt)
 		if err != nil {
 			return total, err
 		}
 		total.RowsAffected += r.RowsAffected
+		if err := e.commit(s.Stmt, s.Text); err != nil {
+			return total, err
+		}
 	}
 	return total, nil
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -629,5 +631,57 @@ func TestInsertArityError(t *testing.T) {
 	}
 	if _, err := e.Exec("INSERT INTO ratings (uid, nosuch) VALUES (1, 2)"); err == nil {
 		t.Fatal("unknown column should fail")
+	}
+}
+
+func TestCommitHookSeesMutatingStatements(t *testing.T) {
+	e := New(Config{})
+	var logged []string
+	e.SetCommitHook(func(text string) error {
+		logged = append(logged, text)
+		return nil
+	})
+	if _, err := e.ExecScript(`
+		CREATE TABLE t (a INT PRIMARY KEY);
+		INSERT INTO t VALUES (1);
+		SELECT * FROM t;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"CREATE TABLE t (a INT PRIMARY KEY)",
+		"INSERT INTO t VALUES (1)",
+		"INSERT INTO t VALUES (2)",
+	}
+	if len(logged) != len(want) {
+		t.Fatalf("logged %d statements: %q", len(logged), logged)
+	}
+	for i := range want {
+		if logged[i] != want[i] {
+			t.Fatalf("logged[%d] = %q, want %q", i, logged[i], want[i])
+		}
+	}
+	// A failed statement must not reach the hook.
+	logged = nil
+	if _, err := e.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("duplicate pk should fail")
+	}
+	if len(logged) != 0 {
+		t.Fatalf("failed statement reached the hook: %q", logged)
+	}
+}
+
+func TestCommitHookErrorSurfaces(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.Exec("CREATE TABLE t (a INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	hookErr := fmt.Errorf("wal full")
+	e.SetCommitHook(func(string) error { return hookErr })
+	if _, err := e.Exec("INSERT INTO t VALUES (1)"); !errors.Is(err, hookErr) {
+		t.Fatalf("hook error not surfaced: %v", err)
 	}
 }

@@ -1,0 +1,142 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"recdb/internal/storage"
+)
+
+// FaultDisk wraps a storage.DiskManager and injects one fault at a planned
+// page-I/O operation, mirroring InjectFS for the paged layer: the buffer
+// pool and heap must propagate a failed or corrupted page operation as an
+// error, never serve stale or torn page contents.
+type FaultDisk struct {
+	inner storage.DiskManager
+
+	mu   sync.Mutex
+	ops  int64
+	mode Mode
+	at   int64
+	dead bool
+}
+
+// NewDisk wraps inner with an unarmed injector.
+func NewDisk(inner storage.DiskManager) *FaultDisk {
+	return &FaultDisk{inner: inner}
+}
+
+// SetPlan arms the injector at the at-th page operation (1-based) and
+// resets the counter.
+func (d *FaultDisk) SetPlan(mode Mode, at int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mode, d.at = mode, at
+	d.ops = 0
+	d.dead = false
+}
+
+// Ops returns the page operations counted since the last SetPlan.
+func (d *FaultDisk) Ops() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ops
+}
+
+// step counts one operation and decides its fate; isWrite marks WritePage.
+func (d *FaultDisk) step(isWrite bool) action {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return actDead
+	}
+	d.ops++
+	if d.mode == ModeNone || d.ops != d.at {
+		return actProceed
+	}
+	switch d.mode {
+	case ModeFail:
+		return actFail
+	case ModeFlip:
+		if isWrite {
+			return actFlip
+		}
+		return actProceed
+	case ModeTorn:
+		if isWrite {
+			d.dead = true
+			return actTorn
+		}
+		d.dead = true
+		return actDead
+	case ModePowerCut:
+		d.dead = true
+		return actDead
+	}
+	return actProceed
+}
+
+// ReadPage implements storage.DiskManager.
+func (d *FaultDisk) ReadPage(id storage.PageID, buf []byte) error {
+	switch d.step(false) {
+	case actFail:
+		return fmt.Errorf("fault: read page %d: %w", id, ErrInjected)
+	case actDead:
+		return fmt.Errorf("fault: read page %d: %w", id, ErrCrashed)
+	}
+	return d.inner.ReadPage(id, buf)
+}
+
+// WritePage implements storage.DiskManager. A torn fault persists the
+// first half of the page and zeroes the rest; a flip fault corrupts one
+// bit and reports success.
+func (d *FaultDisk) WritePage(id storage.PageID, buf []byte) error {
+	switch d.step(true) {
+	case actFail:
+		return fmt.Errorf("fault: write page %d: %w", id, ErrInjected)
+	case actDead:
+		return fmt.Errorf("fault: write page %d: %w", id, ErrCrashed)
+	case actTorn:
+		torn := append([]byte(nil), buf...)
+		for i := len(torn) / 2; i < len(torn); i++ {
+			torn[i] = 0
+		}
+		if err := d.inner.WritePage(id, torn); err != nil {
+			return fmt.Errorf("fault: torn write page %d: %w", id, err)
+		}
+		return fmt.Errorf("fault: write page %d: %w", id, ErrInjected)
+	case actFlip:
+		flipped := append([]byte(nil), buf...)
+		flipped[len(flipped)/2] ^= 1
+		return d.inner.WritePage(id, flipped)
+	}
+	return d.inner.WritePage(id, buf)
+}
+
+// Allocate implements storage.DiskManager.
+func (d *FaultDisk) Allocate() (storage.PageID, error) {
+	switch d.step(false) {
+	case actFail:
+		return storage.InvalidPageID, fmt.Errorf("fault: allocate: %w", ErrInjected)
+	case actDead:
+		return storage.InvalidPageID, fmt.Errorf("fault: allocate: %w", ErrCrashed)
+	}
+	return d.inner.Allocate()
+}
+
+// NumPages implements storage.DiskManager.
+func (d *FaultDisk) NumPages() uint32 { return d.inner.NumPages() }
+
+// Sync implements storage.DiskManager.
+func (d *FaultDisk) Sync() error {
+	switch d.step(false) {
+	case actFail:
+		return fmt.Errorf("fault: sync: %w", ErrInjected)
+	case actDead:
+		return fmt.Errorf("fault: sync: %w", ErrCrashed)
+	}
+	return d.inner.Sync()
+}
+
+// Close implements storage.DiskManager. Closes are not injection points.
+func (d *FaultDisk) Close() error { return d.inner.Close() }

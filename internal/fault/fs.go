@@ -1,0 +1,167 @@
+// Package fault provides the durability layer's filesystem abstraction and
+// its deterministic fault-injection harness. The persist and wal packages
+// do all their I/O through the FS interface; production code passes OS
+// (thin wrappers over package os), while crash tests pass a MemFS — an
+// in-memory filesystem that models POSIX durability semantics (data
+// reaches stable storage only on Sync, directory entries only on SyncDir)
+// — optionally wrapped in an InjectFS that fails, tears, bit-flips, or
+// power-cuts the Nth I/O operation. FaultDisk applies the same treatment
+// to the paged storage layer's DiskManager.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the handle type the durability layer needs: sequential writes
+// (snapshots and log segments are append-only), positional reads, fsync,
+// and close.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// FS is the set of filesystem operations the durability layer performs.
+// Implementations must make Sync/SyncDir the only durability points: a
+// crash (power cut) may discard anything not yet synced.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if missing.
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newPath with oldPath's file.
+	Rename(oldPath, newPath string) error
+	// Remove deletes a file or empty directory.
+	Remove(path string) error
+	// RemoveAll deletes path and everything below it.
+	RemoveAll(path string) error
+	// ReadDir lists the entry names of a directory, sorted.
+	ReadDir(path string) ([]string, error)
+	// Stat returns the size of the file at path.
+	Stat(path string) (int64, error)
+	// SyncDir flushes a directory's entries (creates, renames, removes)
+	// to stable storage.
+	SyncDir(path string) error
+}
+
+// OS is the production FS, backed by package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("fault: mkdir %s: %w", path, err)
+	}
+	return nil
+}
+
+func (osFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fault: create %s: %w", path, err)
+	}
+	return f, nil
+}
+
+func (osFS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: open %s: %w", path, err)
+	}
+	return f, nil
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fault: open append %s: %w", path, err)
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: read %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func (osFS) Rename(oldPath, newPath string) error {
+	if err := os.Rename(oldPath, newPath); err != nil {
+		return fmt.Errorf("fault: rename %s -> %s: %w", oldPath, newPath, err)
+	}
+	return nil
+}
+
+func (osFS) Remove(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("fault: remove %s: %w", path, err)
+	}
+	return nil
+}
+
+func (osFS) RemoveAll(path string) error {
+	if err := os.RemoveAll(path); err != nil {
+		return fmt.Errorf("fault: remove all %s: %w", path, err)
+	}
+	return nil
+}
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: read dir %s: %w", path, err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Stat(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, fmt.Errorf("fault: stat %s: %w", path, err)
+	}
+	return st.Size(), nil
+}
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return fmt.Errorf("fault: sync dir %s: %w", path, err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("fault: sync dir %s: %w", path, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("fault: sync dir %s: %w", path, cerr)
+	}
+	return nil
+}
+
+// IsNotExist reports whether err means a file or directory does not exist,
+// across the OS and MemFS implementations (both wrap os.ErrNotExist).
+func IsNotExist(err error) bool {
+	return errors.Is(err, os.ErrNotExist)
+}

@@ -1,0 +1,449 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models POSIX durability semantics
+// strictly: file contents reach "stable storage" only on File.Sync, and
+// directory entries (creates, renames, removes) only on SyncDir. Crash
+// discards everything else, simulating a power cut. This strictness is
+// what makes the crash-simulation harness meaningful — a protocol that
+// forgets the parent-directory fsync after a rename loses the rename on
+// MemFS exactly as it can on ext4.
+type MemFS struct {
+	mu      sync.Mutex
+	root    *memNode
+	crashed bool
+}
+
+// memNode is one file or directory. Directories keep two views of their
+// entries: kids (the live view) and syncedKids (the view as of the last
+// SyncDir). Files keep data (live) and synced (as of the last Sync).
+type memNode struct {
+	dir        bool
+	data       []byte
+	synced     []byte
+	kids       map[string]*memNode
+	syncedKids map[string]*memNode
+}
+
+func newDirNode() *memNode {
+	return &memNode{
+		dir:        true,
+		kids:       make(map[string]*memNode),
+		syncedKids: make(map[string]*memNode),
+	}
+}
+
+// NewMemFS returns an empty in-memory filesystem whose root directory
+// exists and is durable.
+func NewMemFS() *MemFS {
+	return &MemFS{root: newDirNode()}
+}
+
+// ErrCrashed is returned by every operation after Crash.
+var ErrCrashed = errors.New("fault: filesystem has crashed (simulated power cut)")
+
+// splitPath normalizes a path into its component names. Paths are
+// interpreted as absolute or relative interchangeably: "/a/b", "a/b" and
+// "./a/b" all name the same node.
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+		case "..":
+			if len(parts) > 0 {
+				parts = parts[:len(parts)-1]
+			}
+		default:
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// lookup walks to the node at path, or nil if any component is missing.
+func (m *MemFS) lookup(path string) *memNode {
+	n := m.root
+	for _, part := range splitPath(path) {
+		if n == nil || !n.dir {
+			return nil
+		}
+		n = n.kids[part]
+	}
+	return n
+}
+
+// lookupParent returns the directory containing path and the final name.
+func (m *MemFS) lookupParent(path string) (*memNode, string) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, ""
+	}
+	n := m.root
+	for _, part := range parts[:len(parts)-1] {
+		if n == nil || !n.dir {
+			return nil, ""
+		}
+		n = n.kids[part]
+	}
+	if n == nil || !n.dir {
+		return nil, ""
+	}
+	return n, parts[len(parts)-1]
+}
+
+// MkdirAll implements FS. Directory creation is modeled as immediately
+// durable (mkdir + parent fsync combined): the interesting crash points
+// are file writes and renames, and a vanishing data directory would only
+// obscure them. File entries inside a directory still require SyncDir.
+func (m *MemFS) MkdirAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	n := m.root
+	for _, part := range splitPath(path) {
+		kid := n.kids[part]
+		if kid == nil {
+			kid = newDirNode()
+			n.kids[part] = kid
+			n.syncedKids[part] = kid
+		} else if !kid.dir {
+			return fmt.Errorf("fault: mkdir %s: %q is a file", path, part)
+		}
+		n = kid
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	parent, name := m.lookupParent(path)
+	if parent == nil || name == "" {
+		return nil, fmt.Errorf("fault: create %s: parent directory: %w", path, os.ErrNotExist)
+	}
+	n := parent.kids[name]
+	if n != nil && n.dir {
+		return nil, fmt.Errorf("fault: create %s: is a directory", path)
+	}
+	if n == nil {
+		n = &memNode{}
+		parent.kids[name] = n
+	}
+	// Truncation is immediate in the live view; the previously synced
+	// content survives a crash until the next Sync, as on a real disk.
+	n.data = nil
+	return &memFile{fs: m, node: n, writable: true}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	n := m.lookup(path)
+	if n == nil {
+		return nil, fmt.Errorf("fault: open %s: %w", path, os.ErrNotExist)
+	}
+	if n.dir {
+		return nil, fmt.Errorf("fault: open %s: is a directory", path)
+	}
+	return &memFile{fs: m, node: n}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	parent, name := m.lookupParent(path)
+	if parent == nil || name == "" {
+		return nil, fmt.Errorf("fault: open append %s: parent directory: %w", path, os.ErrNotExist)
+	}
+	n := parent.kids[name]
+	if n != nil && n.dir {
+		return nil, fmt.Errorf("fault: open append %s: is a directory", path)
+	}
+	if n == nil {
+		n = &memNode{}
+		parent.kids[name] = n
+	}
+	return &memFile{fs: m, node: n, writable: true}, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	n := m.lookup(path)
+	if n == nil {
+		return nil, fmt.Errorf("fault: read %s: %w", path, os.ErrNotExist)
+	}
+	if n.dir {
+		return nil, fmt.Errorf("fault: read %s: is a directory", path)
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// Rename implements FS. The new entry (and the old one's removal) become
+// durable on SyncDir of the affected parent directories.
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	oldParent, oldName := m.lookupParent(oldPath)
+	if oldParent == nil || oldParent.kids[oldName] == nil {
+		return fmt.Errorf("fault: rename %s: %w", oldPath, os.ErrNotExist)
+	}
+	newParent, newName := m.lookupParent(newPath)
+	if newParent == nil || newName == "" {
+		return fmt.Errorf("fault: rename to %s: parent directory: %w", newPath, os.ErrNotExist)
+	}
+	n := oldParent.kids[oldName]
+	delete(oldParent.kids, oldName)
+	newParent.kids[newName] = n
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	parent, name := m.lookupParent(path)
+	if parent == nil || parent.kids[name] == nil {
+		return fmt.Errorf("fault: remove %s: %w", path, os.ErrNotExist)
+	}
+	n := parent.kids[name]
+	if n.dir && len(n.kids) > 0 {
+		return fmt.Errorf("fault: remove %s: directory not empty", path)
+	}
+	delete(parent.kids, name)
+	return nil
+}
+
+// RemoveAll implements FS.
+func (m *MemFS) RemoveAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	parent, name := m.lookupParent(path)
+	if parent == nil || name == "" {
+		return nil
+	}
+	delete(parent.kids, name)
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(path string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	n := m.lookup(path)
+	if n == nil {
+		return nil, fmt.Errorf("fault: read dir %s: %w", path, os.ErrNotExist)
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("fault: read dir %s: not a directory", path)
+	}
+	names := make([]string, 0, len(n.kids))
+	for name := range n.kids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(path string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, ErrCrashed
+	}
+	n := m.lookup(path)
+	if n == nil {
+		return 0, fmt.Errorf("fault: stat %s: %w", path, os.ErrNotExist)
+	}
+	return int64(len(n.data)), nil
+}
+
+// SyncDir implements FS: the directory's current entries become the
+// crash-durable view. Shallow, as on a real filesystem — syncing a parent
+// does not sync the contents of its children.
+func (m *MemFS) SyncDir(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	n := m.lookup(path)
+	if n == nil {
+		return fmt.Errorf("fault: sync dir %s: %w", path, os.ErrNotExist)
+	}
+	if !n.dir {
+		return fmt.Errorf("fault: sync dir %s: not a directory", path)
+	}
+	n.syncedKids = make(map[string]*memNode, len(n.kids))
+	for name, kid := range n.kids {
+		n.syncedKids[name] = kid
+	}
+	return nil
+}
+
+// Crash simulates a power cut: every directory reverts to its last synced
+// entries and every file to its last synced contents. Operations issued
+// after Crash fail with ErrCrashed until Restart.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return
+	}
+	m.crashed = true
+	rollback(m.root)
+}
+
+func rollback(n *memNode) {
+	if !n.dir {
+		n.data = append([]byte(nil), n.synced...)
+		return
+	}
+	n.kids = make(map[string]*memNode, len(n.syncedKids))
+	for name, kid := range n.syncedKids {
+		n.kids[name] = kid
+	}
+	for _, kid := range n.kids {
+		rollback(kid)
+	}
+}
+
+// Restart clears the crashed flag, simulating the machine coming back up
+// with whatever survived on stable storage.
+func (m *MemFS) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+}
+
+// Corrupt XORs the byte at off in path's live and synced contents with
+// mask, simulating silent media corruption beneath any checksum.
+func (m *MemFS) Corrupt(path string, off int64, mask byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.lookup(path)
+	if n == nil || n.dir {
+		return fmt.Errorf("fault: corrupt %s: %w", path, os.ErrNotExist)
+	}
+	if off < 0 || off >= int64(len(n.data)) {
+		return fmt.Errorf("fault: corrupt %s: offset %d out of range", path, off)
+	}
+	n.data[off] ^= mask
+	if off < int64(len(n.synced)) {
+		n.synced[off] ^= mask
+	}
+	return nil
+}
+
+// memFile is a handle onto a memNode.
+type memFile struct {
+	fs       *MemFS
+	node     *memNode
+	writable bool
+	closed   bool
+}
+
+// Write implements File, appending to the live contents.
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if f.closed {
+		return 0, fmt.Errorf("fault: write to closed file")
+	}
+	if !f.writable {
+		return 0, fmt.Errorf("fault: write to read-only file")
+	}
+	f.node.data = append(f.node.data, p...)
+	return len(p), nil
+}
+
+// ReadAt implements File.
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if f.closed {
+		return 0, fmt.Errorf("fault: read from closed file")
+	}
+	if off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Sync implements File: the live contents become the crash-durable view.
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return ErrCrashed
+	}
+	if f.closed {
+		return fmt.Errorf("fault: sync of closed file")
+	}
+	f.node.synced = append([]byte(nil), f.node.data...)
+	return nil
+}
+
+// Close implements File.
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("fault: double close")
+	}
+	f.closed = true
+	return nil
+}

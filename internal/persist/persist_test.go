@@ -155,8 +155,9 @@ func TestCorruptRowsFile(t *testing.T) {
 	if err := Save(src, dir); err != nil {
 		t.Fatal(err)
 	}
-	// Truncate one row file.
-	path := filepath.Join(dir, "ratings.rows")
+	// Truncate one row file (inside the single generation, so Load has no
+	// older generation to fall back to).
+	path := filepath.Join(dir, genName(1), "ratings.rows")
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

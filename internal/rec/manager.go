@@ -2,6 +2,7 @@ package rec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -47,6 +48,48 @@ type Recommender struct {
 	pending    int           // new ratings since the current model was built
 	buildTime  time.Duration // duration of the last model build (Table II)
 	rebuilds   int
+
+	// Degradation state: a failed rebuild leaves the previous model
+	// serving and is retried with exponential backoff.
+	failures  int       // consecutive failed rebuilds
+	lastErr   error     // most recent rebuild failure (nil when healthy)
+	lastErrAt time.Time // when lastErr happened
+	nextRetry time.Time // earliest time maintenance may retry
+}
+
+// Health is a point-in-time snapshot of a recommender's maintenance
+// state. A degraded recommender keeps answering queries from the last
+// good model; Healthy reports whether the most recent (re)build
+// succeeded.
+type Health struct {
+	Name     string
+	Healthy  bool
+	Rebuilds int
+	Pending  int
+	// Failures counts consecutive failed rebuilds (0 when healthy).
+	Failures int
+	// LastError is the most recent rebuild failure, nil when healthy.
+	LastError error
+	// LastErrorAt and NextRetry frame the backoff window: maintenance
+	// will not retry the rebuild before NextRetry.
+	LastErrorAt time.Time
+	NextRetry   time.Time
+}
+
+// Health reports the recommender's current maintenance health.
+func (r *Recommender) Health() Health {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Health{
+		Name:        r.Name,
+		Healthy:     r.lastErr == nil,
+		Rebuilds:    r.rebuilds,
+		Pending:     r.pending,
+		Failures:    r.failures,
+		LastError:   r.lastErr,
+		LastErrorAt: r.lastErrAt,
+		NextRetry:   r.nextRetry,
+	}
 }
 
 // Store returns the current materialized model. The returned store remains
@@ -92,6 +135,29 @@ type Manager struct {
 	// onRebuild, when set, is invoked after a model rebuild so dependent
 	// structures (the RecScoreIndex cache) can invalidate.
 	onRebuild func(*Recommender)
+
+	// now is the clock used for the rebuild-failure backoff (tests swap it).
+	now func() time.Time
+	// buildFault, when set, fails every model build (fault-injection tests).
+	buildFault func() error
+}
+
+// Rebuild-failure backoff: 500ms doubling to a 60s ceiling.
+const (
+	backoffBase = 500 * time.Millisecond
+	backoffMax  = 60 * time.Second
+)
+
+// backoffAfter returns the retry delay after the Nth consecutive failure.
+func backoffAfter(failures int) time.Duration {
+	d := backoffBase
+	for i := 1; i < failures && d < backoffMax; i++ {
+		d *= 2
+	}
+	if d > backoffMax {
+		d = backoffMax
+	}
+	return d
 }
 
 // NewManager creates a manager over the catalog.
@@ -100,6 +166,7 @@ func NewManager(cat *catalog.Catalog, opts Options) *Manager {
 		cat:  cat,
 		opts: opts.withDefaults(),
 		recs: make(map[string]*Recommender),
+		now:  time.Now,
 	}
 }
 
@@ -298,13 +365,17 @@ func (m *Manager) NotifyInsert(table string, count int) error {
 		if !strings.EqualFold(r.Table, table) {
 			continue
 		}
+		now := m.now()
 		r.mu.Lock()
 		r.pending += count
 		threshold := int(m.opts.RebuildThresholdPct / 100 * float64(r.buildCount))
 		if threshold < 1 {
 			threshold = 1
 		}
-		if r.pending >= threshold {
+		// A recommender in its backoff window stays pending: the insert
+		// proceeds, the previous model keeps serving, and a later insert
+		// (or explicit Rebuild) retries once the window passes.
+		if r.pending >= threshold && !now.Before(r.nextRetry) {
 			due = append(due, r)
 		}
 		r.mu.Unlock()
@@ -314,7 +385,10 @@ func (m *Manager) NotifyInsert(table string, count int) error {
 
 	for _, r := range due {
 		if err := m.Rebuild(r.Name); err != nil {
-			return err
+			// Graceful degradation: the failure is recorded in the
+			// recommender's Health and retried with backoff; the insert
+			// that triggered maintenance must not fail.
+			continue
 		}
 		if onRebuild != nil {
 			onRebuild(r)
@@ -324,22 +398,55 @@ func (m *Manager) NotifyInsert(table string, count int) error {
 }
 
 // Rebuild reloads the source table and rebuilds the recommender's model.
+// On failure the previous model keeps serving: the error is recorded in
+// the recommender's Health and maintenance backs off exponentially
+// (500ms doubling, 60s cap) before retrying.
 func (m *Manager) Rebuild(name string) error {
 	r, ok := m.Get(name)
 	if !ok {
 		return fmt.Errorf("rec: recommender %q does not exist", name)
 	}
+	err := m.rebuild(r)
+	now := m.now()
+	r.mu.Lock()
+	if err != nil {
+		r.failures++
+		r.lastErr = err
+		r.lastErrAt = now
+		r.nextRetry = now.Add(backoffAfter(r.failures))
+	} else {
+		r.rebuilds++
+		r.failures = 0
+		r.lastErr = nil
+		r.lastErrAt = time.Time{}
+		r.nextRetry = time.Time{}
+	}
+	r.mu.Unlock()
+	return err
+}
+
+func (m *Manager) rebuild(r *Recommender) error {
+	if m.buildFault != nil {
+		if err := m.buildFault(); err != nil {
+			return err
+		}
+	}
 	ratings, err := m.loadRatings(r.Table, r.UserCol, r.ItemCol, r.RatingCol)
 	if err != nil {
 		return err
 	}
-	if err := m.buildAndSwap(r, ratings); err != nil {
-		return err
+	return m.buildAndSwap(r, ratings)
+}
+
+// HealthAll reports the health of every recommender, sorted by name.
+func (m *Manager) HealthAll() []Health {
+	recs := m.List()
+	out := make([]Health, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, r.Health())
 	}
-	r.mu.Lock()
-	r.rebuilds++
-	r.mu.Unlock()
-	return nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // RatingsOf loads the current contents of a recommender's source table as

@@ -60,6 +60,48 @@ type Manager struct {
 
 	stopCh chan struct{}
 	doneCh chan struct{}
+
+	// Daemon health: the background maintenance loop records run failures
+	// here instead of dropping them; the cache keeps serving its current
+	// contents while degraded.
+	runs        int
+	runFailures int   // consecutive failed runs (0 when healthy)
+	lastRunErr  error // most recent failed run's error, nil when healthy
+}
+
+// Health describes the cache maintenance daemon's state: how many runs
+// completed, whether the most recent one succeeded, and the error if not.
+type Health struct {
+	Runs      int
+	Failures  int
+	LastError error
+	Healthy   bool
+}
+
+// Health reports the daemon's current state.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Health{
+		Runs:      m.runs,
+		Failures:  m.runFailures,
+		LastError: m.lastRunErr,
+		Healthy:   m.lastRunErr == nil,
+	}
+}
+
+// recordRun folds one maintenance run's outcome into the health state.
+func (m *Manager) recordRun(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs++
+	if err != nil {
+		m.runFailures++
+		m.lastRunErr = err
+		return
+	}
+	m.runFailures = 0
+	m.lastRunErr = nil
 }
 
 // Predictor supplies predictions and seen-ness for admission; it is the
@@ -418,7 +460,11 @@ func (m *Manager) Start(pred Predictor, interval time.Duration) {
 			case <-stop:
 				return
 			case <-ticker.C:
-				_, _ = m.Run(pred)
+				// A failed run degrades (recorded in Health) rather than
+				// killing the daemon: the cache serves stale entries and
+				// the next tick retries.
+				_, err := m.Run(pred)
+				m.recordRun(err)
 			}
 		}
 	}()

@@ -29,23 +29,52 @@ func Parse(input string) (Statement, error) {
 
 // ParseAll parses a semicolon-separated script into statements.
 func ParseAll(input string) ([]Statement, error) {
+	script, err := ParseScript(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Statement, len(script))
+	for i, s := range script {
+		out[i] = s.Stmt
+	}
+	return out, nil
+}
+
+// ScriptStmt pairs a parsed statement with its exact source text (no
+// trailing semicolon), so callers that persist statements — the
+// write-ahead log — can record what was executed verbatim.
+type ScriptStmt struct {
+	Stmt Statement
+	Text string
+}
+
+// ParseScript parses a semicolon-separated script like ParseAll and also
+// slices out each statement's source text by token offsets.
+func ParseScript(input string) ([]ScriptStmt, error) {
 	toks, err := Lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	var out []Statement
+	var out []ScriptStmt
 	for {
 		for p.accept(";") {
 		}
 		if p.atEOF() {
 			return out, nil
 		}
+		start := p.peek().Pos
 		stmt, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, stmt)
+		// The statement's text ends where the next token (the semicolon or
+		// EOF) begins.
+		end := p.peek().Pos
+		if end > len(input) {
+			end = len(input)
+		}
+		out = append(out, ScriptStmt{Stmt: stmt, Text: strings.TrimSpace(input[start:end])})
 		if !p.accept(";") && !p.atEOF() {
 			return nil, p.errorf("expected ';' between statements, got %s", p.peek())
 		}

@@ -521,3 +521,37 @@ func TestParseNeverPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestParseScriptSourceText(t *testing.T) {
+	script := `
+		CREATE TABLE t (a INT PRIMARY KEY);
+
+		INSERT INTO t VALUES (1),
+			(2);
+		SELECT * FROM t`
+	out, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("statements: %d", len(out))
+	}
+	if out[0].Text != "CREATE TABLE t (a INT PRIMARY KEY)" {
+		t.Fatalf("stmt 0 text = %q", out[0].Text)
+	}
+	// Multi-line statements keep their interior layout, lose only the
+	// surrounding whitespace and semicolon.
+	if !strings.HasPrefix(out[1].Text, "INSERT INTO t VALUES (1),") ||
+		!strings.HasSuffix(out[1].Text, "(2)") {
+		t.Fatalf("stmt 1 text = %q", out[1].Text)
+	}
+	if out[2].Text != "SELECT * FROM t" {
+		t.Fatalf("stmt 2 text = %q", out[2].Text)
+	}
+	// Each slice reparses to the same statement kind.
+	for i, s := range out {
+		if _, err := Parse(s.Text); err != nil {
+			t.Fatalf("stmt %d text %q does not reparse: %v", i, s.Text, err)
+		}
+	}
+}

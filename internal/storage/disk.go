@@ -126,7 +126,14 @@ func (d *FileDisk) ReadPage(id PageID, buf []byte) error {
 	if uint32(id) >= d.n {
 		return fmt.Errorf("storage: read of unallocated page %d in %s", id, d.path)
 	}
-	if _, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
+	// A short read means the file lost data (truncation, torn write): an
+	// allocated page must come back whole, so io.EOF is an error here.
+	n, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("storage: read page %d of %s: %w: got %d of %d bytes",
+				id, d.path, io.ErrUnexpectedEOF, n, PageSize)
+		}
 		return fmt.Errorf("storage: read page %d of %s: %w", id, d.path, err)
 	}
 	return nil

@@ -2,7 +2,9 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -516,5 +518,39 @@ func TestHeapFileOnFileDisk(t *testing.T) {
 	row, _, ok, err := it.Next()
 	if err != nil || !ok || row[0].Int() != 0 || row[1].Text() != "file-backed" {
 		t.Fatalf("reopened first row: %v %v %v", row, ok, err)
+	}
+}
+
+func TestFileDiskShortReadIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pages")
+	d, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = 0x5A
+	}
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file mid-page, as a crash during an extending write
+	// would: the page is allocated but only half its bytes exist.
+	if err := os.Truncate(path, PageSize/2); err != nil {
+		t.Fatal(err)
+	}
+	err = d.ReadPage(id, buf)
+	if err == nil {
+		t.Fatal("short read must be an error, not a silently half-filled buffer")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short read err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,29 +1,194 @@
 package recdb
 
 import (
+	"fmt"
+	"path/filepath"
+
 	"recdb/internal/engine"
+	"recdb/internal/fault"
 	"recdb/internal/persist"
+	"recdb/internal/wal"
 )
 
-// SaveTo snapshots the database (user tables, rows, secondary indexes,
-// and recommender definitions) to a directory. Derived state — model
-// tables and the RecScoreIndex — is not stored; OpenDir rebuilds it.
+// walSubdir is where a durable database keeps its write-ahead log,
+// alongside the snapshot generations.
+const walSubdir = "wal"
+
+// SaveTo checkpoints the database into dir as a new snapshot generation
+// (user tables, rows, secondary indexes, and recommender definitions;
+// derived state — model tables and the RecScoreIndex — is rebuilt by
+// OpenDir). The snapshot is crash-safe: every file is written to a temp
+// name, fsynced, renamed, and the directory fsynced, and the manifest
+// carries CRC32-C checksums for itself and every data file.
+//
+// SaveTo also makes the database durable at dir from this point on:
+// subsequent mutating statements are appended to dir/wal and replayed by
+// OpenDir, so a crash after SaveTo loses no acknowledged commit (under
+// the default per-commit sync policy). Old snapshot generations beyond
+// the retention bound and the checkpointed log segments are pruned.
 func (db *DB) SaveTo(dir string) error {
-	return persist.Save(db.eng, dir)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked(dir)
 }
 
-// OpenDir reconstructs a database from a snapshot directory produced by
-// SaveTo. Recommendation models are retrained from their ratings tables
-// using the options in effect here (so a snapshot can be reopened with
-// different tuning).
+func (db *DB) checkpointLocked(dir string) error {
+	fs := db.fs
+	if fs == nil {
+		fs = fault.OS
+	}
+	var walSeq uint64
+	if db.wal != nil {
+		walSeq = db.wal.Seq()
+	}
+	gen, err := persist.SaveFS(fs, db.eng, dir, walSeq)
+	if err != nil {
+		return err
+	}
+	db.gen = gen
+	switch {
+	case db.wal != nil && dir == db.dir:
+		// Checkpointed in place: the snapshot owns everything logged so
+		// far, so the log restarts empty.
+		if err := db.wal.Reset(); err != nil {
+			return err
+		}
+	default:
+		// First checkpoint here (or a move): attach a fresh log at dir.
+		if db.wal != nil {
+			if err := db.wal.Close(); err != nil {
+				return err
+			}
+		}
+		l, err := wal.Open(fs, filepath.Join(dir, walSubdir), walSeq, wal.Options{SyncEvery: db.walSyncEvery})
+		if err != nil {
+			return err
+		}
+		db.fs, db.dir, db.wal = fs, dir, l
+		db.eng.SetCommitHook(db.logCommitLocked)
+	}
+	return nil
+}
+
+// logCommitLocked is the engine commit hook: it appends the statement's
+// source text to the write-ahead log; the suffix records that it only
+// runs inside Exec/ExecScript, which hold db.mu. Its error fails the
+// statement, telling the caller the change is applied in memory but not
+// durable.
+func (db *DB) logCommitLocked(stmtText string) error {
+	if _, err := db.wal.Append([]byte(stmtText)); err != nil {
+		return fmt.Errorf("recdb: statement applied but not logged: %w", err)
+	}
+	return nil
+}
+
+// OpenDir recovers a database from a directory produced by SaveTo: it
+// loads the newest snapshot generation whose checksums verify (falling
+// back to an older generation if the newest is corrupt), replays the
+// write-ahead log past the snapshot's high-water mark — truncating a
+// torn tail from a crash mid-commit — and reattaches the log so the
+// database continues durably. Recommendation models are retrained from
+// their ratings tables using the options in effect here (so a snapshot
+// can be reopened with different tuning).
 func OpenDir(dir string, opts ...Option) (*DB, error) {
 	var cfg engine.Config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	eng, err := persist.Load(dir, cfg)
+	return openDirFS(fault.OS, dir, cfg)
+}
+
+func openDirFS(fs fault.FS, dir string, cfg engine.Config) (*DB, error) {
+	eng, info, err := persist.LoadFS(fs, dir, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	// Collect the log's surviving records first. They are applied only if
+	// they contiguously extend the loaded snapshot: when Load fell back
+	// past a corrupt newer generation, the log continues that newer
+	// timeline (its first sequence is past the older snapshot's high-water
+	// mark) and replaying it would interleave histories — the safe
+	// recovery is the older checkpoint alone.
+	walDir := filepath.Join(dir, walSubdir)
+	type record struct {
+		seq     uint64
+		payload string
+	}
+	var records []record
+	last, err := wal.Replay(fs, walDir, info.WALSeq, func(seq uint64, payload []byte) error {
+		records = append(records, record{seq, string(payload)})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("recdb: recovering %s: %w", dir, err)
+	}
+	if len(records) > 0 && records[0].seq != info.WALSeq+1 {
+		records, last = nil, info.WALSeq
+	}
+	// Replay before installing the commit hook, so replayed statements
+	// are not re-logged.
+	for _, r := range records {
+		if _, err := eng.Exec(r.payload); err != nil {
+			return nil, fmt.Errorf("recdb: recovering %s: replaying statement %d: %w", dir, r.seq, err)
+		}
+	}
+	l, err := wal.Open(fs, walDir, last, wal.Options{SyncEvery: cfg.WALSyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{eng: eng, fs: fs, dir: dir, wal: l, gen: info.Gen,
+		walSyncEvery: cfg.WALSyncEvery, skipped: len(info.Skipped)}
+	eng.SetCommitHook(db.logCommitLocked)
+	// Checkpoint the recovered state into a fresh generation and reset
+	// the log. This clears replayed segments — including a torn tail left
+	// by a crash mid-commit, which later replays would otherwise trip
+	// over mid-log — and bounds the next recovery's replay work.
+	if len(records) > 0 || len(info.Skipped) > 0 {
+		if err := db.checkpointLocked(dir); err != nil {
+			return nil, fmt.Errorf("recdb: post-recovery checkpoint: %w", err)
+		}
+	} else if err := l.Reset(); err != nil {
+		// No records survived, so the snapshot already owns everything;
+		// clearing the old segments drops any torn tail a crash left
+		// behind (a later replay would trip over it mid-log).
+		return nil, fmt.Errorf("recdb: clearing recovered log: %w", err)
+	}
+	return db, nil
+}
+
+// DurabilityInfo describes the database's durability state.
+type DurabilityInfo struct {
+	// Dir is the durable home ("" while purely in-memory).
+	Dir string
+	// Attached reports whether a write-ahead log is receiving commits.
+	Attached bool
+	// Generation is the snapshot generation last written or recovered.
+	Generation uint64
+	// WALSeq is the last logged statement's sequence number.
+	WALSeq uint64
+	// SkippedGenerations counts corrupt generations OpenDir had to skip.
+	SkippedGenerations int
+}
+
+// Durability reports where (and whether) the database persists.
+func (db *DB) Durability() DurabilityInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	info := DurabilityInfo{Dir: db.dir, Generation: db.gen, SkippedGenerations: db.skipped}
+	if db.wal != nil {
+		info.Attached = true
+		info.WALSeq = db.wal.Seq()
+	}
+	return info
+}
+
+// SyncWAL forces grouped, not-yet-synced commits to stable storage
+// (meaningful with WithWALSyncEvery(n > 1)).
+func (db *DB) SyncWAL() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil {
+		return fmt.Errorf("recdb: no write-ahead log attached; call SaveTo or OpenDir first")
+	}
+	return db.wal.Sync()
 }

@@ -43,3 +43,66 @@ func TestOpenDirMissing(t *testing.T) {
 		t.Fatal("missing snapshot should fail")
 	}
 }
+
+func TestWALRecoversCommitsAfterCheckpoint(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE RECOMMENDER R ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`)
+	dir := t.TempDir()
+	if err := db.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	// These statements land only in the WAL — no second SaveTo.
+	db.MustExec("INSERT INTO ratings VALUES (1, 3, 5.0), (4, 1, 2.5)")
+	db.MustExec("CREATE TABLE extras (id INT PRIMARY KEY, note TEXT)")
+	db.MustExec("INSERT INTO extras VALUES (1, 'logged')")
+	info := db.Durability()
+	if !info.Attached || info.Dir != dir || info.WALSeq != 3 {
+		t.Fatalf("durability = %+v", info)
+	}
+	db.Close()
+
+	db2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows, err := db2.Query("SELECT COUNT(*) FROM ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var n int64
+	if err := rows.Scan(&n); err != nil || n != 9 {
+		t.Fatalf("ratings after WAL replay: %d, %v", n, err)
+	}
+	rows, err = db2.Query("SELECT note FROM extras WHERE id = 1")
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("extras after WAL replay: %v, %v", rows, err)
+	}
+
+	// Replay resumed the sequence: the next commit gets seq 4.
+	db2.MustExec("INSERT INTO extras VALUES (2, 'post-recovery')")
+	if got := db2.Durability().WALSeq; got != 4 {
+		t.Fatalf("WALSeq after recovery commit = %d, want 4", got)
+	}
+
+	// A checkpoint resets the log but keeps the sequence monotonic.
+	if err := db2.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2.MustExec("INSERT INTO extras VALUES (3, 'post-checkpoint')")
+	db3, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	rows, err = db3.Query("SELECT COUNT(*) FROM extras")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if err := rows.Scan(&n); err != nil || n != 3 {
+		t.Fatalf("extras after second recovery: %d, %v", n, err)
+	}
+}

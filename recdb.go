@@ -42,12 +42,15 @@ package recdb
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"recdb/internal/engine"
+	"recdb/internal/fault"
 	"recdb/internal/rec"
 	"recdb/internal/reccache"
 	"recdb/internal/types"
+	"recdb/internal/wal"
 )
 
 // Value is a SQL value (NULL, BIGINT, DOUBLE, TEXT, BOOLEAN, or GEOMETRY).
@@ -94,23 +97,54 @@ func WithHotnessThreshold(t float64) Option {
 	return func(c *engine.Config) { c.HotnessThreshold = t }
 }
 
+// WithWALSyncEvery sets the write-ahead log's group-commit factor: 1
+// (the default) fsyncs on every commit, n > 1 fsyncs every n commits (a
+// crash can lose the last < n acknowledged statements), and a negative
+// value never fsyncs (durability rides on SaveTo checkpoints alone).
+func WithWALSyncEvery(n int) Option {
+	return func(c *engine.Config) { c.WALSyncEvery = n }
+}
+
 // DB is an embedded RecDB instance. It is safe for concurrent readers;
 // writes are serialized per table.
 type DB struct {
 	eng *engine.Engine
+
+	// mu quiesces mutating statements while SaveTo checkpoints, so the
+	// snapshot and the WAL high-water mark are captured atomically.
+	mu           sync.RWMutex
+	fs           fault.FS // filesystem for durability (nil until attached)
+	dir          string   // durable home ("" while purely in-memory)
+	wal          *wal.Log // write-ahead log (nil until attached)
+	gen          uint64   // snapshot generation last written or recovered
+	skipped      int      // corrupt generations skipped during recovery
+	walSyncEvery int      // WAL group-commit factor from WithWALSyncEvery
 }
 
-// Open creates a new in-memory database.
+// Open creates a new in-memory database. Call SaveTo to checkpoint it to
+// disk and make it durable from that point on.
 func Open(opts ...Option) *DB {
 	var cfg engine.Config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &DB{eng: engine.New(cfg)}
+	return &DB{eng: engine.New(cfg), walSyncEvery: cfg.WALSyncEvery}
 }
 
-// Close stops background workers. The DB must not be used afterwards.
-func (db *DB) Close() { db.eng.Close() }
+// Close stops background workers and syncs and closes the write-ahead
+// log, if attached. The DB must not be used afterwards.
+func (db *DB) Close() {
+	db.mu.Lock()
+	if db.wal != nil {
+		// Best effort: grouped commits are flushed; a sync failure here
+		// cannot be reported, which is why per-commit sync is the default.
+		_ = db.wal.Close()
+		db.wal = nil
+		db.eng.SetCommitHook(nil)
+	}
+	db.mu.Unlock()
+	db.eng.Close()
+}
 
 // Result reports the effect of a statement.
 type Result struct {
@@ -119,8 +153,11 @@ type Result struct {
 	RowsAffected int64
 }
 
-// Exec runs one SQL statement.
+// Exec runs one SQL statement. When the database is durable, the
+// statement is appended to the write-ahead log before Exec returns.
 func (db *DB) Exec(query string) (Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	r, err := db.eng.Exec(query)
 	return Result{RowsAffected: r.RowsAffected}, err
 }
@@ -139,6 +176,8 @@ func (db *DB) MustExec(query string) Result {
 // ExecScript runs a semicolon-separated script, stopping at the first
 // error.
 func (db *DB) ExecScript(script string) (Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	r, err := db.eng.ExecScript(script)
 	return Result{RowsAffected: r.RowsAffected}, err
 }
@@ -362,6 +401,43 @@ type RecommenderInfo struct {
 	BuildTime time.Duration
 	Rebuilds  int
 	Pending   int
+}
+
+// RecommenderHealth is a point-in-time view of one recommender's
+// maintenance state. A degraded recommender keeps serving its last good
+// model; maintenance retries the rebuild with exponential backoff.
+type RecommenderHealth struct {
+	Name    string
+	Healthy bool
+	// Rebuilds counts successful maintenance rebuilds; Pending counts
+	// ratings inserted since the current model was built.
+	Rebuilds int
+	Pending  int
+	// Failures counts consecutive failed rebuilds (0 when healthy), and
+	// LastError is the most recent failure (nil when healthy).
+	Failures  int
+	LastError error
+	// LastErrorAt and NextRetry frame the backoff window.
+	LastErrorAt time.Time
+	NextRetry   time.Time
+}
+
+// Health reports every recommender's maintenance health, sorted by name.
+// A recommender whose background rebuild failed stays available — it
+// answers from the previous model — and shows up here as unhealthy until
+// a retry succeeds.
+func (db *DB) Health() []RecommenderHealth {
+	hs := db.eng.Recommenders().HealthAll()
+	out := make([]RecommenderHealth, len(hs))
+	for i, h := range hs {
+		out[i] = RecommenderHealth{
+			Name: h.Name, Healthy: h.Healthy,
+			Rebuilds: h.Rebuilds, Pending: h.Pending,
+			Failures: h.Failures, LastError: h.LastError,
+			LastErrorAt: h.LastErrorAt, NextRetry: h.NextRetry,
+		}
+	}
+	return out
 }
 
 // Recommenders lists the recommenders created with CREATE RECOMMENDER.

@@ -62,30 +62,9 @@ func main() {
 		db = recdb.Open()
 	}
 	defer db.Close()
-	eng := db.Engine()
 
-	if *datasetName != "" {
-		spec, err := specFor(*datasetName)
-		if err != nil {
-			fatal(err)
-		}
-		if *scale != 1.0 {
-			spec = spec.Scaled(*scale)
-		}
-		d := dataset.Generate(spec)
-		if err := dataset.Load(eng, d); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("loaded %s into tables users, items, ratings%s\n",
-			d.Describe(), geoNote(spec.Geo))
-	}
-
-	if *loadCSV != "" {
-		d, err := dataset.LoadCSVDir(eng, *loadCSV)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("imported %s from %s\n", d.Describe(), *loadCSV)
+	if err := preload(db, *datasetName, *scale, *loadCSV); err != nil {
+		fatal(err)
 	}
 
 	if *script != "" {
@@ -101,6 +80,51 @@ func main() {
 
 	fmt.Println("RecDB-Go shell — end statements with ';', \\q to quit, \\d to list tables")
 	repl(db)
+}
+
+// preload imports the -dataset and/or -load data. Both importers write
+// through the engine directly, bypassing the write-ahead log, so on a
+// durably opened database (-open) a successful import is checkpointed
+// into a fresh snapshot generation — otherwise a crash or plain exit
+// would silently lose everything just imported.
+func preload(db *recdb.DB, datasetName string, scale float64, loadCSV string) error {
+	eng := db.Engine()
+	imported := false
+
+	if datasetName != "" {
+		spec, err := specFor(datasetName)
+		if err != nil {
+			return err
+		}
+		if scale != 1.0 {
+			spec = spec.Scaled(scale)
+		}
+		d := dataset.Generate(spec)
+		if err := dataset.Load(eng, d); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s into tables users, items, ratings%s\n",
+			d.Describe(), geoNote(spec.Geo))
+		imported = true
+	}
+
+	if loadCSV != "" {
+		d, err := dataset.LoadCSVDir(eng, loadCSV)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported %s from %s\n", d.Describe(), loadCSV)
+		imported = true
+	}
+
+	if d := db.Durability(); imported && d.Attached {
+		if err := db.SaveTo(d.Dir); err != nil {
+			return fmt.Errorf("checkpointing imported data: %w", err)
+		}
+		fmt.Printf("checkpointed import into %s (generation %d)\n",
+			d.Dir, db.Durability().Generation)
+	}
+	return nil
 }
 
 // runScript runs a -f script: lines starting with \ are meta-commands,

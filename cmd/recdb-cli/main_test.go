@@ -21,9 +21,16 @@ func capture(t *testing.T, fn func()) string {
 	os.Stdout = w
 	done := make(chan string)
 	go func() {
+		var sb strings.Builder
 		buf := make([]byte, 1<<20)
-		n, _ := r.Read(buf)
-		done <- string(buf[:n])
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
 	}()
 	fn()
 	w.Close()
@@ -183,6 +190,57 @@ func TestMetaSaveRoundTrip(t *testing.T) {
 	res, err := loaded.Engine().Query("SELECT COUNT(*) FROM ratings")
 	if err != nil || res.Rows[0][0].Int() != 6 {
 		t.Fatalf("reopened database: %v %v", res, err)
+	}
+}
+
+// TestPreloadCheckpointsDurableImport opens a database durably, imports a
+// dataset through preload, and verifies the import survives a reopen:
+// the importers bypass the write-ahead log, so preload must checkpoint
+// them on a durably opened database.
+func TestPreloadCheckpointsDurableImport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	seed := recdb.Open()
+	seed.MustExec("CREATE TABLE marker (id INT PRIMARY KEY)")
+	if err := seed.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	db, err := recdb.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() {
+		if err := preload(db, "movielens", 0.02, ""); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "checkpointed import into "+dir) {
+		t.Fatalf("durable import not checkpointed:\n%s", out)
+	}
+	db.Close()
+
+	// The imported rows are on disk, not just in memory.
+	reopened, err := recdb.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	res, err := reopened.Engine().Query("SELECT COUNT(*) FROM ratings")
+	if err != nil || res.Rows[0][0].Int() == 0 {
+		t.Fatalf("imported ratings lost across reopen: %v %v", res, err)
+	}
+
+	// An in-memory database imports without checkpointing anywhere.
+	mem := recdb.Open()
+	defer mem.Close()
+	out = capture(t, func() {
+		if err := preload(mem, "movielens", 0.02, ""); err != nil {
+			t.Error(err)
+		}
+	})
+	if strings.Contains(out, "checkpointed") {
+		t.Fatalf("in-memory import should not checkpoint:\n%s", out)
 	}
 }
 

@@ -63,9 +63,11 @@ type CommitHook func(stmtText string) error
 // not synchronized with in-flight statements: install it before serving.
 func (e *Engine) SetCommitHook(h CommitHook) { e.commitHook = h }
 
-// mutates reports whether a statement changes durable state (anything
-// but SELECT/EXPLAIN) and therefore must reach the commit hook.
-func mutates(stmt sql.Statement) bool {
+// Mutates reports whether a statement changes durable state (anything
+// but SELECT/EXPLAIN) and therefore must reach the commit hook. The
+// recdb layer also uses it to pick its lock mode: mutating statements
+// run one at a time so the write-ahead log records them in apply order.
+func Mutates(stmt sql.Statement) bool {
 	switch stmt.(type) {
 	case *sql.Select, *sql.Explain:
 		return false
@@ -75,7 +77,7 @@ func mutates(stmt sql.Statement) bool {
 
 // commit routes a successfully executed statement's text to the hook.
 func (e *Engine) commit(stmt sql.Statement, text string) error {
-	if e.commitHook == nil || !mutates(stmt) {
+	if e.commitHook == nil || !Mutates(stmt) {
 		return nil
 	}
 	return e.commitHook(text)
@@ -166,11 +168,19 @@ func (e *Engine) Exec(query string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return e.ExecParsed(stmt, query)
+}
+
+// ExecParsed runs an already-parsed statement and, on success, routes it
+// through the commit hook with the given source text. Callers that need
+// to inspect the statement before executing (the recdb layer parses
+// first to choose its lock mode) use this to avoid parsing twice.
+func (e *Engine) ExecParsed(stmt sql.Statement, text string) (Result, error) {
 	res, err := e.ExecStmt(stmt)
 	if err != nil {
 		return res, err
 	}
-	if err := e.commit(stmt, query); err != nil {
+	if err := e.commit(stmt, text); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -292,6 +302,12 @@ func (e *Engine) ExecScript(script string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return e.ExecScriptParsed(stmts)
+}
+
+// ExecScriptParsed runs pre-parsed script statements, stopping at the
+// first error.
+func (e *Engine) ExecScriptParsed(stmts []sql.ScriptStmt) (Result, error) {
 	var total Result
 	for _, s := range stmts {
 		r, err := e.ExecStmt(s.Stmt)

@@ -128,7 +128,13 @@ func (d *FileDisk) ReadPage(id PageID, buf []byte) error {
 	}
 	// A short read means the file lost data (truncation, torn write): an
 	// allocated page must come back whole, so io.EOF is an error here.
+	// The io.ReaderAt contract does allow a full read ending exactly at
+	// end-of-file to report io.EOF alongside n == len(p); that one is
+	// success, not corruption.
 	n, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if err == io.EOF && n == PageSize {
+		err = nil
+	}
 	if err != nil {
 		if err == io.EOF {
 			return fmt.Errorf("storage: read page %d of %s: %w: got %d of %d bytes",

@@ -47,7 +47,7 @@ func (db *DB) checkpointLocked(dir string) error {
 	}
 	db.gen = gen
 	switch {
-	case db.wal != nil && dir == db.dir:
+	case db.wal != nil && samePath(dir, db.dir):
 		// Checkpointed in place: the snapshot owns everything logged so
 		// far, so the log restarts empty.
 		if err := db.wal.Reset(); err != nil {
@@ -70,11 +70,24 @@ func (db *DB) checkpointLocked(dir string) error {
 	return nil
 }
 
+// samePath reports whether two directory paths name the same location,
+// tolerating "./", trailing-slash, and relative-vs-absolute spellings of
+// one path. Purely lexical: symlinked aliases still compare unequal.
+func samePath(a, b string) bool {
+	if a == b {
+		return true
+	}
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	return errA == nil && errB == nil && aa == bb
+}
+
 // logCommitLocked is the engine commit hook: it appends the statement's
 // source text to the write-ahead log; the suffix records that it only
-// runs inside Exec/ExecScript, which hold db.mu. Its error fails the
-// statement, telling the caller the change is applied in memory but not
-// durable.
+// runs inside mutating Exec/ExecScript calls, which hold db.mu
+// exclusively — so the append order always matches the apply order the
+// lock imposed. Its error fails the statement, telling the caller the
+// change is applied in memory but not durable.
 func (db *DB) logCommitLocked(stmtText string) error {
 	if _, err := db.wal.Append([]byte(stmtText)); err != nil {
 		return fmt.Errorf("recdb: statement applied but not logged: %w", err)

@@ -49,6 +49,7 @@ import (
 	"recdb/internal/fault"
 	"recdb/internal/rec"
 	"recdb/internal/reccache"
+	"recdb/internal/sql"
 	"recdb/internal/types"
 	"recdb/internal/wal"
 )
@@ -110,8 +111,11 @@ func WithWALSyncEvery(n int) Option {
 type DB struct {
 	eng *engine.Engine
 
-	// mu quiesces mutating statements while SaveTo checkpoints, so the
-	// snapshot and the WAL high-water mark are captured atomically.
+	// mu orders durability: mutating statements hold it exclusively, so
+	// the in-memory apply and the WAL append happen as one atomic step
+	// (log order = apply order, which crash recovery replays), and SaveTo
+	// checkpoints under the same lock capture the snapshot and the WAL
+	// high-water mark atomically. Read-only statements share it.
 	mu           sync.RWMutex
 	fs           fault.FS // filesystem for durability (nil until attached)
 	dir          string   // durable home ("" while purely in-memory)
@@ -155,10 +159,21 @@ type Result struct {
 
 // Exec runs one SQL statement. When the database is durable, the
 // statement is appended to the write-ahead log before Exec returns.
+// Mutating statements are serialized against each other (and against
+// SaveTo) so the log records them in the order they were applied.
 func (db *DB) Exec(query string) (Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, err := db.eng.Exec(query)
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return Result{}, err
+	}
+	if engine.Mutates(stmt) {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	} else {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	}
+	r, err := db.eng.ExecParsed(stmt, query)
 	return Result{RowsAffected: r.RowsAffected}, err
 }
 
@@ -174,11 +189,28 @@ func (db *DB) MustExec(query string) Result {
 }
 
 // ExecScript runs a semicolon-separated script, stopping at the first
-// error.
+// error. A script containing any mutating statement is serialized like
+// a mutating Exec.
 func (db *DB) ExecScript(script string) (Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, err := db.eng.ExecScript(script)
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return Result{}, err
+	}
+	exclusive := false
+	for _, s := range stmts {
+		if engine.Mutates(s.Stmt) {
+			exclusive = true
+			break
+		}
+	}
+	if exclusive {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	} else {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	}
+	r, err := db.eng.ExecScriptParsed(stmts)
 	return Result{RowsAffected: r.RowsAffected}, err
 }
 

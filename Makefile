@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-build bench-durability bench-paper fault-sweep vet lint fmt examples clean
+.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-paper fault-sweep vet lint fmt examples clean
 
 all: vet lint test build
 
@@ -12,7 +12,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu=1,4 ./internal/rec/... ./internal/reccache/... ./internal/exec/...
+	$(GO) test -race -cpu=1,4 ./internal/metrics/... ./internal/rec/... ./internal/reccache/... ./internal/exec/...
 
 cover:
 	$(GO) test -cover ./...
@@ -31,10 +31,17 @@ bench-build:
 bench-durability:
 	$(GO) run ./cmd/recdb-bench -exp durability -json BENCH_durability.json
 
+# Observability overhead: the same query with instruments idle vs under
+# EXPLAIN ANALYZE, plus the isolated per-query instrumentation cost
+# (DESIGN.md §9). Writes BENCH_metrics.json.
+bench-metrics:
+	$(GO) run ./cmd/recdb-bench -exp metrics -scale 0.25 -json BENCH_metrics.json
+
 # Exhaustive crash simulation: every fault point x every fault mode, and
-# every byte of a snapshot flipped (the default test run samples both).
+# every byte of a snapshot flipped (the default test run samples both),
+# plus the page-I/O sweep under the file-backed buffer pool.
 fault-sweep:
-	RECDB_FAULT_SWEEP=1 $(GO) test -run 'TestCrashSweep|TestSnapshotCorruptionSweep' -v .
+	RECDB_FAULT_SWEEP=1 $(GO) test -run 'TestCrashSweep|TestSnapshotCorruptionSweep|TestHeapCrashSweep' -v . ./internal/storage
 
 # Regenerate the paper's tables at full scale (see EXPERIMENTS.md).
 bench-paper:

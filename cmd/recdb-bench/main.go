@@ -10,7 +10,7 @@
 //	recdb-bench -exp scaling -workers 1,2,4 -json BENCH_build.json
 //
 // Experiment ids: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
-// ablations (or individual a1..a6), scaling, durability, all.
+// ablations (or individual a1..a6), scaling, durability, metrics, all.
 package main
 
 import (
@@ -102,6 +102,9 @@ func main() {
 		}},
 		{"durability", func() (bench.Table, error) {
 			return bench.RunDurability(*commits)
+		}},
+		{"metrics", func() (bench.Table, error) {
+			return bench.RunMetricsOverhead(spec(dataset.MovieLens), *neighborhood)
 		}},
 	}
 

@@ -13,8 +13,12 @@
 //	\evaluate NAME [K]     hold out every K-th rating (default 10), retrain,
 //	                       and report RMSE/MAE
 //	\stats                 show page-I/O counters
+//	\metrics               show the full engine metrics snapshot
 //	\timing                toggle per-statement timing
 //	\q                     quit
+//
+// EXPLAIN ANALYZE SELECT ... runs the query and annotates the plan with
+// actual per-operator rows, loops, wall time, and buffer-pool hits/misses.
 //
 // Flags can preload a synthetic dataset:
 //
@@ -307,6 +311,8 @@ func meta(db *recdb.DB, cmd string) bool {
 	case "\\stats":
 		r, m, w := eng.Stats().Snapshot()
 		fmt.Printf("page reads: %d  buffer misses: %d  page writes: %d\n", r, m, w)
+	case "\\metrics":
+		fmt.Print(db.Metrics().String())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", fields[0])
 	}

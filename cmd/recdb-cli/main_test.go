@@ -168,6 +168,20 @@ func TestMetaCommands(t *testing.T) {
 	if !strings.Contains(out, "page reads:") {
 		t.Fatalf("\\stats output:\n%s", out)
 	}
+	out = capture(t, func() { meta(db, "\\metrics") })
+	for _, want := range []string{"exec.queries", "bufferpool.page_reads", "rec.builds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("\\metrics output missing %q:\n%s", want, out)
+		}
+	}
+	out = capture(t, func() {
+		if err := runStatement(db, `EXPLAIN ANALYZE SELECT uid FROM ratings WHERE uid = 1`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "actual rows=") || !strings.Contains(out, "Execution time:") {
+		t.Fatalf("explain analyze output:\n%s", out)
+	}
 }
 
 func TestMetaSaveRoundTrip(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 
 	"recdb/internal/dataset"
 	"recdb/internal/engine"
+	"recdb/internal/metrics"
 	"recdb/internal/ontop"
 	"recdb/internal/rec"
 )
@@ -97,6 +98,13 @@ func (e *Env) pickQueryUser() {
 		return list[a].u < list[b].u
 	})
 	e.QueryUser = list[len(list)/2].u
+}
+
+// MetricsSnapshot copies the environment engine's instrument registry,
+// for embedding into a Table's JSON output.
+func (e *Env) MetricsSnapshot() *metrics.Snapshot {
+	s := e.Eng.Metrics().Snapshot()
+	return &s
 }
 
 // SelectivityItems returns a deterministic item-id list covering the given

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"recdb/internal/dataset"
+	"recdb/internal/metrics"
 )
 
 // Table is one regenerated paper table/figure, ready for text rendering.
@@ -13,6 +14,11 @@ type Table struct {
 	Title  string
 	Header []string
 	Rows   [][]string
+	// Metrics, when non-nil, embeds the engine's instrument snapshot taken
+	// after the experiment ran (recdb-bench -json output carries it so a
+	// run's buffer-pool/planner/executor counters are archived with its
+	// timings).
+	Metrics *metrics.Snapshot `json:",omitempty"`
 }
 
 func dur(d time.Duration) string {
@@ -96,6 +102,7 @@ func RunSelectivity(figID string, spec dataset.Spec, neighborhood int) (Table, e
 			})
 		}
 	}
+	t.Metrics = env.MetricsSnapshot()
 	return t, nil
 }
 
@@ -136,6 +143,7 @@ func RunJoin(figID string, spec dataset.Spec, neighborhood int) (Table, error) {
 			})
 		}
 	}
+	t.Metrics = env.MetricsSnapshot()
 	return t, nil
 }
 
@@ -179,6 +187,7 @@ func RunTopK(figID string, spec dataset.Spec, neighborhood int) (Table, error) {
 			})
 		}
 	}
+	t.Metrics = env.MetricsSnapshot()
 	return t, nil
 }
 
@@ -453,5 +462,6 @@ func RunPageIO(spec dataset.Spec, neighborhood int) (Table, error) {
 	); err != nil {
 		return t, err
 	}
+	t.Metrics = env.MetricsSnapshot()
 	return t, nil
 }

@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"recdb/internal/catalog"
 	"recdb/internal/exec"
 	"recdb/internal/expr"
+	"recdb/internal/metrics"
 	"recdb/internal/plan"
 	"recdb/internal/rec"
 	"recdb/internal/reccache"
@@ -37,6 +39,10 @@ type Config struct {
 	// it is the write-ahead log's group-commit factor (1 = fsync every
 	// commit). The engine itself does not read it.
 	WALSyncEvery int
+	// SnapshotRetain is consumed by the recdb layer's checkpoint path: how
+	// many snapshot generations to keep on disk (0 = default 2). The
+	// engine itself does not read it.
+	SnapshotRetain int
 }
 
 // Engine is one embedded database instance.
@@ -46,11 +52,27 @@ type Engine struct {
 	rec     *rec.Manager
 	planner *plan.Planner
 	cfg     Config
+	reg     *metrics.Registry
+	em      engineMetrics
 
 	mu     sync.RWMutex
 	caches map[string]*reccache.Manager // by lower-case recommender name
 
 	commitHook CommitHook
+}
+
+// engineMetrics holds the engine-level instruments, resolved once at New
+// so the query path never touches the registry's lock.
+type engineMetrics struct {
+	queries        *metrics.Counter
+	rowsReturned   *metrics.Counter
+	queryNanos     *metrics.Histogram
+	recommend      *metrics.Counter // full-scan RECOMMEND plans
+	filterRec      *metrics.Counter
+	joinRec        *metrics.Counter
+	indexRec       *metrics.Counter // RecScoreIndex probe plans
+	cache          reccache.Metrics // shared by every recommender's cache
+	analyzeQueries *metrics.Counter
 }
 
 // CommitHook observes every successfully executed mutating statement's
@@ -88,7 +110,15 @@ func New(cfg Config) *Engine {
 	if cfg.HotnessThreshold == 0 {
 		cfg.HotnessThreshold = 0.5
 	}
+	reg := metrics.NewRegistry()
 	stats := &storage.Stats{}
+	bridgeStorageStats(reg, stats)
+	cfg.Rec.Metrics = rec.Metrics{
+		Builds:            reg.Counter("rec.builds"),
+		BuildFailures:     reg.Counter("rec.build_failures"),
+		BuildNanos:        reg.Histogram("rec.build_ns"),
+		HealthTransitions: reg.Counter("rec.health_transitions"),
+	}
 	cat := catalog.New(stats, cfg.PoolPages)
 	mgr := rec.NewManager(cat, cfg.Rec)
 	e := &Engine{
@@ -96,7 +126,27 @@ func New(cfg Config) *Engine {
 		stats:  stats,
 		rec:    mgr,
 		cfg:    cfg,
+		reg:    reg,
 		caches: make(map[string]*reccache.Manager),
+	}
+	e.em = engineMetrics{
+		queries:        reg.Counter("exec.queries"),
+		rowsReturned:   reg.Counter("exec.rows_returned"),
+		queryNanos:     reg.Histogram("exec.query_ns"),
+		recommend:      reg.Counter("plan.recommend"),
+		filterRec:      reg.Counter("plan.filter_recommend"),
+		joinRec:        reg.Counter("plan.join_recommend"),
+		indexRec:       reg.Counter("plan.index_recommend"),
+		analyzeQueries: reg.Counter("exec.analyze_queries"),
+		cache: reccache.Metrics{
+			Queries:           reg.Counter("reccache.queries"),
+			Updates:           reg.Counter("reccache.updates"),
+			Runs:              reg.Counter("reccache.runs"),
+			RunFailures:       reg.Counter("reccache.run_failures"),
+			Admitted:          reg.Counter("reccache.admitted"),
+			Evicted:           reg.Counter("reccache.evicted"),
+			HealthTransitions: reg.Counter("reccache.health_transitions"),
+		},
 	}
 	e.planner = &plan.Planner{
 		Catalog: cat,
@@ -134,6 +184,40 @@ func (e *Engine) Planner() *plan.Planner { return e.planner }
 
 // Stats exposes the shared page-I/O counters.
 func (e *Engine) Stats() *storage.Stats { return e.stats }
+
+// Metrics exposes the engine-wide instrument registry. It is always
+// non-nil; subsystems record into it with atomic operations only, so
+// reading a Snapshot at any time is race-free.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// bridgeStorageStats reports the shared page-I/O atomics through the
+// registry without double-counting: the bridge reads the live values at
+// snapshot time.
+func bridgeStorageStats(reg *metrics.Registry, stats *storage.Stats) {
+	reg.RegisterFunc("bufferpool.page_reads", stats.PageReads.Load)
+	reg.RegisterFunc("bufferpool.page_misses", stats.PageMisses.Load)
+	reg.RegisterFunc("bufferpool.page_hits", func() int64 {
+		return stats.PageReads.Load() - stats.PageMisses.Load()
+	})
+	reg.RegisterFunc("bufferpool.page_writes", stats.PageWrites.Load)
+	reg.RegisterFunc("bufferpool.evictions", stats.Evictions.Load)
+}
+
+// countStrategy tallies which recommendation path the planner chose: an
+// IndexRecommend plan probes pre-computed RecScoreIndex entries, the
+// others fall back to full model scans.
+func (e *Engine) countStrategy(strategy string) {
+	switch strategy {
+	case "Recommend":
+		e.em.recommend.Inc()
+	case "FilterRecommend":
+		e.em.filterRec.Inc()
+	case "JoinRecommend":
+		e.em.joinRec.Inc()
+	case "IndexRecommend":
+		e.em.indexRec.Inc()
+	}
+}
 
 func (e *Engine) cacheOf(name string) *reccache.Manager {
 	e.mu.RLock()
@@ -261,14 +345,32 @@ func (e *Engine) Query(query string) (*QueryResult, error) {
 	}
 }
 
-// explain plans the wrapped query and renders the operator tree without
-// executing it.
+// explain plans the wrapped query and renders the operator tree. Plain
+// EXPLAIN never executes; EXPLAIN ANALYZE instruments every operator,
+// runs the query to completion, and annotates each plan line with actual
+// rows, loops, inclusive wall time, and buffer-pool hits/misses.
 func (e *Engine) explain(s *sql.Explain) (*QueryResult, error) {
 	op, explain, err := e.planner.PlanSelect(s.Query)
 	if err != nil {
 		return nil, err
 	}
-	lines := plan.DescribePlan(op)
+	var lines []string
+	if s.Analyze {
+		root := exec.Instrument(op, e.stats)
+		start := time.Now()
+		resultRows, err := exec.Collect(root)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		e.em.analyzeQueries.Inc()
+		e.em.rowsReturned.Add(int64(len(resultRows)))
+		e.countStrategy(explain.Strategy)
+		lines = plan.DescribePlan(root)
+		lines = append(lines, fmt.Sprintf("Execution time: %s", elapsed))
+	} else {
+		lines = plan.DescribePlan(op)
+	}
 	rows := make([]types.Row, 0, len(lines)+1)
 	if explain.Strategy != "" {
 		rows = append(rows, types.Row{types.NewText("strategy: " + explain.Strategy)})
@@ -288,10 +390,15 @@ func (e *Engine) query(sel *sql.Select) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	rows, err := exec.Collect(op)
 	if err != nil {
 		return nil, err
 	}
+	e.em.queries.Inc()
+	e.em.rowsReturned.Add(int64(len(rows)))
+	e.em.queryNanos.ObserveSince(start)
+	e.countStrategy(explain.Strategy)
 	return &QueryResult{Schema: op.Schema(), Rows: rows, Explain: explain}, nil
 }
 
@@ -561,6 +668,7 @@ func (e *Engine) execCreateRecommender(s *sql.CreateRecommender) (Result, error)
 		return Result{}, err
 	}
 	cache := reccache.New(recindex.New(), e.cfg.HotnessThreshold, e.cfg.CacheClock)
+	cache.Metrics = e.em.cache
 	// The recommender's WORKERS setting also bounds cache materialization;
 	// with none given, fall back to the engine-wide build parallelism.
 	cache.Workers = s.Workers

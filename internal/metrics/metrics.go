@@ -1,0 +1,383 @@
+// Package metrics is the engine-wide observability registry: named
+// counters, gauges, and bounded latency histograms with lock-free hot
+// paths. Instruments are allocated once through a Registry (mutex-guarded
+// get-or-create) and then updated with single atomic operations — no
+// locks, no allocation — so they can sit on the buffer-pool fetch path,
+// the WAL commit path, and operator Next() loops without perturbing the
+// measurements they exist to make.
+//
+// Every instrument method is nil-receiver safe: a subsystem holds plain
+// *Counter / *Histogram fields, and when no registry is wired in the
+// fields stay nil and every update is a branch-predicted no-op. That is
+// what keeps instrumentation compiled-in but near-free when idle.
+//
+// Histograms use bit-length exponential buckets: an observation v (in
+// nanoseconds) lands in bucket bits.Len64(v), whose upper bound is
+// 2^k - 1 ns. 65 buckets cover 0ns..2^64-1ns (~584 years), so no
+// observation is ever dropped and the whole histogram is a fixed
+// 65-slot atomic array. Resolution is a factor of two — coarse, but
+// latency regressions worth acting on are rarely finer than 2x, and the
+// scheme needs no configuration and no floating point on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready to
+// use; a nil *Counter discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 level. The zero value is ready to use; a nil
+// *Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current level.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (useful for level counters like open cursors).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is bits.Len64's range: bucket k holds observations v with
+// bits.Len64(v) == k, i.e. 2^(k-1) <= v < 2^k (bucket 0 holds v == 0).
+const histBuckets = 65
+
+// Histogram records an int64 distribution (by convention nanoseconds for
+// latencies, but any non-negative magnitude works — batch sizes, row
+// counts). The zero value is ready to use; a nil *Histogram discards
+// observations. All methods are safe for concurrent use; Observe is a
+// fixed three atomic adds.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero rather
+// than dropped, so a histogram's count always matches the number of
+// events.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	// Le is the bucket's inclusive upper bound (2^k - 1).
+	Le int64
+	// Count is the number of observations in (previous bound, Le].
+	Count int64
+}
+
+// HistogramValue is a point-in-time copy of one histogram. Because the
+// copy is not atomic across buckets, Count can briefly disagree with the
+// bucket sum while writers are active; each field is itself a consistent
+// atomic load.
+type HistogramValue struct {
+	Name    string
+	Count   int64
+	Sum     int64
+	Buckets []Bucket
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (hv HistogramValue) Mean() float64 {
+	if hv.Count == 0 {
+		return 0
+	}
+	return float64(hv.Sum) / float64(hv.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) from
+// the bucket boundaries — exact to within the factor-of-two bucket
+// resolution.
+func (hv HistogramValue) Quantile(q float64) int64 {
+	if hv.Count == 0 || len(hv.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(q*float64(hv.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range hv.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Le
+		}
+	}
+	return hv.Buckets[len(hv.Buckets)-1].Le
+}
+
+func (h *Histogram) snapshot(name string) HistogramValue {
+	hv := HistogramValue{Name: name, Count: h.count.Load(), Sum: h.sum.Load()}
+	for k := range h.buckets {
+		n := h.buckets[k].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(-1) // bucket 64's bound 2^64-1 overflows int64; -1 marks +Inf
+		if k < 64 {
+			le = (int64(1) << k) - 1
+		}
+		hv.Buckets = append(hv.Buckets, Bucket{Le: le, Count: n})
+	}
+	return hv
+}
+
+// Registry is a named collection of instruments. Lookup (get-or-create)
+// takes a mutex and should be done once at wiring time; the returned
+// pointers are stable for the registry's lifetime and updating them never
+// touches the registry again. A nil *Registry returns nil instruments
+// from every lookup, which (by the nil-receiver contract above) turns the
+// whole subsystem's instrumentation into no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	funcs      map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		funcs:      make(map[string]func() int64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// RegisterFunc bridges an externally owned value (e.g. a storage.Stats
+// atomic) into snapshots under name: fn is called at snapshot time and
+// its result reported alongside the counters. fn must be safe for
+// concurrent use. Re-registering a name replaces the function. No-op on a
+// nil registry.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Value is one named scalar in a snapshot.
+type Value struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot is a point-in-time copy of every instrument, each slice sorted
+// by name. Counters includes RegisterFunc bridges.
+type Snapshot struct {
+	Counters   []Value
+	Gauges     []Value
+	Histograms []HistogramValue
+}
+
+// Snapshot copies every instrument's current value. Safe to call
+// concurrently with updates; each scalar is an atomic load. Returns the
+// zero Snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, Value{name, c.Value()})
+	}
+	for name, fn := range r.funcs {
+		s.Counters = append(s.Counters, Value{name, fn()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, Value{name, g.Value()})
+	}
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Get returns the counter or gauge value under name in the snapshot
+// (counters win on a name collision), and whether it was found.
+func (s Snapshot) Get(name string) (int64, bool) {
+	for _, v := range s.Counters {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	for _, v := range s.Gauges {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the snapshot as aligned text, one instrument per line —
+// the format behind recdb-cli's \metrics command.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	width := 0
+	for _, v := range s.Counters {
+		if len(v.Name) > width {
+			width = len(v.Name)
+		}
+	}
+	for _, v := range s.Gauges {
+		if len(v.Name) > width {
+			width = len(v.Name)
+		}
+	}
+	for _, h := range s.Histograms {
+		if len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	for _, v := range s.Counters {
+		fmt.Fprintf(&b, "%-*s  %d\n", width, v.Name, v.Value)
+	}
+	for _, v := range s.Gauges {
+		fmt.Fprintf(&b, "%-*s  %d\n", width, v.Name, v.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%-*s  count=%d mean=%s p50=%s p99=%s max<=%s\n",
+			width, h.Name, h.Count,
+			fmtNanos(int64(h.Mean())), fmtNanos(h.Quantile(0.50)),
+			fmtNanos(h.Quantile(0.99)), fmtNanos(maxBound(h)))
+	}
+	return b.String()
+}
+
+func maxBound(h HistogramValue) int64 {
+	if len(h.Buckets) == 0 {
+		return 0
+	}
+	return h.Buckets[len(h.Buckets)-1].Le
+}
+
+// fmtNanos renders a nanosecond magnitude as a duration; -1 (the +Inf
+// bucket marker) renders as "inf".
+func fmtNanos(v int64) string {
+	if v < 0 {
+		return "inf"
+	}
+	return time.Duration(v).String()
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(7)
+	g.Add(1)
+	h.Observe(42)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.RegisterFunc("x", func() int64 { return 1 })
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestGetOrCreateReturnsStablePointers(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter must return the same pointer for the same name")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("Gauge must return the same pointer for the same name")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatal("Histogram must return the same pointer for the same name")
+	}
+}
+
+func TestCounterGaugeSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(3)
+	r.Counter("a.count").Inc()
+	r.Gauge("lvl").Set(9)
+	r.Gauge("lvl").Add(-2)
+	r.RegisterFunc("bridged", func() int64 { return 41 })
+	s := r.Snapshot()
+	if got, ok := s.Get("a.count"); !ok || got != 1 {
+		t.Fatalf("a.count = %d, %v; want 1, true", got, ok)
+	}
+	if got, _ := s.Get("z.count"); got != 3 {
+		t.Fatalf("z.count = %d; want 3", got)
+	}
+	if got, _ := s.Get("bridged"); got != 41 {
+		t.Fatalf("bridged = %d; want 41", got)
+	}
+	if got, _ := s.Get("lvl"); got != 7 {
+		t.Fatalf("lvl = %d; want 7", got)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing name must not be found")
+	}
+	// Counters are sorted: a.count < bridged < z.count.
+	names := []string{s.Counters[0].Name, s.Counters[1].Name, s.Counters[2].Name}
+	if names[0] != "a.count" || names[1] != "bridged" || names[2] != "z.count" {
+		t.Fatalf("counters not sorted: %v", names)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// Bit-length buckets: 0 -> bucket 0 (le 0), 1 -> bucket 1 (le 1),
+	// 2..3 -> bucket 2 (le 3), 4..7 -> bucket 3 (le 7), ...
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1000, -5} {
+		h.Observe(v)
+	}
+	hv := r.Snapshot().Histograms[0]
+	if hv.Name != "lat" || hv.Count != 9 {
+		t.Fatalf("got name=%q count=%d; want lat, 9", hv.Name, hv.Count)
+	}
+	// -5 clamps to 0, so sum = 0+1+2+3+4+7+8+1000+0.
+	if hv.Sum != 1025 {
+		t.Fatalf("sum = %d; want 1025", hv.Sum)
+	}
+	want := map[int64]int64{0: 2, 1: 1, 3: 2, 7: 2, 15: 1, 1023: 1}
+	if len(hv.Buckets) != len(want) {
+		t.Fatalf("got %d buckets %v; want %d", len(hv.Buckets), hv.Buckets, len(want))
+	}
+	for _, b := range hv.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket le=%d count=%d; want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+	if q := hv.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %d; want 0", q)
+	}
+	if q := hv.Quantile(1); q != 1023 {
+		t.Fatalf("q1 = %d; want 1023", q)
+	}
+	if m := hv.Mean(); m < 113 || m > 115 {
+		t.Fatalf("mean = %v; want ~113.9", m)
+	}
+}
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	var hv HistogramValue
+	if hv.Mean() != 0 || hv.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bufferpool.hits").Add(12)
+	r.Histogram("wal.fsync_ns").Observe(1500)
+	out := r.Snapshot().String()
+	if !strings.Contains(out, "bufferpool.hits") || !strings.Contains(out, "12") {
+		t.Fatalf("missing counter line in:\n%s", out)
+	}
+	if !strings.Contains(out, "wal.fsync_ns") || !strings.Contains(out, "count=1") {
+		t.Fatalf("missing histogram line in:\n%s", out)
+	}
+}
+
+// TestConcurrentHammer drives 8 goroutines through counters, gauges, and
+// histograms while another snapshots continuously. Run under -race this
+// pins the registry's concurrency contract; without -race it still checks
+// that no update is lost.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10_000
+	)
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := r.Snapshot()
+				_ = s.String()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Half the goroutines create instruments by name mid-flight,
+			// half reuse hoisted pointers — both must be race-clean.
+			c := r.Counter("hammer.count")
+			h := r.Histogram("hammer.lat")
+			for i := 0; i < perG; i++ {
+				if g%2 == 0 {
+					r.Counter("hammer.count").Inc()
+					r.Histogram("hammer.lat").Observe(int64(i))
+				} else {
+					c.Inc()
+					h.Observe(int64(i))
+				}
+				r.Gauge("hammer.level").Set(int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	s := r.Snapshot()
+	if got, _ := s.Get("hammer.count"); got != goroutines*perG {
+		t.Fatalf("hammer.count = %d; want %d", got, goroutines*perG)
+	}
+	var hv HistogramValue
+	for _, h := range s.Histograms {
+		if h.Name == "hammer.lat" {
+			hv = h
+		}
+	}
+	if hv.Count != goroutines*perG {
+		t.Fatalf("hammer.lat count = %d; want %d", hv.Count, goroutines*perG)
+	}
+	var inBuckets int64
+	for _, b := range hv.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != hv.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, hv.Count)
+	}
+}

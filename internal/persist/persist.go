@@ -48,8 +48,9 @@ const (
 	manifestMagic = "RDBM2"
 	// genPrefix names generation directories: gen-000001, gen-000002, ...
 	genPrefix = "gen-"
-	// keepGenerations bounds how many full generations Save retains. Two
-	// means the previous good snapshot always survives the next Save.
+	// keepGenerations is the default retention bound on full generations.
+	// Two means the previous good snapshot always survives the next Save;
+	// SaveRetainFS accepts a deeper bound.
 	keepGenerations = 2
 )
 
@@ -187,6 +188,18 @@ func Save(e *engine.Engine, dir string) error {
 // legacy flat-layout snapshot files) are pruned only after the new
 // generation is fully durable.
 func SaveFS(fs fault.FS, e *engine.Engine, dir string, walSeq uint64) (uint64, error) {
+	return SaveRetainFS(fs, e, dir, walSeq, 0)
+}
+
+// SaveRetainFS is SaveFS with an explicit retention bound: after the new
+// generation is durable, at most retain generations (including the new
+// one) are kept on disk. retain < 1 selects the default of 2; deeper
+// retention trades disk space for more fallback history when recovering
+// past corrupt generations.
+func SaveRetainFS(fs fault.FS, e *engine.Engine, dir string, walSeq uint64, retain int) (uint64, error) {
+	if retain < 1 {
+		retain = keepGenerations
+	}
 	if err := fs.MkdirAll(dir); err != nil {
 		return 0, fmt.Errorf("persist: %w", err)
 	}
@@ -258,16 +271,16 @@ func SaveFS(fs fault.FS, e *engine.Engine, dir string, walSeq uint64) (uint64, e
 	if err := fs.SyncDir(dir); err != nil {
 		return 0, fmt.Errorf("persist: %w", err)
 	}
-	pruneGenerations(fs, dir, gens)
+	pruneGenerations(fs, dir, gens, retain)
 	return gen, nil
 }
 
 // pruneGenerations best-effort removes generations beyond the retention
 // bound and any legacy flat-layout snapshot files. The new generation is
 // already durable, so a pruning failure costs disk space, not safety.
-func pruneGenerations(fs fault.FS, dir string, oldGens []uint64) {
-	for len(oldGens) >= keepGenerations {
-		// Keep the newest keepGenerations-1 old ones plus the new one.
+func pruneGenerations(fs fault.FS, dir string, oldGens []uint64, retain int) {
+	for len(oldGens) >= retain {
+		// Keep the newest retain-1 old ones plus the new one.
 		_ = fs.RemoveAll(path.Join(dir, genName(oldGens[0]))) // best-effort prune
 		oldGens = oldGens[1:]
 	}

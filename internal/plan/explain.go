@@ -2,11 +2,15 @@ package plan
 
 import (
 	"fmt"
+	"time"
 
 	"recdb/internal/exec"
 )
 
-// DescribePlan renders an operator tree as indented EXPLAIN lines.
+// DescribePlan renders an operator tree as indented EXPLAIN lines. A tree
+// wrapped by exec.Instrument (EXPLAIN ANALYZE) renders the same shape with
+// an "(actual ...)" annotation per operator: rows emitted, Open loops,
+// inclusive wall time, and inclusive buffer-pool hits/misses.
 func DescribePlan(op exec.Operator) []string {
 	var out []string
 	describe(op, 0, &out)
@@ -18,50 +22,83 @@ func describe(op exec.Operator, depth int, out *[]string) {
 	for i := 0; i < depth; i++ {
 		indent += "  "
 	}
-	line := func(format string, args ...any) {
-		*out = append(*out, indent+fmt.Sprintf(format, args...))
+	node := op
+	suffix := ""
+	if a, ok := op.(*exec.Analyzed); ok {
+		node = a.Op
+		suffix = analyzeSuffix(a)
 	}
+	*out = append(*out, indent+nodeLine(node)+suffix)
+	for _, c := range children(node) {
+		describe(c, depth+1, out)
+	}
+}
+
+// analyzeSuffix renders one operator's runtime counters. Rows, time, and
+// buffer counts are totals across all loops, and time/buffers are
+// inclusive of the operator's subtree (Postgres-style).
+func analyzeSuffix(a *exec.Analyzed) string {
+	return fmt.Sprintf(" (actual rows=%d loops=%d time=%s buffers hit=%d miss=%d)",
+		a.Rows, a.Loops, time.Duration(a.Nanos), a.Reads-a.Misses, a.Misses)
+}
+
+// children returns op's child operators in display order.
+func children(op exec.Operator) []exec.Operator {
+	switch v := op.(type) {
+	case *exec.Filter:
+		return []exec.Operator{v.Child}
+	case *exec.Project:
+		return []exec.Operator{v.Child}
+	case *exec.NestedLoopJoin:
+		return []exec.Operator{v.Left, v.Right}
+	case *exec.HashJoin:
+		return []exec.Operator{v.Left, v.Right}
+	case *exec.Sort:
+		return []exec.Operator{v.Child}
+	case *exec.Limit:
+		return []exec.Operator{v.Child}
+	case *exec.Distinct:
+		return []exec.Operator{v.Child}
+	case *exec.HashAggregate:
+		return []exec.Operator{v.Child}
+	case *exec.JoinRecommend:
+		return []exec.Operator{v.Outer}
+	}
+	return nil
+}
+
+// nodeLine renders one operator's own describe line (no children).
+func nodeLine(op exec.Operator) string {
 	switch v := op.(type) {
 	case *exec.SeqScan:
-		line("SeqScan on %s as %s (%d pages)", v.Table.Name, v.Qualifier, v.Table.Heap.NumPages())
+		return fmt.Sprintf("SeqScan on %s as %s (%d pages)", v.Table.Name, v.Qualifier, v.Table.Heap.NumPages())
 	case *exec.IndexScan:
-		line("IndexScan on %s as %s using %s", v.Table.Name, v.Qualifier, v.Index.Name)
+		return fmt.Sprintf("IndexScan on %s as %s using %s", v.Table.Name, v.Qualifier, v.Index.Name)
 	case *exec.SpatialIndexScan:
 		kind := "ST_Contains"
 		if v.Pred == exec.SpatialDWithin {
 			kind = "ST_DWithin"
 		}
-		line("SpatialIndexScan on %s as %s using %s (%s)", v.Table.Name, v.Qualifier, v.Index.Name, kind)
+		return fmt.Sprintf("SpatialIndexScan on %s as %s using %s (%s)", v.Table.Name, v.Qualifier, v.Index.Name, kind)
 	case *exec.Filter:
-		line("Filter")
-		describe(v.Child, depth+1, out)
+		return "Filter"
 	case *exec.Project:
-		line("Project (%d columns)", v.Schema().Len())
-		describe(v.Child, depth+1, out)
+		return fmt.Sprintf("Project (%d columns)", v.Schema().Len())
 	case *exec.NestedLoopJoin:
-		line("NestedLoopJoin")
-		describe(v.Left, depth+1, out)
-		describe(v.Right, depth+1, out)
+		return "NestedLoopJoin"
 	case *exec.HashJoin:
-		line("HashJoin")
-		describe(v.Left, depth+1, out)
-		describe(v.Right, depth+1, out)
+		return "HashJoin"
 	case *exec.Sort:
-		line("Sort (%d keys)", len(v.Keys))
-		describe(v.Child, depth+1, out)
+		return fmt.Sprintf("Sort (%d keys)", len(v.Keys))
 	case *exec.Limit:
 		if v.Skip > 0 {
-			line("Limit %d offset %d", v.N, v.Skip)
-		} else {
-			line("Limit %d", v.N)
+			return fmt.Sprintf("Limit %d offset %d", v.N, v.Skip)
 		}
-		describe(v.Child, depth+1, out)
+		return fmt.Sprintf("Limit %d", v.N)
 	case *exec.Distinct:
-		line("Distinct")
-		describe(v.Child, depth+1, out)
+		return "Distinct"
 	case *exec.HashAggregate:
-		line("HashAggregate (%d group keys, %d aggregates)", len(v.GroupBy), len(v.Specs))
-		describe(v.Child, depth+1, out)
+		return fmt.Sprintf("HashAggregate (%d group keys, %d aggregates)", len(v.GroupBy), len(v.Specs))
 	case *exec.Recommend:
 		scope := "all users, all items"
 		switch {
@@ -76,21 +113,20 @@ func describe(op exec.Operator, depth int, out *[]string) {
 		if v.Users != nil || v.Items != nil || v.RatingPred != nil {
 			name = "FilterRecommend"
 		}
-		line("%s [%s] (%s)", name, v.Store.Algo, scope)
+		return fmt.Sprintf("%s [%s] (%s)", name, v.Store.Algo, scope)
 	case *exec.JoinRecommend:
 		users := "all users"
 		if v.Users != nil {
 			users = fmt.Sprintf("%d users", len(v.Users))
 		}
-		line("JoinRecommend [%s] (%s)", v.Store.Algo, users)
-		describe(v.Outer, depth+1, out)
+		return fmt.Sprintf("JoinRecommend [%s] (%s)", v.Store.Algo, users)
 	case *exec.IndexRecommend:
 		extra := ""
 		if v.Limit > 0 {
 			extra = fmt.Sprintf(", limit %d pushed down", v.Limit)
 		}
-		line("IndexRecommend on RecScoreIndex (%d users%s)", len(v.Users), extra)
+		return fmt.Sprintf("IndexRecommend on RecScoreIndex (%d users%s)", len(v.Users), extra)
 	default:
-		line("%T", op)
+		return fmt.Sprintf("%T", op)
 	}
 }

@@ -8,8 +8,26 @@ import (
 	"time"
 
 	"recdb/internal/catalog"
+	"recdb/internal/metrics"
 	"recdb/internal/types"
 )
+
+// Metrics is the set of optional instruments the manager records into.
+// Every field may be nil (the zero Metrics disables instrumentation);
+// nil instruments are no-ops per the internal/metrics contract.
+type Metrics struct {
+	// Builds counts successful model (re)builds, including the initial
+	// CREATE RECOMMENDER build.
+	Builds *metrics.Counter
+	// BuildFailures counts failed rebuilds (the previous model kept
+	// serving).
+	BuildFailures *metrics.Counter
+	// BuildNanos records model build wall time (build + materialize).
+	BuildNanos *metrics.Histogram
+	// HealthTransitions counts healthy->degraded and degraded->healthy
+	// flips across all recommenders.
+	HealthTransitions *metrics.Counter
+}
 
 // Options configures the manager.
 type Options struct {
@@ -19,6 +37,9 @@ type Options struct {
 	// number of new ratings reaches N% of the ratings used for the current
 	// model. Default 10.
 	RebuildThresholdPct float64
+	// Metrics receives build/maintenance instrumentation; the zero value
+	// records nothing.
+	Metrics Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -255,6 +276,8 @@ func (m *Manager) buildAndSwap(r *Recommender, ratings []Rating) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	m.opts.Metrics.Builds.Inc()
+	m.opts.Metrics.BuildNanos.Observe(int64(elapsed))
 	r.mu.Lock()
 	r.store = store
 	r.buildCount = model.NumRatings()
@@ -409,6 +432,7 @@ func (m *Manager) Rebuild(name string) error {
 	err := m.rebuild(r)
 	now := m.now()
 	r.mu.Lock()
+	wasHealthy := r.lastErr == nil
 	if err != nil {
 		r.failures++
 		r.lastErr = err
@@ -421,7 +445,14 @@ func (m *Manager) Rebuild(name string) error {
 		r.lastErrAt = time.Time{}
 		r.nextRetry = time.Time{}
 	}
+	nowHealthy := r.lastErr == nil
 	r.mu.Unlock()
+	if err != nil {
+		m.opts.Metrics.BuildFailures.Inc()
+	}
+	if wasHealthy != nowHealthy {
+		m.opts.Metrics.HealthTransitions.Inc()
+	}
 	return err
 }
 

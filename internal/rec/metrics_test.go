@@ -1,0 +1,98 @@
+package rec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"recdb/internal/metrics"
+	"recdb/internal/types"
+)
+
+// TestBuildMetricsDeterministic drives the rebuild/backoff state machine
+// with a fake clock and pins the exact instrument values at every step:
+// builds, build failures, and healthy<->degraded transitions are counted
+// once per event, never per retry-while-backing-off.
+func TestBuildMetricsDeterministic(t *testing.T) {
+	cat, tab := newCatalogWithRatings(t, paperRatings())
+	reg := metrics.NewRegistry()
+	m := NewManager(cat, Options{Metrics: Metrics{
+		Builds:            reg.Counter("rec.builds"),
+		BuildFailures:     reg.Counter("rec.build_failures"),
+		BuildNanos:        reg.Histogram("rec.build_ns"),
+		HealthTransitions: reg.Counter("rec.health_transitions"),
+	}})
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+
+	want := func(step string, builds, failures, transitions int64) {
+		t.Helper()
+		s := reg.Snapshot()
+		for name, v := range map[string]int64{
+			"rec.builds":             builds,
+			"rec.build_failures":     failures,
+			"rec.health_transitions": transitions,
+		} {
+			if got, _ := s.Get(name); got != v {
+				t.Fatalf("%s: %s = %d, want %d", step, name, got, v)
+			}
+		}
+		var observed int64 = -1
+		for _, h := range s.Histograms {
+			if h.Name == "rec.build_ns" {
+				observed = h.Count
+			}
+		}
+		if observed != builds {
+			t.Fatalf("%s: rec.build_ns count = %d, want %d", step, observed, builds)
+		}
+	}
+
+	r, err := m.Create("Rec", "ratings", "uid", "iid", "ratingval", "ItemCosCF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want("after create", 1, 0, 0)
+
+	insert := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := tab.Insert(types.Row{types.NewInt(99), types.NewInt(int64(500 + i)), types.NewFloat(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.NotifyInsert("ratings", n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Arm the fault: the next rebuild fails and flips health.
+	buildErr := errors.New("injected build failure")
+	m.buildFault = func() error { return buildErr }
+	insert(10)
+	if h := r.Health(); h.Healthy {
+		t.Fatalf("health after failed rebuild = %+v", h)
+	}
+	want("after first failure", 1, 1, 1)
+
+	// Inside the backoff window nothing retries, so nothing is counted.
+	now = now.Add(100 * time.Millisecond)
+	insert(10)
+	want("inside backoff", 1, 1, 1)
+
+	// Past the window a retry fails again: one more failure, but health
+	// was already degraded — no new transition.
+	now = now.Add(500 * time.Millisecond)
+	insert(10)
+	want("second failure", 1, 2, 1)
+
+	// Clear the fault; the next retry succeeds: one more build, and the
+	// degraded->healthy flip is the second transition.
+	m.buildFault = nil
+	now = now.Add(2 * time.Second)
+	insert(10)
+	if h := r.Health(); !h.Healthy {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+	want("after recovery", 2, 2, 2)
+}

@@ -11,9 +11,31 @@ import (
 	"sync"
 	"time"
 
+	"recdb/internal/metrics"
 	"recdb/internal/rec"
 	"recdb/internal/recindex"
 )
+
+// Metrics is the set of optional instruments the cache manager records
+// into. Every field may be nil (the zero Metrics disables
+// instrumentation); nil instruments are no-ops per the internal/metrics
+// contract.
+type Metrics struct {
+	// Queries counts Users-Histogram updates (recommendation queries).
+	Queries *metrics.Counter
+	// Updates counts Items-Histogram updates (rating insertions).
+	Updates *metrics.Counter
+	// Runs counts hotness-refresh maintenance runs (Algorithm 4).
+	Runs *metrics.Counter
+	// RunFailures counts daemon maintenance runs that failed.
+	RunFailures *metrics.Counter
+	// Admitted and Evicted count pairs moved in and out of the
+	// RecScoreIndex by maintenance decisions.
+	Admitted *metrics.Counter
+	Evicted  *metrics.Counter
+	// HealthTransitions counts the daemon flipping healthy <-> degraded.
+	HealthTransitions *metrics.Counter
+}
 
 // Clock abstracts time so the paper's worked example (Table I) is testable
 // with integer timestamps.
@@ -48,6 +70,10 @@ type Manager struct {
 
 	// Threshold is HOTNESS-THRESHOLD ∈ [0, 1].
 	Threshold float64
+
+	// Metrics receives cache instrumentation; the zero value records
+	// nothing. Set it before Start — the daemon reads it without locking.
+	Metrics Metrics
 
 	// Workers bounds the pool used by MaterializeAll to compute
 	// predictions concurrently. 0 selects runtime.NumCPU(); 1 keeps the
@@ -93,15 +119,23 @@ func (m *Manager) Health() Health {
 // recordRun folds one maintenance run's outcome into the health state.
 func (m *Manager) recordRun(err error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	wasHealthy := m.lastRunErr == nil
 	m.runs++
 	if err != nil {
 		m.runFailures++
 		m.lastRunErr = err
-		return
+	} else {
+		m.runFailures = 0
+		m.lastRunErr = nil
 	}
-	m.runFailures = 0
-	m.lastRunErr = nil
+	nowHealthy := m.lastRunErr == nil
+	m.mu.Unlock()
+	if err != nil {
+		m.Metrics.RunFailures.Inc()
+	}
+	if wasHealthy != nowHealthy {
+		m.Metrics.HealthTransitions.Inc()
+	}
 }
 
 // Predictor supplies predictions and seen-ness for admission; it is the
@@ -157,6 +191,7 @@ func (m *Manager) RecordQuery(u int64) {
 	}
 	s.QueryCount++
 	s.LastQuery = m.clock()
+	m.Metrics.Queries.Inc()
 }
 
 // RecordUpdate updates the Items Histogram for a rating inserted on item i.
@@ -170,6 +205,7 @@ func (m *Manager) RecordUpdate(i int64) {
 	}
 	s.UpdateCount++
 	s.LastUpdate = m.clock()
+	m.Metrics.Updates.Inc()
 }
 
 // UserStatOf returns a copy of the histogram row for user u.
@@ -231,6 +267,7 @@ type Pair struct {
 // and eviction lists; finally the lists are applied to the RecScoreIndex,
 // computing predictions through pred for admitted pairs.
 func (m *Manager) Run(pred Predictor) (Decision, error) {
+	m.Metrics.Runs.Inc()
 	m.mu.Lock()
 	now := m.clock()
 	elapsed := now - m.tsInit
@@ -270,6 +307,10 @@ func (m *Manager) Run(pred Predictor) (Decision, error) {
 
 	// STEP 2: materialization decision over U' × I'.
 	var dec Decision
+	defer func() {
+		m.Metrics.Admitted.Add(int64(dec.Admitted))
+		m.Metrics.Evicted.Add(int64(dec.Evicted))
+	}()
 	threshold := m.Threshold
 	var admit, evict []Pair
 	for _, u := range usersDue {

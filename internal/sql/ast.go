@@ -103,8 +103,12 @@ type Select struct {
 }
 
 // Explain wraps a query whose plan should be described instead of run.
+// With Analyze set (EXPLAIN ANALYZE), the query is also executed and the
+// plan is annotated with actual per-operator row counts, loops, wall
+// time, and buffer-pool statistics.
 type Explain struct {
-	Query *Select
+	Query   *Select
+	Analyze bool
 }
 
 // SelectItem is one projection: expression plus optional alias, or star.

@@ -185,6 +185,7 @@ func (p *parser) parseStatement() (Statement, error) {
 	case p.accept("SELECT"):
 		return p.parseSelect()
 	case p.accept("EXPLAIN"):
+		analyze := p.accept("ANALYZE")
 		if err := p.expect("SELECT"); err != nil {
 			return nil, err
 		}
@@ -192,7 +193,7 @@ func (p *parser) parseStatement() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: sel}, nil
+		return &Explain{Query: sel, Analyze: analyze}, nil
 	default:
 		return nil, p.errorf("expected a statement, got %s", p.peek())
 	}

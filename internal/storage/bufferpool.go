@@ -17,6 +17,8 @@ type Stats struct {
 	PageMisses atomic.Int64
 	// PageWrites counts physical page write-backs.
 	PageWrites atomic.Int64
+	// Evictions counts frames evicted by LRU replacement.
+	Evictions atomic.Int64
 }
 
 // Snapshot returns the current counter values.
@@ -29,6 +31,7 @@ func (s *Stats) Reset() {
 	s.PageReads.Store(0)
 	s.PageMisses.Store(0)
 	s.PageWrites.Store(0)
+	s.Evictions.Store(0)
 }
 
 type frame struct {
@@ -178,5 +181,6 @@ func (bp *BufferPool) evictLocked() error {
 	}
 	bp.lru.Remove(elem)
 	delete(bp.frames, victimID)
+	bp.stats.Evictions.Add(1)
 	return nil
 }

@@ -1,0 +1,203 @@
+package storage_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"recdb/internal/fault"
+	"recdb/internal/storage"
+	"recdb/internal/types"
+)
+
+// This file extends the crash sweep from the persist/WAL path (root
+// crash_test.go) down to the paged storage layer: the same mode × point
+// matrix is driven through fault.FaultDisk under a file-backed buffer
+// pool, so evictions and flushes hit real page I/O mid-workload. The
+// package is storage_test (not storage) because internal/fault imports
+// storage. The invariants are the layer's contract: every injected fault
+// surfaces as an error from the heap API — never a panic, never silently
+// dropped — and a clean reopen of the same file can always scan whatever
+// pages survived.
+
+// runHeapWorkload drives inserts, updates, deletes, and a full scan
+// through a 4-frame pool over disk, forcing evictions (and therefore page
+// writes) throughout. It returns the committed row count.
+func runHeapWorkload(disk storage.DiskManager) (int64, error) {
+	pool := storage.NewBufferPool(disk, 4, nil)
+	h, err := storage.NewHeapFile(pool)
+	if err != nil {
+		return 0, err
+	}
+	pad := make([]byte, 400)
+	for i := range pad {
+		pad[i] = byte('a' + i%26)
+	}
+	var rids []storage.RID
+	for i := int64(0); i < 250; i++ {
+		rid, err := h.Insert(paddedRow(i, pad))
+		if err != nil {
+			return 0, err
+		}
+		rids = append(rids, rid)
+	}
+	for i := 0; i < len(rids); i += 10 {
+		if _, err := h.Update(rids[i], paddedRow(int64(1000+i), pad)); err != nil {
+			return 0, err
+		}
+	}
+	for i := 7; i < len(rids); i += 17 {
+		if i%10 == 0 {
+			continue // updated rows may have moved
+		}
+		if err := h.Delete(rids[i]); err != nil {
+			return 0, err
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		return 0, err
+	}
+	if err := disk.Sync(); err != nil {
+		return 0, err
+	}
+	return scanCount(h)
+}
+
+func paddedRow(i int64, pad []byte) types.Row {
+	return types.Row{types.NewInt(i), types.NewText(string(pad))}
+}
+
+func scanCount(h *storage.HeapFile) (int64, error) {
+	it := h.Scan()
+	defer it.Close()
+	var n int64
+	for {
+		_, _, ok, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// TestHeapCrashSweep injects every fault mode at every page-I/O operation
+// of the workload (sampled by default, exhaustive under
+// RECDB_FAULT_SWEEP=1) and asserts clean error propagation plus reopen
+// behavior per mode.
+func TestHeapCrashSweep(t *testing.T) {
+	dir := t.TempDir()
+
+	// Count the workload's page operations with an unarmed injector.
+	cleanPath := filepath.Join(dir, "clean.heap")
+	cleanDisk, err := storage.OpenFileDisk(cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := fault.NewDisk(cleanDisk)
+	cleanRows, err := runHeapWorkload(fd)
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	total := fd.Ops()
+	if err := fd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if total < 50 {
+		t.Fatalf("suspiciously few fault points: %d", total)
+	}
+	if cleanRows < 100 {
+		t.Fatalf("clean workload rows = %d", cleanRows)
+	}
+
+	full := os.Getenv("RECDB_FAULT_SWEEP") == "1"
+	stride := int64(1)
+	if !full && total > 40 {
+		stride = total/40 + 1
+	}
+	t.Logf("sweeping %d fault points (stride %d, full=%v)", total, stride, full)
+
+	modes := []struct {
+		mode fault.Mode
+		name string
+	}{
+		{fault.ModeFail, "fail"},
+		{fault.ModeTorn, "torn"},
+		{fault.ModePowerCut, "powercut"},
+		{fault.ModeFlip, "flip"},
+	}
+	for _, m := range modes {
+		for n := int64(1); n <= total; n++ {
+			if stride > 1 && n%stride != 1 && n != total {
+				continue
+			}
+			tag := fmt.Sprintf("%s@%d", m.name, n)
+			path := filepath.Join(dir, tag+".heap")
+			inner, err := storage.OpenFileDisk(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected := fault.NewDisk(inner)
+			injected.SetPlan(m.mode, n)
+			rows, err := runHeapWorkload(injected)
+
+			switch m.mode {
+			case fault.ModeFail, fault.ModePowerCut:
+				// The planned operation itself fails, so the workload
+				// must abort with the injector's error — not succeed,
+				// not fail with something unrelated.
+				if err == nil {
+					t.Fatalf("%s: workload succeeded past an injected failure", tag)
+				}
+				if !errors.Is(err, fault.ErrInjected) && !errors.Is(err, fault.ErrCrashed) {
+					t.Fatalf("%s: err = %v, want injected/crashed", tag, err)
+				}
+			case fault.ModeTorn:
+				// A torn write reports failure; a torn non-write
+				// power-cuts. Either way the workload must abort.
+				if err == nil {
+					t.Fatalf("%s: workload succeeded past a torn write", tag)
+				}
+			case fault.ModeFlip:
+				// Silent corruption: the write "succeeds". The workload
+				// may finish, or a later read of the flipped page may
+				// surface a decode error — both are acceptable; a panic
+				// is not (it would have crashed the test binary).
+				if err == nil && rows != cleanRows {
+					t.Fatalf("%s: silent row loss: %d != %d", tag, rows, cleanRows)
+				}
+			}
+			_ = injected.Close()
+
+			// Reopen the surviving file with a clean disk: whatever
+			// pages were flushed must be scannable without a panic, and
+			// with no injected error left behind. Decode errors are
+			// legitimate only for modes that corrupt bytes on disk.
+			reopened, err := storage.OpenFileDisk(path)
+			if err != nil {
+				t.Fatalf("%s: reopen: %v", tag, err)
+			}
+			pool := storage.NewBufferPool(reopened, 4, nil)
+			h, err := storage.NewHeapFile(pool)
+			if err == nil {
+				_, err = scanCount(h)
+			}
+			if err != nil {
+				if m.mode == fault.ModeFail || m.mode == fault.ModePowerCut {
+					t.Fatalf("%s: reopen scan after non-corrupting fault: %v", tag, err)
+				}
+				if errors.Is(err, fault.ErrInjected) || errors.Is(err, fault.ErrCrashed) {
+					t.Fatalf("%s: injected error leaked into clean reopen: %v", tag, err)
+				}
+			}
+			if err := reopened.Close(); err != nil {
+				t.Fatalf("%s: close: %v", tag, err)
+			}
+			_ = os.Remove(path)
+		}
+	}
+}

@@ -34,8 +34,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"recdb/internal/fault"
+	"recdb/internal/metrics"
 )
 
 const (
@@ -69,6 +71,24 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("wal: %s at offset %d: %s", e.Path, e.Offset, e.Reason)
 }
 
+// Metrics is the set of optional instruments the log records into. Every
+// field may be nil (the zero Metrics disables instrumentation entirely);
+// nil instruments are no-ops per the internal/metrics contract, so the
+// append path pays nothing when unwired.
+type Metrics struct {
+	// Appends counts records appended.
+	Appends *metrics.Counter
+	// AppendBytes counts payload bytes appended.
+	AppendBytes *metrics.Counter
+	// Syncs counts fsync calls issued on segment files.
+	Syncs *metrics.Counter
+	// SyncNanos records fsync wall time.
+	SyncNanos *metrics.Histogram
+	// BatchSize records how many appends each fsync made durable — the
+	// realized group-commit batch under SyncEvery > 1.
+	BatchSize *metrics.Histogram
+}
+
 // Options tunes a log.
 type Options struct {
 	// SyncEvery is the group-commit factor: 1 (or 0, the default) fsyncs
@@ -77,6 +97,9 @@ type Options struct {
 	// SegmentBytes rolls to a new segment file once the current one
 	// exceeds this size (0 = 4 MiB).
 	SegmentBytes int64
+	// Metrics receives append/sync instrumentation; the zero value
+	// records nothing.
+	Metrics Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -231,6 +254,8 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.seq = seq
 	l.fSize += int64(len(rec))
 	l.unsynced++
+	l.opts.Metrics.Appends.Inc()
+	l.opts.Metrics.AppendBytes.Add(int64(len(payload)))
 	if l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery {
 		if err := l.syncLocked(); err != nil {
 			// The caller will report this statement failed, but its bytes
@@ -259,10 +284,27 @@ func (l *Log) syncLocked() error {
 		l.unsynced = 0
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsyncLocked(); err != nil {
 		return fmt.Errorf("wal: sync %s: %w", l.fPath, err)
 	}
 	l.unsynced = 0
+	return nil
+}
+
+// fsyncLocked flushes the current segment, recording sync latency and the
+// realized group-commit batch size on success.
+func (l *Log) fsyncLocked() error {
+	m := &l.opts.Metrics
+	var start time.Time
+	if m.SyncNanos != nil {
+		start = time.Now()
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	m.Syncs.Inc()
+	m.SyncNanos.ObserveSince(start)
+	m.BatchSize.Observe(int64(l.unsynced))
 	return nil
 }
 
@@ -279,7 +321,7 @@ func (l *Log) Sync() error {
 	if l.unsynced == 0 {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsyncLocked(); err != nil {
 		return fmt.Errorf("wal: sync %s: %w", l.fPath, err)
 	}
 	l.unsynced = 0

@@ -1,0 +1,112 @@
+package recdb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// MetricValue is one named counter or gauge in a metrics snapshot.
+type MetricValue struct {
+	Name  string
+	Value int64
+}
+
+// MetricHistogram summarizes one recorded distribution. Latency
+// histograms (names ending in "_ns") are in nanoseconds; size histograms
+// (e.g. wal.batch_size) are plain magnitudes. P50/P99 are upper bounds
+// exact to the histogram's factor-of-two bucket resolution.
+type MetricHistogram struct {
+	Name  string
+	Count int64
+	Sum   int64
+	Mean  float64
+	P50   int64
+	P99   int64
+}
+
+// MetricsSnapshot is a point-in-time copy of the engine's observability
+// instruments: buffer-pool, WAL, recommender-build, cache, planner, and
+// executor counters. Each slice is sorted by name.
+type MetricsSnapshot struct {
+	Counters   []MetricValue
+	Gauges     []MetricValue
+	Histograms []MetricHistogram
+}
+
+// Metrics snapshots the engine's instrument registry. It is cheap (atomic
+// loads under a short registry lock) and safe to call concurrently with
+// queries and writes.
+func (db *DB) Metrics() MetricsSnapshot {
+	s := db.eng.Metrics().Snapshot()
+	var out MetricsSnapshot
+	for _, v := range s.Counters {
+		out.Counters = append(out.Counters, MetricValue{Name: v.Name, Value: v.Value})
+	}
+	for _, v := range s.Gauges {
+		out.Gauges = append(out.Gauges, MetricValue{Name: v.Name, Value: v.Value})
+	}
+	for _, h := range s.Histograms {
+		out.Histograms = append(out.Histograms, MetricHistogram{
+			Name: h.Name, Count: h.Count, Sum: h.Sum,
+			Mean: h.Mean(), P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+		})
+	}
+	return out
+}
+
+// Get returns the counter or gauge value under name, and whether it
+// exists in the snapshot.
+func (s MetricsSnapshot) Get(name string) (int64, bool) {
+	for _, v := range s.Counters {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	for _, v := range s.Gauges {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the snapshot as aligned text, one instrument per line
+// (the format behind recdb-cli's \metrics command).
+func (s MetricsSnapshot) String() string {
+	var b strings.Builder
+	width := 0
+	for _, v := range s.Counters {
+		if len(v.Name) > width {
+			width = len(v.Name)
+		}
+	}
+	for _, v := range s.Gauges {
+		if len(v.Name) > width {
+			width = len(v.Name)
+		}
+	}
+	for _, h := range s.Histograms {
+		if len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	for _, v := range s.Counters {
+		fmt.Fprintf(&b, "%-*s  %d\n", width, v.Name, v.Value)
+	}
+	for _, v := range s.Gauges {
+		fmt.Fprintf(&b, "%-*s  %d\n", width, v.Name, v.Value)
+	}
+	for _, h := range s.Histograms {
+		// Only *_ns histograms are durations; others render as counts.
+		if strings.HasSuffix(h.Name, "_ns") {
+			fmt.Fprintf(&b, "%-*s  count=%d mean=%s p50<=%s p99<=%s\n",
+				width, h.Name, h.Count,
+				time.Duration(h.Mean).String(), time.Duration(h.P50).String(), time.Duration(h.P99).String())
+		} else {
+			fmt.Fprintf(&b, "%-*s  count=%d mean=%.1f p50<=%d p99<=%d\n",
+				width, h.Name, h.Count, h.Mean, h.P50, h.P99)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package recdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDBMetrics exercises the public observability surface end to end: a
+// durable database's counters reflect queries, WAL appends, and
+// buffer-pool traffic, and the snapshot renders as the text recdb-cli's
+// \metrics command prints.
+func TestDBMetrics(t *testing.T) {
+	db := newDB(t)
+	dir := t.TempDir()
+	if err := db.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("INSERT INTO ratings VALUES (9, 9, 4.5)")
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query("SELECT * FROM ratings"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query("EXPLAIN ANALYZE SELECT * FROM ratings WHERE uid = 2"); err != nil {
+		t.Fatal(err)
+	}
+
+	s := db.Metrics()
+	wantAtLeast := map[string]int64{
+		"exec.queries":          3,
+		"exec.analyze_queries":  1,
+		"exec.rows_returned":    1,
+		"wal.appends":           1, // the durable INSERT
+		"bufferpool.page_reads": 1,
+	}
+	for name, min := range wantAtLeast {
+		got, ok := s.Get(name)
+		if !ok {
+			t.Fatalf("metric %s missing from snapshot", name)
+		}
+		if got < min {
+			t.Errorf("%s = %d, want >= %d", name, got, min)
+		}
+	}
+
+	// The query-latency histogram saw every plain query.
+	var found bool
+	for _, h := range s.Histograms {
+		if h.Name == "exec.query_ns" {
+			found = true
+			if h.Count < 3 {
+				t.Errorf("exec.query_ns count = %d, want >= 3", h.Count)
+			}
+			if h.P50 > h.P99 {
+				t.Errorf("quantiles inverted: p50=%d p99=%d", h.P50, h.P99)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("exec.query_ns histogram missing")
+	}
+
+	// Text rendering (the \metrics format): one line per instrument,
+	// histograms with count/mean/quantiles.
+	text := s.String()
+	for _, want := range []string{"exec.queries", "wal.appends", "exec.query_ns", "count=", "p99<="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -6,9 +6,23 @@ import (
 
 	"recdb/internal/engine"
 	"recdb/internal/fault"
+	"recdb/internal/metrics"
 	"recdb/internal/persist"
 	"recdb/internal/wal"
 )
+
+// walMetrics wires the engine's registry into a log's append/sync path,
+// so WAL appends, fsync latency, and group-commit batch sizes show up in
+// DB.Metrics.
+func walMetrics(reg *metrics.Registry) wal.Metrics {
+	return wal.Metrics{
+		Appends:     reg.Counter("wal.appends"),
+		AppendBytes: reg.Counter("wal.append_bytes"),
+		Syncs:       reg.Counter("wal.syncs"),
+		SyncNanos:   reg.Histogram("wal.fsync_ns"),
+		BatchSize:   reg.Histogram("wal.batch_size"),
+	}
+}
 
 // walSubdir is where a durable database keeps its write-ahead log,
 // alongside the snapshot generations.
@@ -41,7 +55,7 @@ func (db *DB) checkpointLocked(dir string) error {
 	if db.wal != nil {
 		walSeq = db.wal.Seq()
 	}
-	gen, err := persist.SaveFS(fs, db.eng, dir, walSeq)
+	gen, err := persist.SaveRetainFS(fs, db.eng, dir, walSeq, db.retain)
 	if err != nil {
 		return err
 	}
@@ -60,7 +74,8 @@ func (db *DB) checkpointLocked(dir string) error {
 				return err
 			}
 		}
-		l, err := wal.Open(fs, filepath.Join(dir, walSubdir), walSeq, wal.Options{SyncEvery: db.walSyncEvery})
+		l, err := wal.Open(fs, filepath.Join(dir, walSubdir), walSeq,
+			wal.Options{SyncEvery: db.walSyncEvery, Metrics: walMetrics(db.eng.Metrics())})
 		if err != nil {
 			return err
 		}
@@ -145,12 +160,14 @@ func openDirFS(fs fault.FS, dir string, cfg engine.Config) (*DB, error) {
 			return nil, fmt.Errorf("recdb: recovering %s: replaying statement %d: %w", dir, r.seq, err)
 		}
 	}
-	l, err := wal.Open(fs, walDir, last, wal.Options{SyncEvery: cfg.WALSyncEvery})
+	l, err := wal.Open(fs, walDir, last,
+		wal.Options{SyncEvery: cfg.WALSyncEvery, Metrics: walMetrics(eng.Metrics())})
 	if err != nil {
 		return nil, err
 	}
 	db := &DB{eng: eng, fs: fs, dir: dir, wal: l, gen: info.Gen,
-		walSyncEvery: cfg.WALSyncEvery, skipped: len(info.Skipped)}
+		walSyncEvery: cfg.WALSyncEvery, skipped: len(info.Skipped),
+		retain: cfg.SnapshotRetain}
 	eng.SetCommitHook(db.logCommitLocked)
 	// Checkpoint the recovered state into a fresh generation and reset
 	// the log. This clears replayed segments — including a torn tail left

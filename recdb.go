@@ -106,6 +106,14 @@ func WithWALSyncEvery(n int) Option {
 	return func(c *engine.Config) { c.WALSyncEvery = n }
 }
 
+// WithSnapshotRetain sets how many snapshot generations SaveTo keeps on
+// disk (default 2: the previous good snapshot always survives the next
+// checkpoint). Deeper retention costs disk space but lets OpenDir fall
+// back past that many corrupt newer generations.
+func WithSnapshotRetain(n int) Option {
+	return func(c *engine.Config) { c.SnapshotRetain = n }
+}
+
 // DB is an embedded RecDB instance. It is safe for concurrent readers;
 // writes are serialized per table.
 type DB struct {
@@ -123,6 +131,7 @@ type DB struct {
 	gen          uint64   // snapshot generation last written or recovered
 	skipped      int      // corrupt generations skipped during recovery
 	walSyncEvery int      // WAL group-commit factor from WithWALSyncEvery
+	retain       int      // snapshot generations kept, from WithSnapshotRetain
 }
 
 // Open creates a new in-memory database. Call SaveTo to checkpoint it to
@@ -132,7 +141,7 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &DB{eng: engine.New(cfg), walSyncEvery: cfg.WALSyncEvery}
+	return &DB{eng: engine.New(cfg), walSyncEvery: cfg.WALSyncEvery, retain: cfg.SnapshotRetain}
 }
 
 // Close stops background workers and syncs and closes the write-ahead

@@ -1,0 +1,129 @@
+package recdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// genDirs lists the snapshot generation directories under dir, sorted by
+// name (which sorts by generation number).
+func genDirs(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "gen-") {
+			gens = append(gens, e.Name())
+		}
+	}
+	return gens
+}
+
+func countRatings(t *testing.T, db *DB) int64 {
+	t.Helper()
+	rows, err := db.Query("SELECT COUNT(*) FROM ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var n int64
+	if err := rows.Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// checkpointGenerations writes count checkpoints into dir, inserting one
+// extra rating before each, so generation k holds base+k rows.
+func checkpointGenerations(t *testing.T, db *DB, dir string, count int) {
+	t.Helper()
+	for k := 1; k <= count; k++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO ratings VALUES (%d, %d, 1.0)", 100+k, k))
+		if err := db.SaveTo(dir); err != nil {
+			t.Fatalf("checkpoint %d: %v", k, err)
+		}
+	}
+}
+
+func TestSnapshotRetainBound(t *testing.T) {
+	// Default: two generations survive repeated checkpoints.
+	db := newDB(t)
+	dir := t.TempDir()
+	checkpointGenerations(t, db, dir, 5)
+	if gens := genDirs(t, dir); len(gens) != 2 {
+		t.Fatalf("default retention kept %v, want 2 generations", gens)
+	}
+
+	// WithSnapshotRetain(4) widens the bound.
+	db4 := newDB(t, WithSnapshotRetain(4))
+	dir4 := t.TempDir()
+	checkpointGenerations(t, db4, dir4, 6)
+	if gens := genDirs(t, dir4); len(gens) != 4 {
+		t.Fatalf("retain=4 kept %v, want 4 generations", gens)
+	}
+
+	// The bound carries across OpenDir: reopening with the option and
+	// checkpointing again still prunes to 4.
+	db4.Close()
+	re, err := OpenDir(dir4, WithSnapshotRetain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	re.MustExec("INSERT INTO ratings VALUES (200, 1, 2.0)")
+	if err := re.SaveTo(dir4); err != nil {
+		t.Fatal(err)
+	}
+	if gens := genDirs(t, dir4); len(gens) != 4 {
+		t.Fatalf("retain=4 after reopen kept %v, want 4 generations", gens)
+	}
+}
+
+// TestRecoveryFallsBackPastMultipleCorruptGenerations pins the reason a
+// wider retention bound exists: with retain=4 and the newest two
+// generations corrupted, OpenDir must walk back to the newest generation
+// that verifies and report every skip.
+func TestRecoveryFallsBackPastMultipleCorruptGenerations(t *testing.T) {
+	db := newDB(t, WithSnapshotRetain(4))
+	base := countRatings(t, db)
+	dir := t.TempDir()
+	checkpointGenerations(t, db, dir, 4)
+	db.Close()
+
+	gens := genDirs(t, dir)
+	if len(gens) != 4 {
+		t.Fatalf("fixture: %v, want 4 generations", gens)
+	}
+	// Corrupt the newest two generations' manifests (flip one byte each).
+	for _, g := range gens[len(gens)-2:] {
+		path := filepath.Join(dir, g, "manifest.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	re, err := OpenDir(dir, WithSnapshotRetain(4))
+	if err != nil {
+		t.Fatalf("recovery should fall back past corrupt generations: %v", err)
+	}
+	defer re.Close()
+	if got := re.Durability().SkippedGenerations; got != 2 {
+		t.Fatalf("SkippedGenerations = %d, want 2", got)
+	}
+	// Generation 2's state: base rows plus the first two checkpoint
+	// inserts. The newer generations' rows are gone with their snapshots.
+	if got := countRatings(t, re); got != base+2 {
+		t.Fatalf("recovered rows = %d, want %d", got, base+2)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-paper fault-sweep vet lint fmt examples clean
+.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-serve bench-paper fault-sweep vet lint fmt examples clean
 
 all: vet lint test build
 
@@ -12,7 +12,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu=1,4 ./internal/metrics/... ./internal/rec/... ./internal/reccache/... ./internal/exec/...
+	$(GO) test -race -cpu=1,4 ./internal/metrics/... ./internal/rec/... ./internal/reccache/... ./internal/exec/... ./internal/server/... ./internal/wire/... ./client/...
 
 cover:
 	$(GO) test -cover ./...
@@ -36,6 +36,12 @@ bench-durability:
 # (DESIGN.md §9). Writes BENCH_metrics.json.
 bench-metrics:
 	$(GO) run ./cmd/recdb-bench -exp metrics -scale 0.25 -json BENCH_metrics.json
+
+# Serving-layer experiment: a real recdb-server on loopback TCP driven
+# by real client connections; throughput and p50/p99 latency at 1, 8,
+# and 64 connections. Writes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/recdb-bench -exp serve -scale 0.25 -conns 1,8,64 -json BENCH_serve.json
 
 # Exhaustive crash simulation: every fault point x every fault mode, and
 # every byte of a snapshot flipped (the default test run samples both),

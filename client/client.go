@@ -1,0 +1,333 @@
+// Package client is the Go client for recdb-server: it dials the wire
+// protocol (internal/wire), runs statements, and decodes results into
+// the same row representation the embedded API uses, so code written
+// against recdb.Rows ports to the network client by swapping the
+// constructor.
+//
+// A Conn is one session and is safe for concurrent use; requests are
+// single-flight (one in flight at a time, serialized internally). A
+// context with a deadline propagates to the server as the request's
+// timeout; cancelling the context sends a Cancel frame so the server
+// stops executing, and the call returns once the server acknowledges
+// with its terminal answer.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"recdb/internal/types"
+	"recdb/internal/wire"
+)
+
+// Row is one result tuple, identical to the embedded API's recdb.Row.
+type Row = types.Row
+
+// ServerError is a typed failure the server answered with.
+type ServerError struct {
+	// Code is one of the wire.Code* constants ("busy", "timeout",
+	// "canceled", "query", ...).
+	Code string
+	// Message is the server's human-readable detail.
+	Message string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("recdb server: %s: %s", e.Code, e.Message)
+}
+
+// ErrClosed is returned by calls on a closed (or poisoned) connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// Result reports a statement's effect, mirroring recdb.Result.
+type Result struct {
+	RowsAffected int64
+}
+
+// Conn is one client session. Methods serialize internally: a second
+// request waits for the first to finish rather than interleaving.
+type Conn struct {
+	sessionID uint64
+	server    string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	buf    []byte
+	nextID uint32
+	closed bool
+}
+
+// Dial connects to a recdb-server at addr and performs the handshake.
+func Dial(addr string) (*Conn, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial bounded by ctx (connection establishment and
+// handshake only).
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = nc.SetDeadline(dl)
+	}
+	if _, err := nc.Write([]byte(wire.Magic)); err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	t, payload, buf, err := wire.ReadFrame(nc, make([]byte, 512))
+	if err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch t {
+	case wire.TypeHello:
+		h, err := wire.DecodeHello(payload)
+		if err != nil {
+			_ = nc.Close()
+			return nil, fmt.Errorf("client: handshake: %w", err)
+		}
+		_ = nc.SetDeadline(time.Time{})
+		return &Conn{sessionID: h.SessionID, server: h.Server, conn: nc, buf: buf}, nil
+	case wire.TypeError:
+		e, derr := wire.DecodeError(payload)
+		_ = nc.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("client: handshake: %w", derr)
+		}
+		return nil, &ServerError{Code: e.Code, Message: e.Message}
+	default:
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected frame type %q", byte(t))
+	}
+}
+
+// SessionID is the server-assigned session id from the handshake.
+func (c *Conn) SessionID() uint64 { return c.sessionID }
+
+// Server is the server string from the handshake.
+func (c *Conn) Server() string { return c.server }
+
+// Close closes the connection. Safe to call repeatedly.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// Ping checks server liveness end to end.
+func (c *Conn) Ping(ctx context.Context) error {
+	_, _, err := c.roundTrip(ctx, wire.TypePing, "")
+	return err
+}
+
+// Exec runs a statement or semicolon-separated script on the server and
+// reports the rows affected.
+func (c *Conn) Exec(ctx context.Context, sql string) (Result, error) {
+	complete, _, err := c.roundTrip(ctx, wire.TypeExec, sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: complete.Rows}, nil
+}
+
+// Query runs a SELECT (or EXPLAIN) and returns its materialized result.
+func (c *Conn) Query(ctx context.Context, sql string) (*Rows, error) {
+	_, rows, err := c.roundTrip(ctx, wire.TypeQuery, sql)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// roundTrip performs one single-flight request cycle: send the frame,
+// then read response frames until the request's terminal answer. When
+// ctx carries a deadline it is forwarded as the server-side timeout;
+// when ctx is cancelled a Cancel frame asks the server to interrupt,
+// and the cycle still ends on the server's terminal answer (an
+// unresponsive server is cut off by a short read-deadline backstop).
+func (c *Conn) roundTrip(ctx context.Context, kind wire.Type, sql string) (wire.Complete, *Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return wire.Complete{}, nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.Complete{}, nil, err
+	}
+	id := c.nextID
+	c.nextID++
+
+	var payload []byte
+	if kind == wire.TypePing {
+		payload = wire.AppendID(nil, id)
+	} else {
+		var timeoutMillis uint32
+		if dl, ok := ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				timeoutMillis = uint32(min(ms, int64(^uint32(0))))
+			} else {
+				timeoutMillis = 1
+			}
+		}
+		payload = wire.AppendRequest(nil, wire.Request{ID: id, TimeoutMillis: timeoutMillis, SQL: sql})
+	}
+	if err := wire.WriteFrame(c.conn, kind, payload); err != nil {
+		return wire.Complete{}, nil, c.poisonLocked(fmt.Errorf("client: send: %w", err))
+	}
+
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				// Ask the server to interrupt; the terminal answer (code
+				// "canceled" or a result that beat the cancel) still
+				// arrives on the normal path. The read deadline is a
+				// backstop against a hung server only.
+				_ = wire.WriteFrame(c.conn, wire.TypeCancel, wire.AppendID(nil, id))
+				_ = c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			case <-stop:
+			}
+		}()
+		// Join the watcher before returning so a late deadline write
+		// cannot leak into the next request's read loop.
+		defer func() {
+			close(stop)
+			<-watcherDone
+			c.clearReadDeadlineLocked()
+		}()
+	}
+
+	rows := &Rows{pos: -1}
+	for {
+		t, p, buf, err := wire.ReadFrame(c.conn, c.buf)
+		c.buf = buf
+		if err != nil {
+			return wire.Complete{}, nil, c.poisonLocked(fmt.Errorf("client: receive: %w", err))
+		}
+		switch t {
+		case wire.TypePong:
+			got, err := wire.DecodeID(p)
+			if err != nil {
+				return wire.Complete{}, nil, c.poisonLocked(err)
+			}
+			if got == id {
+				return wire.Complete{}, nil, nil
+			}
+		case wire.TypeRowDesc:
+			d, err := wire.DecodeRowDesc(p)
+			if err != nil {
+				return wire.Complete{}, nil, c.poisonLocked(err)
+			}
+			if d.ID == id {
+				rows.cols, rows.strategy = d.Columns, d.Strategy
+			}
+		case wire.TypeDataRow:
+			got, row, err := wire.DecodeDataRow(p)
+			if err != nil {
+				return wire.Complete{}, nil, c.poisonLocked(err)
+			}
+			if got == id {
+				rows.rows = append(rows.rows, row)
+			}
+		case wire.TypeComplete:
+			done, err := wire.DecodeComplete(p)
+			if err != nil {
+				return wire.Complete{}, nil, c.poisonLocked(err)
+			}
+			if done.ID == id {
+				return done, rows, nil
+			}
+		case wire.TypeError:
+			e, err := wire.DecodeError(p)
+			if err != nil {
+				return wire.Complete{}, nil, c.poisonLocked(err)
+			}
+			if e.ID == id || e.Code == wire.CodeProtocol || e.Code == wire.CodeInternal {
+				return wire.Complete{}, nil, &ServerError{Code: e.Code, Message: e.Message}
+			}
+		default:
+			return wire.Complete{}, nil, c.poisonLocked(fmt.Errorf("client: unexpected frame type %q", byte(t)))
+		}
+	}
+}
+
+// poisonLocked marks the connection unusable after a transport-level
+// failure — framing state is unknown, so no further request can trust
+// the stream.
+func (c *Conn) poisonLocked(err error) error {
+	if !c.closed {
+		c.closed = true
+		_ = c.conn.Close()
+	}
+	return err
+}
+
+func (c *Conn) clearReadDeadlineLocked() {
+	_ = c.conn.SetReadDeadline(time.Time{})
+}
+
+// Rows is a materialized query result, mirroring recdb.Rows: iterate
+// with Next, read with Row or Scan.
+type Rows struct {
+	cols     []string
+	strategy string
+	rows     []Row
+	pos      int
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Strategy reports the recommendation strategy the server's planner
+// chose ("" for plain queries).
+func (r *Rows) Strategy() string { return r.strategy }
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// Next advances to the next row.
+func (r *Rows) Next() bool {
+	if r.pos+1 >= len(r.rows) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Row returns the current row.
+func (r *Rows) Row() Row {
+	if r.pos < 0 || r.pos >= len(r.rows) {
+		return nil
+	}
+	return r.rows[r.pos]
+}
+
+// All returns every row.
+func (r *Rows) All() []Row { return r.rows }
+
+// Scan copies the current row into dest pointers (*int64, *float64,
+// *string, *bool, or *types.Value), exactly as recdb.Rows.Scan does.
+func (r *Rows) Scan(dest ...any) error {
+	if r.pos < 0 || r.pos >= len(r.rows) {
+		return fmt.Errorf("client: Scan called without a current row")
+	}
+	return types.ScanRow(r.rows[r.pos], r.cols, dest...)
+}

@@ -10,7 +10,8 @@
 //	recdb-bench -exp scaling -workers 1,2,4 -json BENCH_build.json
 //
 // Experiment ids: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
-// ablations (or individual a1..a6), scaling, durability, metrics, all.
+// ablations (or individual a1..a6), scaling, durability, metrics, serve,
+// all.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"recdb/internal/bench"
+	"recdb/internal/bench/serve"
 	"recdb/internal/dataset"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per RecDB-side measurement")
 	md := flag.Bool("md", false, "emit Markdown tables")
 	workers := flag.String("workers", "1,2,4", "worker counts for the scaling experiment")
+	connCounts := flag.String("conns", "1,8,64", "connection counts for the serve experiment")
 	commits := flag.Int("commits", 2000, "statements per phase of the durability experiment")
 	jsonPath := flag.String("json", "", "also write the result tables as JSON to this file")
 	flag.Parse()
@@ -41,6 +44,11 @@ func main() {
 	workerCounts, err := parseWorkers(*workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recdb-bench: -workers: %v\n", err)
+		os.Exit(2)
+	}
+	conns, err := parseWorkers(*connCounts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recdb-bench: -conns: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -105,6 +113,9 @@ func main() {
 		}},
 		{"metrics", func() (bench.Table, error) {
 			return bench.RunMetricsOverhead(spec(dataset.MovieLens), *neighborhood)
+		}},
+		{"serve", func() (bench.Table, error) {
+			return serve.Run(*scale, conns)
 		}},
 	}
 

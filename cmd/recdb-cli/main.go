@@ -23,10 +23,18 @@
 // Flags can preload a synthetic dataset:
 //
 //	recdb-cli -dataset movielens -scale 0.25
+//
+// With -connect the shell speaks to a running recdb-server over the wire
+// protocol instead of embedding a database; SQL behaves identically, and
+// the meta-commands that need in-process access (\d, \rec, ...) report
+// themselves unavailable:
+//
+//	recdb-cli -connect 127.0.0.1:7425
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"recdb"
+	"recdb/client"
 	"recdb/internal/dataset"
 	"recdb/internal/engine"
 	"recdb/internal/rec"
@@ -47,7 +56,34 @@ func main() {
 	script := flag.String("f", "", "run a SQL script file and exit")
 	open := flag.String("open", "", "open a database snapshot directory (see \\save)")
 	loadCSV := flag.String("load", "", "import a CSV dataset directory (as written by recdb-datagen)")
+	connect := flag.String("connect", "", "connect to a recdb-server at host:port instead of embedding")
 	flag.Parse()
+
+	if *connect != "" {
+		if *datasetName != "" || *open != "" || *loadCSV != "" {
+			fatal(fmt.Errorf("-dataset, -open, and -load need an embedded database; they cannot be combined with -connect"))
+		}
+		c, err := client.Dial(*connect)
+		if err != nil {
+			fatal(err)
+		}
+		r := &remoteRunner{c: c}
+		defer func() { _ = c.Close() }()
+		if *script != "" {
+			content, err := os.ReadFile(*script)
+			if err != nil {
+				fatal(err)
+			}
+			if err := runScript(r, string(content)); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Printf("connected to %s at %s (session %d) — end statements with ';', \\q to quit\n",
+			c.Server(), *connect, c.SessionID())
+		repl(r)
+		return
+	}
 
 	var db *recdb.DB
 	if *open != "" {
@@ -76,14 +112,96 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runScript(db, string(content)); err != nil {
+		if err := runScript(&localRunner{db: db}, string(content)); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	fmt.Println("RecDB-Go shell — end statements with ';', \\q to quit, \\d to list tables")
-	repl(db)
+	repl(&localRunner{db: db})
+}
+
+// runner is the statement/meta execution backend behind the REPL and -f
+// scripts: embedded (localRunner) or a recdb-server session
+// (remoteRunner). Both share the same line-assembly code path.
+type runner interface {
+	// statement executes one SQL statement or script chunk and prints
+	// its result.
+	statement(input string) error
+	// meta handles a backslash command; it returns true to quit.
+	meta(cmd string) bool
+}
+
+// localRunner executes against the embedded database.
+type localRunner struct{ db *recdb.DB }
+
+func (l *localRunner) statement(input string) error { return runStatement(l.db, input) }
+func (l *localRunner) meta(cmd string) bool         { return meta(l.db, cmd) }
+
+// remoteRunner executes against a recdb-server session.
+type remoteRunner struct{ c *client.Conn }
+
+func (r *remoteRunner) statement(input string) error {
+	trimmed := strings.TrimSpace(input)
+	if trimmed == "" {
+		return nil
+	}
+	ctx := context.Background()
+	if isQuery(trimmed) {
+		rows, err := r.c.Query(ctx, strings.TrimSuffix(trimmed, ";"))
+		if err != nil {
+			return err
+		}
+		printRemoteRows(rows)
+		return nil
+	}
+	res, err := r.c.Exec(ctx, input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("OK (%d rows affected)\n", res.RowsAffected)
+	return nil
+}
+
+func (r *remoteRunner) meta(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\timing":
+		timing = !timing
+		fmt.Printf("timing is %v\n", timing)
+	case "\\ping":
+		start := time.Now()
+		if err := r.c.Ping(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Printf("pong in %v\n", time.Since(start).Round(time.Microsecond))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "%s needs in-process access and is unavailable over -connect (\\q, \\timing, \\ping work remotely)\n", fields[0])
+	}
+	return false
+}
+
+func printRemoteRows(rows *client.Rows) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(rows.Columns(), "\t"))
+	for rows.Next() {
+		row := rows.Row()
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	_ = w.Flush() // best-effort table output to stdout
+	plan := ""
+	if rows.Strategy() != "" {
+		plan = fmt.Sprintf(" [plan: %s]", rows.Strategy())
+	}
+	fmt.Printf("(%d rows)%s\n", rows.Len(), plan)
 }
 
 // preload imports the -dataset and/or -load data. Both importers write
@@ -133,12 +251,12 @@ func preload(db *recdb.DB, datasetName string, scale float64, loadCSV string) er
 
 // runScript runs a -f script: lines starting with \ are meta-commands,
 // everything else accumulates into SQL statements, exactly as in the REPL.
-func runScript(db *recdb.DB, content string) error {
+func runScript(r runner, content string) error {
 	var buf strings.Builder
 	for _, line := range strings.Split(content, "\n") {
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if meta(db, trimmed) {
+			if r.meta(trimmed) {
 				return nil
 			}
 			continue
@@ -148,13 +266,13 @@ func runScript(db *recdb.DB, content string) error {
 		if strings.Contains(line, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			if err := runStatement(db, stmt); err != nil {
+			if err := r.statement(stmt); err != nil {
 				return err
 			}
 		}
 	}
 	if strings.TrimSpace(buf.String()) != "" {
-		return runStatement(db, buf.String())
+		return r.statement(buf.String())
 	}
 	return nil
 }
@@ -182,7 +300,7 @@ func specFor(name string) (dataset.Spec, error) {
 // timing is toggled by the \timing meta-command.
 var timing bool
 
-func repl(db *recdb.DB) {
+func repl(r runner) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -196,7 +314,7 @@ func repl(db *recdb.DB) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if meta(db, trimmed) {
+			if r.meta(trimmed) {
 				return
 			}
 			continue
@@ -208,7 +326,7 @@ func repl(db *recdb.DB) {
 			buf.Reset()
 			prompt = "recdb> "
 			start := time.Now()
-			if err := runStatement(db, stmt); err != nil {
+			if err := r.statement(stmt); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 			if timing {

@@ -1,0 +1,180 @@
+// Package serve benchmarks the network serving layer: a real
+// recdb-server on a loopback listener, driven by real client
+// connections, measuring end-to-end throughput and latency (framing,
+// session scheduling, and executor included) as the connection count
+// grows.
+//
+// It lives apart from internal/bench because it needs the root recdb
+// package (to open the served database), which internal/bench must not
+// import: the root package's own bench_test.go imports internal/bench,
+// and the cycle would break test compilation. Only cmd/recdb-bench
+// links this package.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"recdb"
+	"recdb/client"
+	"recdb/internal/bench"
+	"recdb/internal/dataset"
+	"recdb/internal/server"
+)
+
+// totalOps is the per-cell operation budget, split across the cell's
+// connections. 960 divides evenly by every default connection count.
+const totalOps = 960
+
+// workload is one query shape driven through the server.
+type workload struct {
+	name string
+	sql  func(user int64) string
+}
+
+func workloads() []workload {
+	return []workload{
+		{"point lookup", func(u int64) string {
+			return fmt.Sprintf(`SELECT iid, ratingval FROM ratings WHERE uid = %d`, u)
+		}},
+		{"recommend top-10", func(u int64) string {
+			return fmt.Sprintf(`SELECT R.iid, R.ratingval FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF WHERE R.uid = %d ORDER BY R.ratingval DESC LIMIT 10`, u)
+		}},
+	}
+}
+
+// Run serves a scaled MovieLens database and measures each workload at
+// each connection count: total wall time, aggregate throughput, and
+// client-observed p50/p99 latency.
+func Run(scale float64, conns []int) (bench.Table, error) {
+	t := bench.Table{
+		ID:     "Serve",
+		Title:  "Serving layer: end-to-end throughput and latency over loopback TCP",
+		Header: []string{"Workload", "Conns", "Ops", "Wall", "Ops/s", "p50", "p99"},
+	}
+
+	db := recdb.Open()
+	defer db.Close()
+	spec := dataset.MovieLens.Scaled(scale)
+	if err := dataset.Load(db.Engine(), dataset.Generate(spec)); err != nil {
+		return t, err
+	}
+	if _, err := db.Exec(`CREATE RECOMMENDER Rec ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`); err != nil {
+		return t, err
+	}
+
+	srv := server.New(db, server.Options{MaxConns: 128})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return t, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveDone
+	}()
+	addr := ln.Addr().String()
+
+	for _, w := range workloads() {
+		for _, nc := range conns {
+			wall, lats, err := runCell(addr, nc, w.sql, spec.Users)
+			if err != nil {
+				return t, fmt.Errorf("%s @ %d conns: %w", w.name, nc, err)
+			}
+			ops := len(lats)
+			t.Rows = append(t.Rows, []string{
+				w.name,
+				fmt.Sprintf("%d", nc),
+				fmt.Sprintf("%d", ops),
+				fmtDur(wall),
+				fmt.Sprintf("%.0f", float64(ops)/wall.Seconds()),
+				fmtDur(quantile(lats, 0.50)),
+				fmtDur(quantile(lats, 0.99)),
+			})
+		}
+	}
+	snap := db.Engine().Metrics().Snapshot()
+	t.Metrics = &snap
+	return t, nil
+}
+
+// runCell drives one workload cell: nc connections issuing the cell's
+// share of totalOps queries each, all concurrently. It returns the wall
+// time of the whole cell and every per-op latency.
+func runCell(addr string, nc int, gen func(int64) string, users int) (time.Duration, []time.Duration, error) {
+	per := totalOps / nc
+	if per == 0 {
+		per = 1
+	}
+	ctx := context.Background()
+	perConn := make([][]time.Duration, nc)
+	errs := make([]error, nc)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < nc; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			defer func() { _ = c.Close() }()
+			lats := make([]time.Duration, 0, per)
+			for j := 0; j < per; j++ {
+				user := int64((n*per+j)%users + 1)
+				opStart := time.Now()
+				if _, err := c.Query(ctx, gen(user)); err != nil {
+					errs[n] = err
+					return
+				}
+				lats = append(lats, time.Since(opStart))
+			}
+			perConn[n] = lats
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range perConn {
+		all = append(all, l...)
+	}
+	return wall, all, nil
+}
+
+// quantile returns the q-th latency quantile (sorts a copy).
+func quantile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}

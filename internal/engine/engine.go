@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -39,6 +40,11 @@ type Config struct {
 	// it is the write-ahead log's group-commit factor (1 = fsync every
 	// commit). The engine itself does not read it.
 	WALSyncEvery int
+	// WALSyncInterval bounds group-commit latency: with WALSyncEvery > 1,
+	// the log fsyncs after that many commits or this long after the first
+	// unsynced one, whichever comes first. Consumed by the recdb layer;
+	// the engine itself does not read it.
+	WALSyncInterval time.Duration
 	// SnapshotRetain is consumed by the recdb layer's checkpoint path: how
 	// many snapshot generations to keep on disk (0 = default 2). The
 	// engine itself does not read it.
@@ -260,7 +266,16 @@ func (e *Engine) Exec(query string) (Result, error) {
 // to inspect the statement before executing (the recdb layer parses
 // first to choose its lock mode) use this to avoid parsing twice.
 func (e *Engine) ExecParsed(stmt sql.Statement, text string) (Result, error) {
-	res, err := e.ExecStmt(stmt)
+	return e.ExecParsedCtx(context.Background(), stmt, text)
+}
+
+// ExecParsedCtx is ExecParsed under a context: a read-only statement
+// observes cancellation between rows; a mutating statement checks the
+// context once before starting and then runs to completion — an applied
+// mutation is never half-aborted, so the WAL and the in-memory state
+// cannot diverge on a timeout.
+func (e *Engine) ExecParsedCtx(ctx context.Context, stmt sql.Statement, text string) (Result, error) {
+	res, err := e.execStmtCtx(ctx, stmt)
 	if err != nil {
 		return res, err
 	}
@@ -272,6 +287,40 @@ func (e *Engine) ExecParsed(stmt sql.Statement, text string) (Result, error) {
 
 // ExecStmt runs a parsed statement.
 func (e *Engine) ExecStmt(stmt sql.Statement) (Result, error) {
+	return e.execStmtCtx(context.Background(), stmt)
+}
+
+// execStmtCtx runs a parsed statement under ctx (see ExecParsedCtx for
+// the cancellation semantics).
+func (e *Engine) execStmtCtx(ctx context.Context, stmt sql.Statement) (Result, error) {
+	if Mutates(stmt) {
+		// Refuse to start a mutation on a dead context, but never abort
+		// one mid-flight: partial applies would be unrecoverable.
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("engine: statement not started: %w", err)
+		}
+		return e.execMutation(stmt)
+	}
+	switch s := stmt.(type) {
+	case *sql.Select:
+		res, err := e.queryCtx(ctx, s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: int64(len(res.Rows))}, nil
+	case *sql.Explain:
+		res, err := e.explain(s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: int64(len(res.Rows))}, nil
+	default:
+		return Result{}, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// execMutation dispatches the mutating statement kinds.
+func (e *Engine) execMutation(stmt sql.Statement) (Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return e.execCreateTable(s)
@@ -312,18 +361,6 @@ func (e *Engine) ExecStmt(stmt sql.Statement) (Result, error) {
 		}
 		e.mu.Unlock()
 		return Result{}, nil
-	case *sql.Select:
-		res, err := e.query(s)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{RowsAffected: int64(len(res.Rows))}, nil
-	case *sql.Explain:
-		res, err := e.explain(s)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{RowsAffected: int64(len(res.Rows))}, nil
 	default:
 		return Result{}, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
@@ -331,13 +368,21 @@ func (e *Engine) ExecStmt(stmt sql.Statement) (Result, error) {
 
 // Query runs a SELECT and materializes its result.
 func (e *Engine) Query(query string) (*QueryResult, error) {
+	return e.QueryCtx(context.Background(), query)
+}
+
+// QueryCtx runs a SELECT under a context: the executor checks ctx between
+// rows in every operator of the plan, so a canceled or deadline-expired
+// query stops promptly even inside a blocking sort or join build. The
+// returned error wraps ctx.Err() when cancellation cut the query short.
+func (e *Engine) QueryCtx(ctx context.Context, query string) (*QueryResult, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
 	switch s := stmt.(type) {
 	case *sql.Select:
-		return e.query(s)
+		return e.queryCtx(ctx, s)
 	case *sql.Explain:
 		return e.explain(s)
 	default:
@@ -386,12 +431,16 @@ func (e *Engine) explain(s *sql.Explain) (*QueryResult, error) {
 }
 
 func (e *Engine) query(sel *sql.Select) (*QueryResult, error) {
+	return e.queryCtx(context.Background(), sel)
+}
+
+func (e *Engine) queryCtx(ctx context.Context, sel *sql.Select) (*QueryResult, error) {
 	op, explain, err := e.planner.PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	rows, err := exec.Collect(op)
+	rows, err := exec.Collect(exec.WithContext(ctx, op))
 	if err != nil {
 		return nil, err
 	}
@@ -415,9 +464,17 @@ func (e *Engine) ExecScript(script string) (Result, error) {
 // ExecScriptParsed runs pre-parsed script statements, stopping at the
 // first error.
 func (e *Engine) ExecScriptParsed(stmts []sql.ScriptStmt) (Result, error) {
+	return e.ExecScriptParsedCtx(context.Background(), stmts)
+}
+
+// ExecScriptParsedCtx is ExecScriptParsed under a context: cancellation is
+// observed between statements (and between rows of read-only statements),
+// never mid-mutation, so every statement is either fully applied and
+// logged or not started.
+func (e *Engine) ExecScriptParsedCtx(ctx context.Context, stmts []sql.ScriptStmt) (Result, error) {
 	var total Result
 	for _, s := range stmts {
-		r, err := e.ExecStmt(s.Stmt)
+		r, err := e.execStmtCtx(ctx, s.Stmt)
 		if err != nil {
 			return total, err
 		}

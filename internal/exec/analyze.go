@@ -48,30 +48,9 @@ func Instrument(op Operator, stats *storage.Stats) *Analyzed {
 }
 
 // instrumentChildren rewrites op's child operator fields to wrapped
-// versions. Leaves (scans, Recommend, IndexRecommend) have no children.
+// versions via the shared traversal in cancel.go.
 func instrumentChildren(op Operator, stats *storage.Stats) {
-	switch v := op.(type) {
-	case *Filter:
-		v.Child = Instrument(v.Child, stats)
-	case *Project:
-		v.Child = Instrument(v.Child, stats)
-	case *NestedLoopJoin:
-		v.Left = Instrument(v.Left, stats)
-		v.Right = Instrument(v.Right, stats)
-	case *HashJoin:
-		v.Left = Instrument(v.Left, stats)
-		v.Right = Instrument(v.Right, stats)
-	case *Sort:
-		v.Child = Instrument(v.Child, stats)
-	case *Limit:
-		v.Child = Instrument(v.Child, stats)
-	case *Distinct:
-		v.Child = Instrument(v.Child, stats)
-	case *HashAggregate:
-		v.Child = Instrument(v.Child, stats)
-	case *JoinRecommend:
-		v.Outer = Instrument(v.Outer, stats)
-	}
+	wrapChildren(op, func(c Operator) Operator { return Instrument(c, stats) })
 }
 
 // begin snapshots the clock and buffer counters before a wrapped call.

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"recdb/internal/types"
+)
+
+// endless emits integers forever: the only way Collect over it returns is
+// through cancellation.
+type endless struct {
+	schema *types.Schema
+	n      int64
+	closed bool
+}
+
+func newEndless() *endless {
+	return &endless{schema: types.NewSchema(types.Column{Name: "x", Kind: types.KindInt})}
+}
+
+func (s *endless) Schema() *types.Schema { return s.schema }
+func (s *endless) Open() error           { return nil }
+func (s *endless) Next() (types.Row, bool, error) {
+	s.n++
+	return types.Row{types.NewInt(s.n)}, true, nil
+}
+func (s *endless) Close() error { s.closed = true; return nil }
+
+func TestWithContextBackgroundIsFree(t *testing.T) {
+	src := newEndless()
+	if op := WithContext(context.Background(), src); op != Operator(src) {
+		t.Fatalf("Background context wrapped the operator: %T", op)
+	}
+	if op := WithContext(nil, src); op != Operator(src) {
+		t.Fatalf("nil context wrapped the operator: %T", op)
+	}
+}
+
+func TestWithContextCancelMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := newEndless()
+	op := WithContext(ctx, src)
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok, err := op.Next(); !ok || err != nil {
+			t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	cancel()
+	_, ok, err := op.Next()
+	if ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: ok=%v err=%v, want context.Canceled", ok, err)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !src.closed {
+		t.Fatal("Close did not propagate to the wrapped operator")
+	}
+}
+
+func TestWithContextCancelInsideBlockingOpen(t *testing.T) {
+	// A Sort drains its child inside Open; cancellation must be observed
+	// there, through the wrapped child, or an endless child would hang.
+	ctx, cancel := context.WithCancel(context.Background())
+	src := newEndless()
+	sort := NewSort(src, nil)
+	op := WithContext(ctx, sort)
+	done := make(chan error, 1)
+	go func() {
+		err := op.Open()
+		_ = op.Close() // release whatever the failed Open accumulated
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Open returned %v, want context.Canceled", err)
+	}
+}
+
+func TestWithContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 1)
+	defer cancel()
+	<-ctx.Done()
+	op := WithContext(ctx, newEndless())
+	if err := op.Open(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Open returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestWithContextIdempotent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	once := WithContext(ctx, newEndless())
+	twice := WithContext(ctx, once)
+	if once != twice {
+		t.Fatal("WithContext double-wrapped an already-wrapped tree")
+	}
+}

@@ -1,0 +1,551 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"recdb"
+	"recdb/client"
+	"recdb/internal/server"
+	"recdb/internal/wire"
+)
+
+// startServer serves db on a loopback listener and returns the address
+// and a shutdown function.
+func startServer(t *testing.T, db *recdb.DB, opts server.Options) (string, *server.Server) {
+	t.Helper()
+	srv := server.New(db, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		db.Close()
+	})
+	return ln.Addr().String(), srv
+}
+
+func seededDB(t *testing.T) *recdb.DB {
+	t.Helper()
+	db := recdb.Open()
+	db.MustExec(`CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)`)
+	var stmts []string
+	for u := 1; u <= 8; u++ {
+		for i := 1; i <= 12; i++ {
+			if (u+i)%3 == 0 {
+				continue // leave unseen items to recommend
+			}
+			stmts = append(stmts, fmt.Sprintf(`INSERT INTO ratings VALUES (%d, %d, %d.0)`, u, i, (u*i)%5+1))
+		}
+	}
+	if _, err := db.ExecScript(strings.Join(stmts, ";\n")); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE RECOMMENDER Rec ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`)
+	return db
+}
+
+func TestQueryExecPingRoundTrip(t *testing.T) {
+	addr, _ := startServer(t, seededDB(t), server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if c.SessionID() == 0 {
+		t.Fatal("no session id in handshake")
+	}
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Exec(ctx, `INSERT INTO ratings VALUES (99, 1, 5.0), (99, 2, 4.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+
+	rows, err := c.Query(ctx, `SELECT uid, iid, ratingval FROM ratings WHERE uid = 99 ORDER BY iid ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Len(); got != 2 {
+		t.Fatalf("rows = %d, want 2", got)
+	}
+	if cols := rows.Columns(); len(cols) != 3 || cols[0] != "uid" {
+		t.Fatalf("columns = %v", cols)
+	}
+	if !rows.Next() {
+		t.Fatal("Next returned false")
+	}
+	var uid, iid int64
+	var rating float64
+	if err := rows.Scan(&uid, &iid, &rating); err != nil {
+		t.Fatal(err)
+	}
+	if uid != 99 || iid != 1 || rating != 5.0 {
+		t.Fatalf("row = (%d, %d, %g)", uid, iid, rating)
+	}
+
+	rec, err := c.Query(ctx, `SELECT R.iid, R.ratingval FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF WHERE R.uid = 2 ORDER BY R.ratingval DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("RECOMMEND returned no rows")
+	}
+	if rec.Strategy() == "" {
+		t.Fatal("RECOMMEND answer carried no strategy")
+	}
+
+	if _, err := c.Query(ctx, `SELECT nope FROM nowhere`); err == nil {
+		t.Fatal("bad query did not error")
+	} else {
+		var se *client.ServerError
+		if !errors.As(err, &se) || se.Code != wire.CodeQuery {
+			t.Fatalf("bad query error = %v", err)
+		}
+	}
+	// The connection survives a query error.
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping after query error: %v", err)
+	}
+}
+
+// TestConcurrentClients is the acceptance hammer: 64 clients of mixed
+// traffic under -race, zero dropped responses.
+func TestConcurrentClients(t *testing.T) {
+	const clients = 64
+	const perClient = 8
+	addr, _ := startServer(t, seededDB(t), server.Options{MaxConns: clients + 4})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: dial: %w", n, err)
+				return
+			}
+			defer func() { _ = c.Close() }()
+			for j := 0; j < perClient; j++ {
+				switch j % 4 {
+				case 0:
+					if err := c.Ping(ctx); err != nil {
+						errs <- fmt.Errorf("client %d ping %d: %w", n, j, err)
+						return
+					}
+				case 1:
+					res, err := c.Exec(ctx, fmt.Sprintf(`INSERT INTO ratings VALUES (%d, %d, 3.0)`, 1000+n, j+1))
+					if err != nil || res.RowsAffected != 1 {
+						errs <- fmt.Errorf("client %d exec %d: affected=%d err=%w", n, j, res.RowsAffected, err)
+						return
+					}
+				case 2:
+					rows, err := c.Query(ctx, fmt.Sprintf(`SELECT iid, ratingval FROM ratings WHERE uid = %d`, n%8+1))
+					if err != nil || rows.Len() == 0 {
+						errs <- fmt.Errorf("client %d lookup %d: len=%v err=%w", n, j, rows.Len(), err)
+						return
+					}
+				case 3:
+					rows, err := c.Query(ctx, fmt.Sprintf(`SELECT R.iid, R.ratingval FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF WHERE R.uid = %d ORDER BY R.ratingval DESC LIMIT 5`, n%8+1))
+					if err != nil {
+						errs <- fmt.Errorf("client %d recommend %d: %w", n, j, err)
+						return
+					}
+					_ = rows
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestBusyRejection(t *testing.T) {
+	addr, _ := startServer(t, seededDB(t), server.Options{MaxConns: 2})
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c1.Close() }()
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Close() }()
+
+	// The third connection must be refused with a typed busy error.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = client.Dial(addr)
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			if se.Code != wire.CodeBusy {
+				t.Fatalf("rejection code = %q, want %q", se.Code, wire.CodeBusy)
+			}
+			break
+		}
+		// The server counts a session only after dispatch; a fast dial
+		// can race ahead of the first two registrations. Retry briefly.
+		if time.Now().After(deadline) {
+			t.Fatalf("third dial never rejected (last err: %v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Freeing a slot readmits new clients.
+	_ = c2.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		c4, err := client.Dial(addr)
+		if err == nil {
+			_ = c4.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial after free never admitted: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// slowQuery is a cross join sized to run long enough to interrupt: the
+// seeded ratings table to the fourth power is tens of millions of tuples
+// through nested-loop joins, seconds of work, far past the test timeouts.
+const slowQuery = `SELECT A.uid FROM ratings A, ratings B, ratings C, ratings D WHERE A.uid > B.uid AND B.iid > C.iid AND C.uid > D.uid AND A.ratingval > 4.0`
+
+func TestPerQueryTimeout(t *testing.T) {
+	addr, _ := startServer(t, seededDB(t), server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = c.Query(ctx, slowQuery)
+	var se *client.ServerError
+	if !errors.As(err, &se) || (se.Code != wire.CodeTimeout && se.Code != wire.CodeCanceled) {
+		t.Fatalf("timed-out query returned %v, want timeout/canceled ServerError", err)
+	}
+	// The session survives and serves the next statement.
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after timeout: %v", err)
+	}
+}
+
+func TestServerSideQueryTimeout(t *testing.T) {
+	addr, _ := startServer(t, seededDB(t), server.Options{QueryTimeout: 30 * time.Millisecond})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	_, err = c.Query(context.Background(), slowQuery)
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeTimeout {
+		t.Fatalf("server-side timeout returned %v, want %q", err, wire.CodeTimeout)
+	}
+}
+
+func TestCancelInFlightQuery(t *testing.T) {
+	addr, _ := startServer(t, seededDB(t), server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Query(ctx, slowQuery)
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeCanceled {
+		t.Fatalf("canceled query returned %v, want %q", err, wire.CodeCanceled)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancel took %v; the scan ran to completion", elapsed)
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after cancel: %v", err)
+	}
+}
+
+// TestGracefulShutdown pins the drain contract: an in-flight statement
+// completes with its full answer, and the final checkpoint lands.
+func TestGracefulShutdown(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "home")
+	db := recdb.Open()
+	db.MustExec(`CREATE TABLE kv (k INT, v INT)`)
+	db.MustExec(`INSERT INTO kv VALUES (1, 1), (2, 2), (3, 3)`)
+	if err := db.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := db.Durability().Generation
+
+	srv := server.New(db, server.Options{})
+	// Hold the statement in flight long enough for Shutdown to arrive
+	// while it runs.
+	inFlight := make(chan struct{})
+	server.SetExecHookForTest(srv, func(sql string) {
+		if strings.Contains(sql, "FROM kv A") {
+			close(inFlight)
+			time.Sleep(200 * time.Millisecond)
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	queryDone := make(chan error, 1)
+	go func() {
+		rows, err := c.Query(context.Background(), `SELECT A.k FROM kv A, kv B, kv C`)
+		if err == nil && rows.Len() != 27 {
+			err = fmt.Errorf("drained query returned %d rows, want 27", rows.Len())
+		}
+		queryDone <- err
+	}()
+	<-inFlight
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if err := <-queryDone; err != nil {
+		t.Fatalf("in-flight query: %v", err)
+	}
+	if gen := db.Durability().Generation; gen <= genBefore {
+		t.Fatalf("no final checkpoint: generation %d -> %d", genBefore, gen)
+	}
+	db.Close()
+
+	// New connections during/after drain are refused.
+	if _, err := client.Dial(ln.Addr().String()); err == nil {
+		t.Fatal("dial after shutdown succeeded")
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	db := seededDB(t)
+	srv := server.New(db, server.Options{})
+	server.SetExecHookForTest(srv, func(sql string) {
+		if strings.Contains(sql, "boom") {
+			panic("kaboom")
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveDone
+		db.Close()
+	})
+
+	victim, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = victim.Close() }()
+	bystander, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = bystander.Close() }()
+
+	_, err = victim.Query(context.Background(), `SELECT boom FROM ratings`)
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != wire.CodeInternal {
+		t.Fatalf("panicked statement returned %v, want %q", err, wire.CodeInternal)
+	}
+	// The panicking session is closed...
+	if err := victim.Ping(context.Background()); err == nil {
+		t.Fatal("victim session survived a panic")
+	}
+	// ...but the server and its other sessions keep working.
+	if err := bystander.Ping(context.Background()); err != nil {
+		t.Fatalf("bystander session broken: %v", err)
+	}
+	if got, ok := db.Metrics().Get("server.panics"); !ok || got != 1 {
+		t.Fatalf("server.panics = %d (%v), want 1", got, ok)
+	}
+}
+
+func TestServerMetricsRecorded(t *testing.T) {
+	db := seededDB(t)
+	addr, _ := startServer(t, db, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), `SELECT uid FROM ratings WHERE uid = 1`); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+
+	snap := db.Metrics()
+	for _, name := range []string{"server.sessions_opened", "server.queries", "server.bytes_in", "server.bytes_out"} {
+		if v, ok := snap.Get(name); !ok || v <= 0 {
+			t.Errorf("%s = %d (present=%v), want > 0", name, v, ok)
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "server.query_ns" && h.Count > 0 {
+			return
+		}
+	}
+	t.Error("server.query_ns histogram recorded nothing")
+}
+
+func TestMetricsHTTPEndpoints(t *testing.T) {
+	db := seededDB(t)
+	addr, stop, err := server.ServeMetrics(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = stop()
+		db.Close()
+	}()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	text := get("/metrics")
+	if !strings.Contains(text, "exec.queries") {
+		t.Fatalf("/metrics text missing engine counters:\n%s", text)
+	}
+	for _, path := range []string{"/metrics.json", "/debug/vars"} {
+		body := get(path)
+		if !strings.Contains(body, `"exec.queries"`) || !strings.HasPrefix(body, "{") {
+			t.Fatalf("%s is not the expected JSON:\n%s", path, body)
+		}
+	}
+}
+
+// TestRawProtocolRejections drives the TCP surface without the client:
+// bad magic and corrupt frames get typed protocol errors.
+func TestRawProtocolRejections(t *testing.T) {
+	addr, _ := startServer(t, seededDB(t), server.Options{})
+
+	t.Run("bad magic", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = conn.Close() }()
+		if _, err := conn.Write([]byte("HTTP/1\n")); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, _, err := wire.ReadFrame(conn, nil)
+		if err != nil || typ != wire.TypeError {
+			t.Fatalf("frame type %q err %v, want Error frame", byte(typ), err)
+		}
+		e, err := wire.DecodeError(payload)
+		if err != nil || e.Code != wire.CodeProtocol {
+			t.Fatalf("error = %+v (%v), want code %q", e, err, wire.CodeProtocol)
+		}
+	})
+
+	t.Run("corrupt frame", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = conn.Close() }()
+		if _, err := conn.Write([]byte(wire.Magic)); err != nil {
+			t.Fatal(err)
+		}
+		typ, _, _, err := wire.ReadFrame(conn, nil)
+		if err != nil || typ != wire.TypeHello {
+			t.Fatalf("handshake: type %q err %v", byte(typ), err)
+		}
+		// A frame with a corrupted CRC must be rejected, not executed.
+		var buf strings.Builder
+		if err := wire.WriteFrame(&buf, wire.TypePing, wire.AppendID(nil, 7)); err != nil {
+			t.Fatal(err)
+		}
+		raw := []byte(buf.String())
+		raw[5] ^= 0xff // flip a CRC byte
+		if _, err := conn.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, _, err := wire.ReadFrame(conn, nil)
+		if err != nil || typ != wire.TypeError {
+			t.Fatalf("frame type %q err %v, want Error frame", byte(typ), err)
+		}
+		e, err := wire.DecodeError(payload)
+		if err != nil || e.Code != wire.CodeProtocol {
+			t.Fatalf("error = %+v (%v), want code %q", e, err, wire.CodeProtocol)
+		}
+		// The server then drops the connection: framing state is gone.
+		if _, _, _, err := wire.ReadFrame(conn, nil); err == nil {
+			t.Fatal("connection survived a corrupt frame")
+		}
+	})
+}

@@ -1,0 +1,433 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"recdb"
+	"recdb/internal/metrics"
+	"recdb/internal/wire"
+)
+
+// pipelineDepth bounds how many decoded requests may sit between the
+// reader and the worker; a client pipelining past it gets "busy" answers
+// instead of growing an unbounded queue.
+const pipelineDepth = 16
+
+// request is one decoded Query or Exec frame awaiting execution.
+type request struct {
+	kind wire.Type
+	req  wire.Request
+}
+
+// session is one client connection. The reader goroutine decodes frames
+// — answering Ping and Cancel immediately — and hands Query/Exec
+// requests to the worker goroutine, which executes them one at a time
+// and streams responses. mu guards the request-lifecycle state shared
+// between the two.
+type session struct {
+	srv  *Server
+	id   uint64
+	conn net.Conn
+	in   *countReader
+	out  *frameWriter
+	reqs chan request
+
+	mu        sync.Mutex
+	pending   int                // requests enqueued but not yet answered
+	curID     uint32             // id of the statement now executing
+	curCancel context.CancelFunc // interrupts it; nil between statements
+	draining  bool
+}
+
+func newSession(srv *Server, id uint64, conn net.Conn) *session {
+	return &session{
+		srv:  srv,
+		id:   id,
+		conn: conn,
+		in:   &countReader{r: conn, c: srv.m.bytesIn},
+		out:  newFrameWriter(conn, srv.m.bytesOut, srv.opts.WriteTimeout),
+		reqs: make(chan request, pipelineDepth),
+	}
+}
+
+// run drives the session to completion: handshake, then reader and
+// worker until the connection ends.
+func (s *session) run() {
+	defer s.closeConn()
+	if err := s.handshake(); err != nil {
+		s.srv.logf("session %d: %v", s.id, err)
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		s.worker()
+		close(done)
+	}()
+	s.reader()
+	// The client is gone (or broke protocol): stop the running statement
+	// rather than finishing a scan nobody will read.
+	s.cancelCurrent()
+	close(s.reqs)
+	<-done
+}
+
+// handshake consumes the client's magic preamble and answers Hello.
+func (s *session) handshake() error {
+	_ = s.conn.SetReadDeadline(time.Now().Add(s.srv.opts.IdleTimeout))
+	var magic [len(wire.Magic)]byte
+	if _, err := io.ReadFull(s.in, magic[:]); err != nil {
+		return fmt.Errorf("reading magic: %w", err)
+	}
+	if string(magic[:]) != wire.Magic {
+		_ = s.out.writeError(wire.ErrorMsg{Code: wire.CodeProtocol, Message: "bad protocol magic"})
+		return errors.New("bad protocol magic")
+	}
+	return s.out.write(wire.TypeHello,
+		wire.AppendHello(nil, wire.Hello{SessionID: s.id, Server: s.srv.opts.Name}), true)
+}
+
+// reader decodes frames until the connection ends or breaks protocol.
+// The idle deadline only fires a disconnect when no request is pending
+// and no partial frame has arrived; while a statement runs, a quiet
+// client is expected and the deadline just re-arms.
+func (s *session) reader() {
+	buf := make([]byte, 512)
+	for {
+		_ = s.conn.SetReadDeadline(time.Now().Add(s.srv.opts.IdleTimeout))
+		before := s.in.n
+		t, payload, nbuf, err := wire.ReadFrame(s.in, buf)
+		buf = nbuf
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && s.in.n == before && s.hasPending() {
+				continue
+			}
+			var fe *wire.FrameError
+			if errors.As(err, &fe) {
+				_ = s.out.writeError(wire.ErrorMsg{Code: wire.CodeProtocol, Message: fe.Error()})
+			}
+			return
+		}
+		switch t {
+		case wire.TypePing:
+			id, err := wire.DecodeID(payload)
+			if err != nil {
+				s.protocolFault(err)
+				return
+			}
+			_ = s.out.write(wire.TypePong, wire.AppendID(nil, id), true)
+		case wire.TypeCancel:
+			id, err := wire.DecodeID(payload)
+			if err != nil {
+				s.protocolFault(err)
+				return
+			}
+			s.cancelRequest(id)
+		case wire.TypeQuery, wire.TypeExec:
+			req, err := wire.DecodeRequest(payload)
+			if err != nil {
+				s.protocolFault(err)
+				return
+			}
+			s.enqueue(request{kind: t, req: req})
+		default:
+			s.protocolFault(fmt.Errorf("unexpected frame type %q", byte(t)))
+			return
+		}
+	}
+}
+
+// protocolFault answers a malformed frame; the caller then drops the
+// connection, since framing state can no longer be trusted.
+func (s *session) protocolFault(err error) {
+	_ = s.out.writeError(wire.ErrorMsg{Code: wire.CodeProtocol, Message: err.Error()})
+}
+
+// enqueue hands a request to the worker, or answers it directly when the
+// session is draining or the pipeline is full.
+func (s *session) enqueue(r request) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeShutdown,
+			Message: "server is shutting down"})
+		return
+	}
+	if s.pending >= pipelineDepth {
+		s.mu.Unlock()
+		_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeBusy,
+			Message: fmt.Sprintf("pipeline limit of %d requests reached", pipelineDepth)})
+		return
+	}
+	s.pending++
+	s.mu.Unlock()
+	// Never blocks: pending (bounded above by pipelineDepth) counts every
+	// request between enqueue and its finishRequest, so channel occupancy
+	// is strictly below capacity here.
+	s.reqs <- r
+}
+
+// worker executes requests in arrival order.
+func (s *session) worker() {
+	for r := range s.reqs {
+		s.serve(r)
+	}
+}
+
+// serve executes one request and writes its response frames. A panic is
+// confined to this session: it answers an "internal" error and closes
+// the connection, leaving the server and other sessions running.
+func (s *session) serve(r request) {
+	defer s.finishRequest()
+	defer func() {
+		if p := recover(); p != nil {
+			s.srv.m.panics.Inc()
+			s.srv.logf("session %d: panic serving %q: %v", s.id, r.req.SQL, p)
+			_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeInternal,
+				Message: fmt.Sprintf("internal error: %v", p)})
+			s.closeConn()
+		}
+	}()
+	if s.isDraining() {
+		_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeShutdown,
+			Message: "server is shutting down"})
+		return
+	}
+	ctx, cancel := s.beginRequest(r.req)
+	defer s.endRequest(cancel)
+
+	start := time.Now()
+	if hook := s.srv.testExecHook; hook != nil {
+		hook(r.req.SQL)
+	}
+	switch r.kind {
+	case wire.TypeQuery:
+		rows, err := s.srv.db.QueryContext(ctx, r.req.SQL)
+		if err != nil {
+			s.writeFailure(r.req.ID, err)
+			return
+		}
+		if err := s.out.writeRows(r.req.ID, rows); err != nil {
+			return // connection-level failure; reader will notice too
+		}
+	case wire.TypeExec:
+		res, err := s.srv.db.ExecScriptContext(ctx, r.req.SQL)
+		if err != nil {
+			s.writeFailure(r.req.ID, err)
+			return
+		}
+		if err := s.out.write(wire.TypeComplete,
+			wire.AppendComplete(nil, wire.Complete{ID: r.req.ID, Rows: res.RowsAffected}), true); err != nil {
+			return
+		}
+	}
+	s.srv.m.queries.Inc()
+	s.srv.m.queryNs.ObserveSince(start)
+}
+
+// beginRequest publishes the statement as cancellable and derives its
+// context: the server's QueryTimeout, tightened — never loosened — by
+// the request's own TimeoutMillis.
+func (s *session) beginRequest(r wire.Request) (context.Context, context.CancelFunc) {
+	timeout := s.srv.opts.QueryTimeout
+	if d := time.Duration(r.TimeoutMillis) * time.Millisecond; d > 0 && (timeout == 0 || d < timeout) {
+		timeout = d
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	s.mu.Lock()
+	s.curID, s.curCancel = r.ID, cancel
+	s.mu.Unlock()
+	return ctx, cancel
+}
+
+func (s *session) endRequest(cancel context.CancelFunc) {
+	s.mu.Lock()
+	s.curCancel = nil
+	s.mu.Unlock()
+	cancel()
+}
+
+// finishRequest retires one pending request; during a drain, the last
+// answer closes the connection.
+func (s *session) finishRequest() {
+	s.mu.Lock()
+	s.pending--
+	closeNow := s.draining && s.pending == 0
+	s.mu.Unlock()
+	if closeNow {
+		s.closeConn()
+	}
+}
+
+// writeFailure answers a failed statement with a typed error code.
+func (s *session) writeFailure(id uint32, err error) {
+	code := wire.CodeQuery
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code = wire.CodeTimeout
+	case errors.Is(err, context.Canceled):
+		code = wire.CodeCanceled
+	}
+	_ = s.out.writeError(wire.ErrorMsg{ID: id, Code: code, Message: err.Error()})
+}
+
+// cancelRequest interrupts the in-flight statement if it matches id.
+func (s *session) cancelRequest(id uint32) {
+	s.mu.Lock()
+	cancel := s.curCancel
+	match := cancel != nil && s.curID == id
+	s.mu.Unlock()
+	if match {
+		cancel()
+	}
+}
+
+// cancelCurrent interrupts whatever statement is running.
+func (s *session) cancelCurrent() {
+	s.mu.Lock()
+	cancel := s.curCancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// beginDrain stops the session admitting requests; if none is pending
+// the connection closes now, otherwise the worker closes it after the
+// last pending answer.
+func (s *session) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	idle := s.pending == 0
+	s.mu.Unlock()
+	if idle {
+		s.closeConn()
+	}
+}
+
+func (s *session) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *session) hasPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending > 0
+}
+
+// closeConn is safe to call from any goroutine, repeatedly.
+func (s *session) closeConn() {
+	_ = s.conn.Close()
+}
+
+// countReader counts bytes into a metrics counter; n lets the reader
+// goroutine (its only caller) distinguish an idle timeout from one that
+// interrupted a partial frame.
+type countReader struct {
+	r io.Reader
+	c *metrics.Counter
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	cr.c.Add(int64(n))
+	return n, err
+}
+
+// countWriter counts bytes out beneath the session's bufio.Writer.
+type countWriter struct {
+	w io.Writer
+	c *metrics.Counter
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
+}
+
+// frameWriter serializes response frames from the worker and the reader
+// (Pong, protocol errors) onto one buffered connection.
+type frameWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+func newFrameWriter(conn net.Conn, c *metrics.Counter, timeout time.Duration) *frameWriter {
+	return &frameWriter{
+		conn:    conn,
+		bw:      bufio.NewWriter(&countWriter{w: conn, c: c}),
+		timeout: timeout,
+	}
+}
+
+func (w *frameWriter) write(t wire.Type, payload []byte, flush bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := wire.WriteFrame(w.bw, t, payload); err != nil {
+		return err
+	}
+	if flush {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+func (w *frameWriter) writeError(e wire.ErrorMsg) error {
+	return w.write(wire.TypeError, wire.AppendError(nil, e), true)
+}
+
+// writeRows streams a Query answer: RowDescription, the data rows, then
+// CommandComplete. Rows are already materialized, so holding the write
+// lock here costs encoding time only, never executor time.
+func (w *frameWriter) writeRows(id uint32, rows *recdb.Rows) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	desc := wire.RowDesc{ID: id, Strategy: rows.Strategy(), Columns: rows.Columns()}
+	if err := wire.WriteFrame(w.bw, wire.TypeRowDesc, wire.AppendRowDesc(nil, desc)); err != nil {
+		return err
+	}
+	var n int64
+	scratch := make([]byte, 0, 256)
+	for rows.Next() {
+		scratch = wire.AppendDataRow(scratch[:0], id, rows.Row())
+		if err := wire.WriteFrame(w.bw, wire.TypeDataRow, scratch); err != nil {
+			return err
+		}
+		n++
+		if w.bw.Buffered() > 1<<16 {
+			if err := w.flushLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	done := wire.AppendComplete(scratch[:0], wire.Complete{ID: id, Rows: n})
+	if err := wire.WriteFrame(w.bw, wire.TypeComplete, done); err != nil {
+		return err
+	}
+	return w.flushLocked()
+}
+
+func (w *frameWriter) flushLocked() error {
+	_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	return w.bw.Flush()
+}

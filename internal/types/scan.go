@@ -1,0 +1,52 @@
+package types
+
+import "fmt"
+
+// ScanRow copies row into dest pointers: *int64, *float64, *string,
+// *bool, or *Value. Numeric values coerce between int64 and float64.
+// cols names the columns for error messages (it may be nil). This is the
+// shared implementation behind recdb.Rows.Scan and the network client's
+// Rows.Scan, so embedded and remote results scan identically.
+func ScanRow(row Row, cols []string, dest ...any) error {
+	if row == nil {
+		return fmt.Errorf("types: Scan called without a current row")
+	}
+	if len(dest) != len(row) {
+		return fmt.Errorf("types: Scan has %d targets for %d columns", len(dest), len(row))
+	}
+	name := func(i int) string {
+		if i < len(cols) {
+			return cols[i]
+		}
+		return fmt.Sprintf("#%d", i)
+	}
+	for i, d := range dest {
+		v := row[i]
+		switch p := d.(type) {
+		case *Value:
+			*p = v
+		case *int64:
+			n, ok := v.AsInt()
+			if !ok {
+				return fmt.Errorf("types: column %d (%s) is not numeric", i, name(i))
+			}
+			*p = n
+		case *float64:
+			f, ok := v.AsFloat()
+			if !ok {
+				return fmt.Errorf("types: column %d (%s) is not numeric", i, name(i))
+			}
+			*p = f
+		case *string:
+			*p = v.String()
+		case *bool:
+			if v.Kind() != KindBool {
+				return fmt.Errorf("types: column %d (%s) is not boolean", i, name(i))
+			}
+			*p = v.Bool()
+		default:
+			return fmt.Errorf("types: unsupported Scan target %T", d)
+		}
+	}
+	return nil
+}

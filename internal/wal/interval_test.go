@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"recdb/internal/fault"
+	"recdb/internal/metrics"
+)
+
+// fakeClock captures SyncInterval timer callbacks so tests can fire them
+// deterministically instead of sleeping.
+type fakeClock struct {
+	delays    []time.Duration
+	callbacks []func()
+}
+
+func (c *fakeClock) afterFunc(d time.Duration, f func()) {
+	c.delays = append(c.delays, d)
+	c.callbacks = append(c.callbacks, f)
+}
+
+// fire runs the i-th scheduled callback.
+func (c *fakeClock) fire(i int) { c.callbacks[i]() }
+
+func openIntervalLog(t *testing.T, every int, ivl time.Duration) (*Log, *fakeClock, *metrics.Counter) {
+	t.Helper()
+	clk := &fakeClock{}
+	syncs := metrics.NewRegistry().Counter("wal.syncs")
+	l, err := Open(fault.NewMemFS(), "wal", 0, Options{
+		SyncEvery:    every,
+		SyncInterval: ivl,
+		Metrics:      Metrics{Syncs: syncs},
+		afterFunc:    clk.afterFunc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment-header syncs go through f.Sync directly, not fsyncLocked, so
+	// the Syncs counter observes only group-commit flushes and starts at 0.
+	if got := syncs.Value(); got != 0 {
+		t.Fatalf("fresh log reports %d syncs", got)
+	}
+	return l, clk, syncs
+}
+
+func TestSyncIntervalFlushesStrandedTail(t *testing.T) {
+	l, clk, syncs := openIntervalLog(t, 1000, 5*time.Millisecond)
+	appendN(t, l, 3, "rec")
+
+	// Only the first append of the group arms a timer, at the interval.
+	if len(clk.callbacks) != 1 {
+		t.Fatalf("armed %d timers, want 1", len(clk.callbacks))
+	}
+	if clk.delays[0] != 5*time.Millisecond {
+		t.Fatalf("timer delay = %v", clk.delays[0])
+	}
+
+	clk.fire(0)
+	if got := syncs.Value(); got != 1 {
+		t.Fatalf("after timer: %d syncs, want 1", got)
+	}
+	l.mu.Lock()
+	unsynced := l.unsynced
+	l.mu.Unlock()
+	if unsynced != 0 {
+		t.Fatalf("after timer: %d unsynced records", unsynced)
+	}
+
+	// Firing the same (now stale) timer again must not fsync twice.
+	clk.fire(0)
+	if got := syncs.Value(); got != 1 {
+		t.Fatalf("stale re-fire synced again: %d syncs", got)
+	}
+
+	// The next burst starts a new group and arms a fresh timer.
+	appendN(t, l, 1, "more")
+	if len(clk.callbacks) != 2 {
+		t.Fatalf("second burst armed %d timers total, want 2", len(clk.callbacks))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIntervalTimerStaleAfterExplicitSync(t *testing.T) {
+	l, clk, syncs := openIntervalLog(t, 1000, time.Second)
+	appendN(t, l, 2, "rec")
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := syncs.Value(); got != 1 {
+		t.Fatalf("explicit Sync: %d syncs, want 1", got)
+	}
+	// The batch the timer was armed for already reached disk; its
+	// generation is gone, so firing is a no-op.
+	clk.fire(0)
+	if got := syncs.Value(); got != 1 {
+		t.Fatalf("stale timer after Sync added a sync: %d total", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIntervalTimerStaleAfterGroupSync(t *testing.T) {
+	l, clk, syncs := openIntervalLog(t, 2, time.Second)
+	appendN(t, l, 1, "rec") // arms the timer
+	if len(clk.callbacks) != 1 {
+		t.Fatalf("armed %d timers, want 1", len(clk.callbacks))
+	}
+	appendN(t, l, 1, "rec") // completes the group: syncs inline
+	if got := syncs.Value(); got != 1 {
+		t.Fatalf("group commit: %d syncs, want 1", got)
+	}
+	clk.fire(0)
+	if got := syncs.Value(); got != 1 {
+		t.Fatalf("stale timer after group sync added a sync: %d total", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIntervalDisabledUnderPerCommitSync(t *testing.T) {
+	l, clk, _ := openIntervalLog(t, 1, time.Second)
+	appendN(t, l, 3, "rec")
+	if len(clk.callbacks) != 0 {
+		t.Fatalf("per-commit sync armed %d timers", len(clk.callbacks))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIntervalRealClock(t *testing.T) {
+	// Integration check with the real time.AfterFunc path: a stranded
+	// tail becomes durable without any further appends or explicit Sync.
+	syncs := metrics.NewRegistry().Counter("wal.syncs")
+	l, err := Open(fault.NewMemFS(), "wal", 0, Options{
+		SyncEvery:    100,
+		SyncInterval: 5 * time.Millisecond,
+		Metrics:      Metrics{Syncs: syncs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, "rec")
+	deadline := time.Now().Add(5 * time.Second)
+	for syncs.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flush never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

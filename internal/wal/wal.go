@@ -94,12 +94,25 @@ type Options struct {
 	// SyncEvery is the group-commit factor: 1 (or 0, the default) fsyncs
 	// every append, n > 1 fsyncs every n appends, negative never fsyncs.
 	SyncEvery int
+	// SyncInterval bounds group-commit latency: with SyncEvery > 1, the
+	// log fsyncs after SyncEvery appends or SyncInterval after the first
+	// unsynced append, whichever comes first — so a burst that ends
+	// mid-group does not strand its tail until the next burst. 0 disables
+	// the bound; it has no effect under per-commit sync (SyncEvery <= 1,
+	// every append syncs anyway) or never-sync (SyncEvery < 0, the caller
+	// chose checkpoint-only durability).
+	SyncInterval time.Duration
 	// SegmentBytes rolls to a new segment file once the current one
 	// exceeds this size (0 = 4 MiB).
 	SegmentBytes int64
 	// Metrics receives append/sync instrumentation; the zero value
 	// records nothing.
 	Metrics Metrics
+
+	// afterFunc schedules the SyncInterval flush (nil = time.AfterFunc).
+	// It is a test seam: the fake-clock tests capture the callback and
+	// fire it deterministically.
+	afterFunc func(d time.Duration, f func())
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +137,11 @@ type Log struct {
 	fPath    string
 	fSize    int64
 	unsynced int
+	// flushGen invalidates pending SyncInterval timers: it advances every
+	// time the unsynced batch reaches disk (or is discarded), so a timer
+	// armed for an already-flushed batch fires as a no-op instead of
+	// syncing a newer batch early.
+	flushGen uint64
 	closed   bool
 	// poisoned is set when an append's write or sync fails: the segment
 	// may hold a record whose statement was reported failed, so the log
@@ -264,8 +282,49 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			l.poisoned = err
 			return seq, err
 		}
+	} else if l.opts.SyncInterval > 0 && l.opts.SyncEvery > 1 && l.unsynced == 1 {
+		// First commit of a new group: bound how long it can sit unsynced.
+		l.armTimerLocked()
 	}
 	return seq, nil
+}
+
+// armTimerLocked schedules a flush of the current unsynced batch
+// SyncInterval from now. The captured generation makes the callback a
+// no-op if the batch reaches disk first.
+func (l *Log) armTimerLocked() {
+	gen := l.flushGen
+	after := l.opts.afterFunc
+	if after == nil {
+		after = func(d time.Duration, f func()) { time.AfterFunc(d, f) }
+	}
+	after(l.opts.SyncInterval, func() { l.flushDue(gen) })
+}
+
+// flushDue is the SyncInterval timer callback: it syncs the batch the
+// timer was armed for, unless that batch already reached disk (generation
+// advanced), the log is closed or poisoned, or there is nothing to flush.
+// A background fsync failure poisons the log exactly like a group-commit
+// sync failure in Append: the batch's statements were acknowledged only
+// as "durable by the next sync", and that sync can no longer be trusted.
+func (l *Log) flushDue(gen uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.poisoned != nil || gen != l.flushGen || l.unsynced == 0 {
+		return
+	}
+	if err := l.fsyncLocked(); err != nil {
+		l.poisoned = err
+		return
+	}
+	l.markSyncedLocked()
+}
+
+// markSyncedLocked records that the unsynced batch reached disk (or was
+// discarded), invalidating any pending interval timer.
+func (l *Log) markSyncedLocked() {
+	l.unsynced = 0
+	l.flushGen++
 }
 
 // rollLocked syncs and closes the current segment and starts the next.
@@ -281,13 +340,13 @@ func (l *Log) rollLocked() error {
 
 func (l *Log) syncLocked() error {
 	if l.unsynced == 0 || l.opts.SyncEvery < 0 {
-		l.unsynced = 0
+		l.markSyncedLocked()
 		return nil
 	}
 	if err := l.fsyncLocked(); err != nil {
 		return fmt.Errorf("wal: sync %s: %w", l.fPath, err)
 	}
-	l.unsynced = 0
+	l.markSyncedLocked()
 	return nil
 }
 
@@ -324,7 +383,7 @@ func (l *Log) Sync() error {
 	if err := l.fsyncLocked(); err != nil {
 		return fmt.Errorf("wal: sync %s: %w", l.fPath, err)
 	}
-	l.unsynced = 0
+	l.markSyncedLocked()
 	return nil
 }
 

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"recdb/internal/types"
+)
+
+// TestFrameGolden pins the exact bytes of one frame so the format cannot
+// drift silently: a protocol change must change this fixture on purpose.
+func TestFrameGolden(t *testing.T) {
+	var buf bytes.Buffer
+	payload := AppendRequest(nil, Request{ID: 7, TimeoutMillis: 250, SQL: "SELECT 1"})
+	if err := WriteFrame(&buf, TypeQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0x11, 0x00, 0x00, 0x00, // len = 17 (type + 8 header bytes + 8 SQL bytes)
+		0x06, 0x96, 0x88, 0xf4, // crc32c over type+payload
+		'Q',
+		0x07, 0x00, 0x00, 0x00, // id = 7
+		0xfa, 0x00, 0x00, 0x00, // timeout = 250ms
+		'S', 'E', 'L', 'E', 'C', 'T', ' ', '1',
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("frame bytes drifted:\n got %#v\nwant %#v", buf.Bytes(), want)
+	}
+}
+
+// TestRoundTrip encodes and decodes every frame kind through a stream.
+func TestRoundTrip(t *testing.T) {
+	row := types.Row{types.NewInt(42), types.NewFloat(4.5), types.NewText("hi"), types.NewBool(true), types.Null()}
+	var stream bytes.Buffer
+	write := func(ft Type, payload []byte) {
+		t.Helper()
+		if err := WriteFrame(&stream, ft, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(TypeHello, AppendHello(nil, Hello{SessionID: 9, Server: "recdb-server/1"}))
+	write(TypeQuery, AppendRequest(nil, Request{ID: 1, SQL: "SELECT * FROM t"}))
+	write(TypeExec, AppendRequest(nil, Request{ID: 2, TimeoutMillis: 1000, SQL: "INSERT INTO t VALUES (1)"}))
+	write(TypePing, AppendID(nil, 3))
+	write(TypeCancel, AppendID(nil, 1))
+	write(TypeRowDesc, AppendRowDesc(nil, RowDesc{ID: 1, Strategy: "IndexRecommend", Columns: []string{"iid", "ratingval"}}))
+	write(TypeDataRow, AppendDataRow(nil, 1, row))
+	write(TypeComplete, AppendComplete(nil, Complete{ID: 1, Rows: 5}))
+	write(TypePong, AppendID(nil, 3))
+	write(TypeError, AppendError(nil, ErrorMsg{ID: 2, Code: CodeTimeout, Message: "query timed out"}))
+
+	var buf []byte
+	next := func(want Type) []byte {
+		t.Helper()
+		ft, payload, nbuf, err := ReadFrame(&stream, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = nbuf
+		if ft != want {
+			t.Fatalf("frame type %c, want %c", ft, want)
+		}
+		return payload
+	}
+
+	h, err := DecodeHello(next(TypeHello))
+	if err != nil || h.SessionID != 9 || h.Server != "recdb-server/1" {
+		t.Fatalf("hello = %+v, %v", h, err)
+	}
+	q, err := DecodeRequest(next(TypeQuery))
+	if err != nil || q.ID != 1 || q.TimeoutMillis != 0 || q.SQL != "SELECT * FROM t" {
+		t.Fatalf("query = %+v, %v", q, err)
+	}
+	e, err := DecodeRequest(next(TypeExec))
+	if err != nil || e.ID != 2 || e.TimeoutMillis != 1000 || e.SQL != "INSERT INTO t VALUES (1)" {
+		t.Fatalf("exec = %+v, %v", e, err)
+	}
+	if id, err := DecodeID(next(TypePing)); err != nil || id != 3 {
+		t.Fatalf("ping id = %d, %v", id, err)
+	}
+	if id, err := DecodeID(next(TypeCancel)); err != nil || id != 1 {
+		t.Fatalf("cancel id = %d, %v", id, err)
+	}
+	d, err := DecodeRowDesc(next(TypeRowDesc))
+	if err != nil || d.ID != 1 || d.Strategy != "IndexRecommend" || !reflect.DeepEqual(d.Columns, []string{"iid", "ratingval"}) {
+		t.Fatalf("rowdesc = %+v, %v", d, err)
+	}
+	id, got, err := DecodeDataRow(next(TypeDataRow))
+	if err != nil || id != 1 {
+		t.Fatalf("datarow id = %d, %v", id, err)
+	}
+	if len(got) != len(row) {
+		t.Fatalf("row has %d values, want %d", len(got), len(row))
+	}
+	for i := range row {
+		if got[i].String() != row[i].String() {
+			t.Fatalf("value %d = %v, want %v", i, got[i], row[i])
+		}
+	}
+	c, err := DecodeComplete(next(TypeComplete))
+	if err != nil || c.ID != 1 || c.Rows != 5 {
+		t.Fatalf("complete = %+v, %v", c, err)
+	}
+	if id, err := DecodeID(next(TypePong)); err != nil || id != 3 {
+		t.Fatalf("pong id = %d, %v", id, err)
+	}
+	em, err := DecodeError(next(TypeError))
+	if err != nil || em.ID != 2 || em.Code != CodeTimeout || em.Message != "query timed out" {
+		t.Fatalf("error = %+v, %v", em, err)
+	}
+	if _, _, _, err := ReadFrame(&stream, buf); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+// TestTornFrames rejects truncation at every boundary of a valid frame.
+func TestTornFrames(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteFrame(&full, TypeQuery, AppendRequest(nil, Request{ID: 1, SQL: "SELECT 1"})); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, _, err := ReadFrame(bytes.NewReader(raw[:cut]), nil)
+		var fe *FrameError
+		if !errors.As(err, &fe) {
+			t.Fatalf("cut at %d: err = %v, want *FrameError", cut, err)
+		}
+	}
+}
+
+// TestBadCRC rejects every single-bit corruption of a frame body.
+func TestBadCRC(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteFrame(&full, TypeExec, AppendRequest(nil, Request{ID: 2, SQL: "INSERT INTO t VALUES (1)"})); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	// Flip a bit in the type byte, mid-payload, and the final byte; the
+	// CRC must catch each.
+	for _, off := range []int{8, 12, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x40
+		_, _, _, err := ReadFrame(bytes.NewReader(mut), nil)
+		var fe *FrameError
+		if !errors.As(err, &fe) || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("flip at %d: err = %v, want checksum FrameError", off, err)
+		}
+	}
+}
+
+// TestOversizedFrame rejects declared lengths beyond MaxFrameSize without
+// allocating them.
+func TestOversizedFrame(t *testing.T) {
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], MaxFrameSize+1)
+	_, _, _, err := ReadFrame(bytes.NewReader(hdr), nil)
+	var fe *FrameError
+	if !errors.As(err, &fe) || !strings.Contains(err.Error(), "declares") {
+		t.Fatalf("err = %v, want oversized FrameError", err)
+	}
+	// The writer refuses to produce one, too.
+	if err := WriteFrame(io.Discard, TypeQuery, make([]byte, MaxFrameSize)); err == nil {
+		t.Fatal("WriteFrame accepted an oversized payload")
+	}
+}
+
+// TestEmptyAndZeroFrames rejects a zero-length frame (no type byte).
+func TestEmptyAndZeroFrames(t *testing.T) {
+	hdr := make([]byte, 8) // len = 0
+	_, _, _, err := ReadFrame(bytes.NewReader(hdr), nil)
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FrameError", err)
+	}
+}
+
+// TestDecodeTruncatedPayloads exercises each message decoder against short
+// inputs.
+func TestDecodeTruncatedPayloads(t *testing.T) {
+	if _, err := DecodeRequest([]byte{1, 2, 3}); err == nil {
+		t.Error("DecodeRequest accepted a short payload")
+	}
+	if _, err := DecodeID([]byte{1}); err == nil {
+		t.Error("DecodeID accepted a short payload")
+	}
+	if _, err := DecodeHello([]byte{1}); err == nil {
+		t.Error("DecodeHello accepted a short payload")
+	}
+	if _, err := DecodeRowDesc([]byte{1, 0, 0, 0, 5}); err == nil {
+		t.Error("DecodeRowDesc accepted a truncated string")
+	}
+	if _, _, err := DecodeDataRow([]byte{1, 0, 0, 0, 2, byte(types.KindText)}); err == nil {
+		t.Error("DecodeDataRow accepted a truncated row")
+	}
+	if _, err := DecodeComplete([]byte{1, 0, 0, 0}); err == nil {
+		t.Error("DecodeComplete accepted a missing count")
+	}
+	if _, err := DecodeError([]byte{1, 0, 0, 0, 9}); err == nil {
+		t.Error("DecodeError accepted a truncated code")
+	}
+}

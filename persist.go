@@ -75,7 +75,8 @@ func (db *DB) checkpointLocked(dir string) error {
 			}
 		}
 		l, err := wal.Open(fs, filepath.Join(dir, walSubdir), walSeq,
-			wal.Options{SyncEvery: db.walSyncEvery, Metrics: walMetrics(db.eng.Metrics())})
+			wal.Options{SyncEvery: db.walSyncEvery, SyncInterval: db.walSyncIvl,
+				Metrics: walMetrics(db.eng.Metrics())})
 		if err != nil {
 			return err
 		}
@@ -161,13 +162,14 @@ func openDirFS(fs fault.FS, dir string, cfg engine.Config) (*DB, error) {
 		}
 	}
 	l, err := wal.Open(fs, walDir, last,
-		wal.Options{SyncEvery: cfg.WALSyncEvery, Metrics: walMetrics(eng.Metrics())})
+		wal.Options{SyncEvery: cfg.WALSyncEvery, SyncInterval: cfg.WALSyncInterval,
+			Metrics: walMetrics(eng.Metrics())})
 	if err != nil {
 		return nil, err
 	}
 	db := &DB{eng: eng, fs: fs, dir: dir, wal: l, gen: info.Gen,
-		walSyncEvery: cfg.WALSyncEvery, skipped: len(info.Skipped),
-		retain: cfg.SnapshotRetain}
+		walSyncEvery: cfg.WALSyncEvery, walSyncIvl: cfg.WALSyncInterval,
+		skipped: len(info.Skipped), retain: cfg.SnapshotRetain}
 	eng.SetCommitHook(db.logCommitLocked)
 	// Checkpoint the recovered state into a fresh generation and reset
 	// the log. This clears replayed segments — including a torn tail left

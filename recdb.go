@@ -40,6 +40,7 @@
 package recdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -106,6 +107,17 @@ func WithWALSyncEvery(n int) Option {
 	return func(c *engine.Config) { c.WALSyncEvery = n }
 }
 
+// WithWALSyncInterval bounds group-commit latency: together with
+// WithWALSyncEvery(n > 1), the write-ahead log fsyncs after n commits *or*
+// d after the first unsynced commit, whichever comes first. Without it, a
+// burst that ends mid-group strands its last < n commits unsynced until
+// the next burst — exactly the shape server workloads produce. It has no
+// effect under the default per-commit sync (n = 1) or the never-sync
+// policy (n < 0).
+func WithWALSyncInterval(d time.Duration) Option {
+	return func(c *engine.Config) { c.WALSyncInterval = d }
+}
+
 // WithSnapshotRetain sets how many snapshot generations SaveTo keeps on
 // disk (default 2: the previous good snapshot always survives the next
 // checkpoint). Deeper retention costs disk space but lets OpenDir fall
@@ -130,8 +142,9 @@ type DB struct {
 	wal          *wal.Log // write-ahead log (nil until attached)
 	gen          uint64   // snapshot generation last written or recovered
 	skipped      int      // corrupt generations skipped during recovery
-	walSyncEvery int      // WAL group-commit factor from WithWALSyncEvery
-	retain       int      // snapshot generations kept, from WithSnapshotRetain
+	walSyncEvery int           // WAL group-commit factor from WithWALSyncEvery
+	walSyncIvl   time.Duration // latency bound from WithWALSyncInterval
+	retain       int           // snapshot generations kept, from WithSnapshotRetain
 }
 
 // Open creates a new in-memory database. Call SaveTo to checkpoint it to
@@ -141,7 +154,8 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &DB{eng: engine.New(cfg), walSyncEvery: cfg.WALSyncEvery, retain: cfg.SnapshotRetain}
+	return &DB{eng: engine.New(cfg), walSyncEvery: cfg.WALSyncEvery,
+		walSyncIvl: cfg.WALSyncInterval, retain: cfg.SnapshotRetain}
 }
 
 // Close stops background workers and syncs and closes the write-ahead
@@ -223,10 +237,48 @@ func (db *DB) ExecScript(script string) (Result, error) {
 	return Result{RowsAffected: r.RowsAffected}, err
 }
 
+// ExecScript runs a semicolon-separated script, stopping at the first
+// error — see ExecScript. Cancellation is observed between statements and
+// between rows of read-only statements, never mid-mutation: every
+// statement is either fully applied (and logged, when durable) or not
+// started, so a timeout cannot tear a half-applied write. This is the
+// statement entry point recdb-server executes Exec frames through.
+func (db *DB) ExecScriptContext(ctx context.Context, script string) (Result, error) {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return Result{}, err
+	}
+	exclusive := false
+	for _, s := range stmts {
+		if engine.Mutates(s.Stmt) {
+			exclusive = true
+			break
+		}
+	}
+	if exclusive {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	} else {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	}
+	r, err := db.eng.ExecScriptParsedCtx(ctx, stmts)
+	return Result{RowsAffected: r.RowsAffected}, err
+}
+
 // Query runs a SELECT (optionally with a RECOMMEND clause) and returns its
 // materialized result.
 func (db *DB) Query(query string) (*Rows, error) {
-	res, err := db.eng.Query(query)
+	return db.QueryContext(context.Background(), query)
+}
+
+// QueryContext runs a SELECT under a context: every operator in the plan
+// checks cancellation between rows, so a canceled or deadline-expired
+// query stops promptly even inside a blocking sort or join build and
+// returns an error wrapping ctx.Err(). A context that can never be
+// canceled adds no overhead.
+func (db *DB) QueryContext(ctx context.Context, query string) (*Rows, error) {
+	res, err := db.eng.QueryCtx(ctx, query)
 	if err != nil {
 		return nil, err
 	}
@@ -285,42 +337,10 @@ func (r *Rows) All() []Row { return r.rows }
 // *string, *bool, or *Value. Numeric values coerce between int64 and
 // float64.
 func (r *Rows) Scan(dest ...any) error {
-	row := r.Row()
-	if row == nil {
+	if r.pos < 0 || r.pos >= len(r.rows) {
 		return fmt.Errorf("recdb: Scan called without a current row")
 	}
-	if len(dest) != len(row) {
-		return fmt.Errorf("recdb: Scan has %d targets for %d columns", len(dest), len(row))
-	}
-	for i, d := range dest {
-		v := row[i]
-		switch p := d.(type) {
-		case *Value:
-			*p = v
-		case *int64:
-			n, ok := v.AsInt()
-			if !ok {
-				return fmt.Errorf("recdb: column %d (%s) is not numeric", i, r.cols[i])
-			}
-			*p = n
-		case *float64:
-			f, ok := v.AsFloat()
-			if !ok {
-				return fmt.Errorf("recdb: column %d (%s) is not numeric", i, r.cols[i])
-			}
-			*p = f
-		case *string:
-			*p = v.String()
-		case *bool:
-			if v.Kind() != types.KindBool {
-				return fmt.Errorf("recdb: column %d (%s) is not boolean", i, r.cols[i])
-			}
-			*p = v.Bool()
-		default:
-			return fmt.Errorf("recdb: unsupported Scan target %T", d)
-		}
-	}
-	return nil
+	return types.ScanRow(r.rows[r.pos], r.cols, dest...)
 }
 
 // ---- Recommendation management ----

@@ -1,22 +1,27 @@
-// Command recdb-lint runs the RecDB static-analysis suite (pinunpin,
-// closecheck, locksafe, errwrap, nopanic) over module packages and exits
-// non-zero if any invariant violation is found.
+// Command recdb-lint runs the RecDB static-analysis suite over module
+// packages and exits non-zero if any invariant violation is found.
 //
 // Usage:
 //
-//	recdb-lint [-list] [packages]
+//	recdb-lint [-list] [-json] [packages]
 //
 // Packages are directories or "dir/..." patterns; the default is ./...
 // relative to the current directory. Findings print one per line in
 // file:line:col: analyzer: message form, sorted, so the output is stable
-// across runs and machines. Type-check errors in analyzed packages are
-// reported as warnings on stderr but do not fail the run: the analyzers
-// work with whatever type information was recovered.
+// across runs and machines; -json switches to a machine-readable array of
+// findings on stdout for CI tooling. Type-check errors in analyzed
+// packages are reported as warnings on stderr but do not fail the run:
+// the analyzers work with whatever type information was recovered.
+//
+// Exit codes: 0 when no findings, 1 when findings were reported, 2 on a
+// usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"recdb/internal/analysis"
@@ -24,56 +29,91 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list registered analyzers and exit")
+	var opts options
+	flag.BoolVar(&opts.list, "list", false, "list registered analyzers and exit")
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: recdb-lint [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: recdb-lint [-list] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range passes.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
-	if *list {
-		for _, a := range passes.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
+	os.Exit(run(opts, flag.Args(), os.Stdout, os.Stderr))
+}
 
-	patterns := flag.Args()
+type options struct {
+	list    bool
+	jsonOut bool
+}
+
+// jsonFinding is the machine-readable shape of one diagnostic. Fields are
+// stable: CI tooling depends on them.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run executes the lint with the driver's exit-code contract:
+// 0 clean, 1 findings, 2 usage or load error.
+func run(opts options, patterns []string, stdout, stderr io.Writer) int {
+	if opts.list {
+		for _, a := range passes.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-
-	os.Exit(run(patterns))
-}
-
-func run(patterns []string) int {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "recdb-lint: %v\n", err)
+		fmt.Fprintf(stderr, "recdb-lint: %v\n", err)
 		return 2
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "recdb-lint: %v\n", err)
+		fmt.Fprintf(stderr, "recdb-lint: %v\n", err)
 		return 2
 	}
 	for _, p := range pkgs {
 		for _, e := range p.Errors {
-			fmt.Fprintf(os.Stderr, "recdb-lint: warning: %s: %v\n", p.Path, e)
+			fmt.Fprintf(stderr, "recdb-lint: warning: %s: %v\n", p.Path, e)
 		}
 	}
 	diags, err := analysis.Run(pkgs, passes.All())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "recdb-lint: %v\n", err)
+		fmt.Fprintf(stderr, "recdb-lint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if opts.jsonOut {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "recdb-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "recdb-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(stderr, "recdb-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
 	return 0

@@ -1,0 +1,19 @@
+// Package dirty trips a deterministic, known set of analyzers.
+package dirty
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Peek() int {
+	return c.n
+}

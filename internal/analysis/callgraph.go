@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is a package-level static call graph: one node per function
+// or method declared in the package, with edges to every callee that can
+// be resolved statically (package functions, methods with a concrete
+// receiver type, and imported functions). Dynamic calls — through a func
+// value or an interface method with no static target — are recorded with
+// a nil Callee so analyses can choose to treat them conservatively.
+type CallGraph struct {
+	// Nodes maps each declared function object to its node, and Order
+	// lists them in source order for deterministic iteration.
+	Nodes map[*types.Func]*CallNode
+	Order []*CallNode
+}
+
+// CallNode is one declared function and its outgoing calls.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Calls lists the call sites in source order. Calls inside nested
+	// function literals (including goroutine and defer bodies) belong to
+	// the declaring function: they cannot run unless it ran.
+	Calls []CallSite
+}
+
+// CallSite is one call expression and its resolved target.
+type CallSite struct {
+	// Callee is the statically resolved target, nil for dynamic calls.
+	Callee *types.Func
+	Call   *ast.CallExpr
+}
+
+// BuildCallGraph constructs the call graph of one package.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{Nodes: make(map[*types.Func]*CallNode)}
+	for _, fd := range FuncDecls(files) {
+		fn, _ := info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		node := &CallNode{Fn: fn, Decl: fd}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			node.Calls = append(node.Calls, CallSite{Callee: StaticCallee(info, call), Call: call})
+			return true
+		})
+		g.Nodes[fn] = node
+		g.Order = append(g.Order, node)
+	}
+	return g
+}
+
+// StaticCallee resolves a call expression to its target function, or nil
+// when the target is dynamic (func value, unresolved interface method).
+// Builtin calls and conversions also resolve to nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		// Method call or qualified package function: either way the
+		// selected object is the target. Interface methods resolve to the
+		// interface's *types.Func — still a stable identity for analyses
+		// keyed on (type, method) names.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// CallersOf returns the nodes containing at least one call site resolving
+// to fn, in source order.
+func (g *CallGraph) CallersOf(fn *types.Func) []*CallNode {
+	var out []*CallNode
+	for _, n := range g.Order {
+		for _, cs := range n.Calls {
+			if cs.Callee == fn {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of declared functions reachable from any of
+// the roots through statically resolved edges (roots included).
+func (g *CallGraph) Reachable(roots ...*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		node := g.Nodes[fn]
+		if node == nil {
+			return // imported or dynamic: no outgoing edges known
+		}
+		for _, cs := range node.Calls {
+			visit(cs.Callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// FuncValuesPassedTo returns the declared functions whose *value* (not a
+// call) appears as an argument to any call of a function or method named
+// calleeName — the pattern walorder uses to find commit-hook
+// registrations (SetCommitHook(db.logCommit)).
+func (g *CallGraph) FuncValuesPassedTo(info *types.Info, files []*ast.File, calleeName string) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := ""
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if name != calleeName {
+				return true
+			}
+			for _, arg := range call.Args {
+				var id *ast.Ident
+				switch a := ast.Unparen(arg).(type) {
+				case *ast.Ident:
+					id = a
+				case *ast.SelectorExpr:
+					id = a.Sel
+				}
+				if id == nil {
+					continue
+				}
+				if fn, ok := info.Uses[id].(*types.Func); ok {
+					out[fn] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the dataflow layer over the CFG: a forward worklist solver
+// for lock states ("reaching locks"). It answers, for every program
+// point, which mutexes may and must be held — the facts locksafe v2 and
+// walorder check invariants against. May-information catches definite
+// misuse (an Unlock no path locked for); must-information catches
+// per-path misuse (an access where *some* path arrives without the lock).
+
+// Lock kinds.
+const (
+	LockExcl = "Lock"
+	LockRead = "RLock"
+)
+
+// LockState describes one mutex at one program point.
+type LockState struct {
+	// MayExcl / MayRead: some path to this point holds the lock
+	// exclusively / for reading.
+	MayExcl bool
+	MayRead bool
+	// Must: every path to this point holds the lock (in some mode).
+	Must bool
+}
+
+// Held reports whether any path holds the lock at all.
+func (s LockState) Held() bool { return s.MayExcl || s.MayRead }
+
+// Kind returns the strongest mode any path holds: LockExcl, LockRead, or
+// "" when unheld.
+func (s LockState) Kind() string {
+	switch {
+	case s.MayExcl:
+		return LockExcl
+	case s.MayRead:
+		return LockRead
+	}
+	return ""
+}
+
+// LockSet maps a lock owner key (BaseString of the mutex's owner, e.g.
+// "db" for db.mu) to its state. Absent keys are definitely unheld.
+type LockSet map[string]LockState
+
+// Clone copies the set.
+func (ls LockSet) Clone() LockSet {
+	c := make(LockSet, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+func (ls LockSet) equal(o LockSet) bool {
+	if len(ls) != len(o) {
+		return false
+	}
+	for k, v := range ls {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// join merges two predecessor states: may-facts union, must-facts
+// intersect.
+func joinLockSets(a, b LockSet) LockSet {
+	out := make(LockSet, len(a)+len(b))
+	for k, va := range a {
+		vb := b[k] // zero value when absent: nothing held on that path
+		out[k] = LockState{
+			MayExcl: va.MayExcl || vb.MayExcl,
+			MayRead: va.MayRead || vb.MayRead,
+			Must:    va.Must && vb.Must,
+		}
+	}
+	for k, vb := range b {
+		if _, seen := a[k]; !seen {
+			out[k] = LockState{MayExcl: vb.MayExcl, MayRead: vb.MayRead, Must: false}
+		}
+	}
+	// Drop fully-bottom entries so equality checks converge.
+	for k, v := range out {
+		if !v.MayExcl && !v.MayRead && !v.Must {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+// LockEventOf decodes expr as <owner>.<mu>.(Lock|RLock|Unlock|RUnlock)()
+// on a sync.Mutex or sync.RWMutex, returning the owner's base key and the
+// operation name.
+func LockEventOf(info *types.Info, expr ast.Expr) (base, op string, ok bool) {
+	call, isCall := expr.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if MutexKindOf(info.TypeOf(sel.X)) == "" {
+		return "", "", false
+	}
+	owner := sel.X
+	if os, isOwnerSel := owner.(*ast.SelectorExpr); isOwnerSel {
+		owner = os.X
+	}
+	b := BaseString(owner)
+	if b == "" {
+		return "", "", false
+	}
+	return b, sel.Sel.Name, true
+}
+
+// MutexKindOf returns "Mutex" or "RWMutex" for the sync mutex types, ""
+// otherwise.
+func MutexKindOf(t types.Type) string {
+	named := NamedOf(t)
+	if named == nil {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// ApplyLockOp updates the set for one decoded lock event.
+func ApplyLockOp(set LockSet, base, op string) {
+	switch op {
+	case "Lock":
+		set[base] = LockState{MayExcl: true, Must: true}
+	case "RLock":
+		set[base] = LockState{MayRead: true, Must: true}
+	case "Unlock", "RUnlock":
+		delete(set, base)
+	}
+}
+
+// applyLockNode is the per-node transfer function. Only top-level lock
+// calls in expression statements change the state; a defer of an Unlock
+// keeps the lock held to function end (the deferred release runs at
+// return, after every node of this graph).
+func applyLockNode(info *types.Info, n ast.Node, set LockSet) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	if base, op, ok := LockEventOf(info, es.X); ok {
+		ApplyLockOp(set, base, op)
+	}
+}
+
+// LockFlow is the solved lock dataflow of one function body.
+type LockFlow struct {
+	g    *CFG
+	info *types.Info
+	// in[i] is the lock set on entry to Blocks[i]; nil marks a block no
+	// path reaches.
+	in []LockSet
+}
+
+// SolveLockFlow runs the forward worklist analysis over g with the given
+// entry state (non-nil; empty for a function that starts lock-free).
+func SolveLockFlow(g *CFG, info *types.Info, entry LockSet) *LockFlow {
+	n := len(g.Blocks)
+	in := make([]LockSet, n)
+	in[0] = entry.Clone()
+
+	preds := make([][]int, n)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b.Index)
+		}
+	}
+
+	out := make([]LockSet, n)
+	transfer := func(i int) LockSet {
+		if in[i] == nil {
+			return nil
+		}
+		s := in[i].Clone()
+		for _, node := range g.Blocks[i].Nodes {
+			applyLockNode(info, node, s)
+		}
+		return s
+	}
+
+	// Iterate to fixpoint. Lock sets form a finite lattice (keys bounded
+	// by the function's lock calls), so this terminates quickly.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i != 0 {
+				var merged LockSet
+				reached := false
+				for _, p := range preds[i] {
+					if out[p] == nil {
+						continue
+					}
+					if !reached {
+						merged = out[p].Clone()
+						reached = true
+					} else {
+						merged = joinLockSets(merged, out[p])
+					}
+				}
+				if reached && (in[i] == nil || !in[i].equal(merged)) {
+					in[i] = merged
+					changed = true
+				}
+			}
+			newOut := transfer(i)
+			if newOut == nil {
+				continue
+			}
+			if out[i] == nil || !out[i].equal(newOut) {
+				out[i] = newOut
+				changed = true
+			}
+		}
+	}
+	return &LockFlow{g: g, info: info, in: in}
+}
+
+// Walk visits every reachable node in block order with the lock set in
+// force just before the node executes. The set passed to fn is shared
+// scratch state: copy it if it must outlive the call.
+func (lf *LockFlow) Walk(fn func(n ast.Node, held LockSet)) {
+	for _, b := range lf.g.Blocks {
+		state := lf.in[b.Index]
+		if state == nil {
+			continue // unreachable
+		}
+		s := state.Clone()
+		for _, node := range b.Nodes {
+			fn(node, s)
+			applyLockNode(lf.info, node, s)
+		}
+	}
+}
+
+// DeferredUnlocks returns the lock keys released by deferred calls
+// (defer x.mu.Unlock() or a deferred closure containing one), sorted.
+func (lf *LockFlow) DeferredUnlocks() []string {
+	seen := map[string]bool{}
+	for _, d := range lf.g.Defers {
+		if base, op, ok := LockEventOf(lf.info, d.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			seen[base] = true
+			continue
+		}
+		if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			for base := range closureUnlocks(lf.info, fl) {
+				seen[base] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// closureUnlocks returns lock keys a function literal unlocks without
+// first locking inside the literal — i.e. locks the closure releases on
+// behalf of its creator — mapped to the unlock operation used. A deferred
+// closure of this shape runs with the lock held, so analyses treat those
+// locks as held at closure entry.
+func closureUnlocks(info *types.Info, fl *ast.FuncLit) map[string]string {
+	locked := map[string]bool{}
+	out := map[string]string{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fl {
+			return false
+		}
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		base, op, ok := LockEventOf(info, es.X)
+		if !ok {
+			return true
+		}
+		switch op {
+		case "Lock", "RLock":
+			locked[base] = true
+		case "Unlock", "RUnlock":
+			if !locked[base] {
+				if _, dup := out[base]; !dup {
+					out[base] = op
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ClosureEntryLocks returns the lock set a deferred closure should be
+// analyzed under: every lock it releases without first acquiring is
+// assumed held at entry, in the mode matching the release (Unlock →
+// exclusive, RUnlock → read).
+func ClosureEntryLocks(info *types.Info, fl *ast.FuncLit) LockSet {
+	entry := make(LockSet)
+	for base, op := range closureUnlocks(info, fl) {
+		if op == "RUnlock" {
+			entry[base] = LockState{MayRead: true, Must: true}
+		} else {
+			entry[base] = LockState{MayExcl: true, Must: true}
+		}
+	}
+	return entry
+}

@@ -1,0 +1,162 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields. The moment one site does atomic.AddUint64(&s.f, 1), every
+// access to s.f must go through sync/atomic: a single plain read races
+// with the atomic writers (the race detector will flag it, but only on
+// the schedules it happens to see), and a plain write can be lost
+// entirely.
+//
+// The analyzer records every field whose address is passed to a
+// sync/atomic function anywhere in the package, then flags plain
+// selector accesses to those fields. Out of scope by design: typed
+// atomics (atomic.Int64 — the type system already prevents plain
+// access), atomics on slice or array elements (instance identity is not
+// static), and fields of values freshly constructed in the same function
+// (not shared yet, the constructor pattern).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"recdb/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed through sync/atomic must never be read or written plainly",
+	Run:  run,
+}
+
+type fieldKey struct {
+	typeName string
+	field    string
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := make(map[fieldKey]bool)
+	// atomicOperands are the selector nodes appearing as &s.f inside an
+	// atomic call; they are the sanctioned accesses.
+	atomicOperands := make(map[*ast.SelectorExpr]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				key, ok := fieldKeyOf(pass.TypesInfo, sel)
+				if !ok {
+					continue
+				}
+				atomicFields[key] = true
+				atomicOperands[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		locals := localConstructions(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicOperands[sel] {
+				return true
+			}
+			key, ok := fieldKeyOf(pass.TypesInfo, sel)
+			if !ok || !atomicFields[key] {
+				return true
+			}
+			if base := analysis.BaseString(sel.X); base != "" && locals[rootOf(base)] {
+				return true // freshly constructed, not shared yet
+			}
+			pass.Reportf(sel.Pos(), "field %s.%s is accessed with sync/atomic elsewhere; plain access races with the atomic sites", key.typeName, key.field)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call targets a function in sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldKeyOf resolves a selector to (struct type name, field name) when it
+// selects a real struct field.
+func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr) (fieldKey, bool) {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return fieldKey{}, false
+	}
+	named := analysis.NamedOf(info.TypeOf(sel.X))
+	if named == nil {
+		return fieldKey{}, false
+	}
+	return fieldKey{named.Obj().Name(), sel.Sel.Name}, true
+}
+
+// localConstructions records variables bound to freshly constructed
+// values (x := &T{...}, x := T{...}, x := new(T)).
+func localConstructions(body *ast.BlockStmt) map[string]bool {
+	locals := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.CompositeLit:
+				locals[id.Name] = true
+			case *ast.UnaryExpr:
+				if rhs.Op == token.AND {
+					if _, isLit := rhs.X.(*ast.CompositeLit); isLit {
+						locals[id.Name] = true
+					}
+				}
+			case *ast.CallExpr:
+				if fid, ok := rhs.Fun.(*ast.Ident); ok && fid.Name == "new" {
+					locals[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+func rootOf(base string) string {
+	for i := 0; i < len(base); i++ {
+		if base[i] == '.' {
+			return base[:i]
+		}
+	}
+	return base
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/atomicfield"
+)
+
+func TestViolations(t *testing.T) { analysistest.Run(t, ".", atomicfield.Analyzer, "a") }
+
+func TestCompliant(t *testing.T) { analysistest.Run(t, ".", atomicfield.Analyzer, "b") }

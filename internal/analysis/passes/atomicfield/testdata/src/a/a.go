@@ -1,0 +1,33 @@
+// Package a mixes atomic and plain access to the same fields.
+package a
+
+import "sync/atomic"
+
+type Stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// Hit establishes hits as an atomic field.
+func (s *Stats) Hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// Snapshot reads it plainly: races with Hit.
+func (s *Stats) Snapshot() uint64 {
+	return s.hits // want "plain access races"
+}
+
+// Reset writes it plainly: the write can be lost against AddUint64.
+func (s *Stats) Reset() {
+	s.hits = 0 // want "plain access races"
+}
+
+// Miss uses atomic access consistently; only the plain sites are flagged.
+func (s *Stats) Miss() {
+	atomic.AddUint64(&s.misses, 1)
+}
+
+func (s *Stats) Misses() uint64 {
+	return atomic.LoadUint64(&s.misses)
+}

@@ -1,0 +1,41 @@
+// Package b uses atomics consistently; the analyzer must stay silent.
+package b
+
+import "sync/atomic"
+
+type Stats struct {
+	hits uint64
+	name string
+}
+
+func (s *Stats) Hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *Stats) Snapshot() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// Name is a plain field never touched atomically; plain access is fine.
+func (s *Stats) Name() string {
+	return s.name
+}
+
+// NewStats fills in a freshly constructed value before sharing it.
+func NewStats(seed uint64) *Stats {
+	s := &Stats{}
+	s.hits = seed
+	return s
+}
+
+// Counters on slice elements are out of scope: identity is not static.
+func bump(qb []uint64, i int) uint64 {
+	atomic.AddUint64(&qb[i], 1)
+	return qb[i]
+}
+
+// Suppressed documents a sanctioned post-barrier plain read.
+func (s *Stats) Final() uint64 {
+	//lint:ignore atomicfield all writers joined before this read
+	return s.hits
+}

@@ -1,0 +1,59 @@
+// Package deferloop flags defer statements inside loop bodies. A defer
+// runs at function exit, not loop-iteration exit, so a per-iteration
+// resource (an iterator pin, a file handle, a lock) deferred in a loop
+// accumulates until the function returns — the exact slow-leak shape the
+// buffer pool turns into "all pinned" failures under load. The fix is to
+// hoist the loop body into a function (where the defer is per-call) or
+// release explicitly at the end of the iteration.
+//
+// A defer inside a function literal that merely *appears* in a loop is
+// fine: the literal's own invocation scopes it.
+package deferloop
+
+import (
+	"go/ast"
+
+	"recdb/internal/analysis"
+)
+
+// Analyzer is the deferloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "deferloop",
+	Doc:  "defer inside a loop runs at function exit, accumulating resources across iterations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		check(pass, fd.Body, 0)
+	}
+	return nil
+}
+
+// check walks a body tracking loop depth; function literals reset it.
+func check(pass *analysis.Pass, n ast.Node, depth int) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.FuncLit:
+			if v != n {
+				check(pass, v.Body, 0)
+				return false
+			}
+		case *ast.ForStmt:
+			if v != n {
+				check(pass, v.Body, depth+1)
+				return false
+			}
+		case *ast.RangeStmt:
+			if v != n {
+				check(pass, v.Body, depth+1)
+				return false
+			}
+		case *ast.DeferStmt:
+			if depth > 0 {
+				pass.Reportf(v.Pos(), "defer inside a loop runs only at function exit; hoist the body into a function or release explicitly")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package deferloop_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/deferloop"
+)
+
+func TestViolations(t *testing.T) { analysistest.Run(t, ".", deferloop.Analyzer, "a") }
+
+func TestCompliant(t *testing.T) { analysistest.Run(t, ".", deferloop.Analyzer, "b") }

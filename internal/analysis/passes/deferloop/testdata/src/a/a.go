@@ -1,0 +1,23 @@
+// Package a defers inside loops; resources pile up until function exit.
+package a
+
+import "os"
+
+func openAll(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // want "defer inside a loop"
+	}
+	return nil
+}
+
+func nested(n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			defer func() {}() // want "defer inside a loop"
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package b scopes per-iteration defers correctly; the analyzer is silent.
+package b
+
+import "os"
+
+// hoisted puts the defer in a per-iteration function call.
+func hoisted(paths []string) error {
+	for _, p := range paths {
+		if err := func() error {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topLevel defers outside any loop.
+func topLevel(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+	return nil
+}
+
+// suppressed documents a bounded loop where accumulation is intended.
+func suppressed(paths [2]string) {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		//lint:ignore deferloop both files must stay open until return
+		defer f.Close()
+	}
+}

@@ -37,6 +37,8 @@ func run(pass *analysis.Pass) error {
 				checkErrorf(pass, v)
 			case *ast.ExprStmt:
 				checkDiscard(pass, v)
+			case *ast.DeferStmt:
+				checkDeferred(pass, v)
 			}
 			return true
 		})
@@ -139,6 +141,49 @@ func checkDiscard(pass *analysis.Pass, stmt *ast.ExprStmt) {
 	}
 	name := callName(call)
 	pass.Reportf(stmt.Pos(), "result of %s is an error and is silently discarded; handle it or assign to _ explicitly", name)
+}
+
+// checkDeferred flags `defer f()` where f's final result is an error. The
+// deferred value is unrecoverable — by the time it exists the function is
+// already returning — so on flush/sync paths the idiom silently swallows
+// exactly the failures that matter most. Methods named Close are exempt:
+// `defer f.Close()` on read paths is idiomatic and a close-on-read error
+// is rarely actionable. Write-path closes whose error matters should
+// check it explicitly; deferred closures (defer func(){...}()) are
+// inspected like any other code, so errors dropped inside them are still
+// caught by the discard check.
+func checkDeferred(pass *analysis.Pass, stmt *ast.DeferStmt) {
+	call := stmt.Call
+	if _, isLit := call.Fun.(*ast.FuncLit); isLit {
+		return // the body is walked separately
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "Close" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	var last types.Type
+	switch rt := tv.Type.(type) {
+	case *types.Tuple:
+		if rt.Len() == 0 {
+			return
+		}
+		last = rt.At(rt.Len() - 1).Type()
+	default:
+		last = rt
+	}
+	if !analysis.ErrorType(last) {
+		return
+	}
+	if neverFails(pass.TypesInfo, call) {
+		return
+	}
+	pass.Reportf(stmt.Pos(), "deferred call to %s discards its error; use a closure that records or returns it", callName(call))
 }
 
 // neverFails exempts callees whose error results are documented to always

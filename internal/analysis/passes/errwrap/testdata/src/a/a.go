@@ -29,3 +29,16 @@ func (f *flusher) Flush() error { return nil }
 func discardMethod(f *flusher) {
 	f.Flush() // want "silently discarded"
 }
+
+// deferFlush defers an error-returning flush: by the time the deferred
+// call runs, its error has nowhere to go.
+func deferFlush(f *flusher) {
+	defer f.Flush() // want "deferred call"
+}
+
+// deferClosureDiscard hides the same bug inside a deferred closure.
+func deferClosureDiscard(f *flusher) {
+	defer func() {
+		f.Flush() // want "silently discarded"
+	}()
+}

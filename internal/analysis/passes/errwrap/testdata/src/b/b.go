@@ -40,3 +40,32 @@ func builder(parts []string) string {
 func prints(msg string) {
 	fmt.Println(msg)
 }
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+// deferClose is the idiomatic read-path cleanup; Close is exempt.
+func deferClose(c *closer) {
+	defer c.Close()
+}
+
+type syncer struct{}
+
+func (s *syncer) Sync() error { return nil }
+
+// deferSyncHandled routes the deferred error somewhere explicitly.
+func deferSyncHandled(s *syncer) (err error) {
+	defer func() {
+		if serr := s.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+	return nil
+}
+
+// deferSuppressed documents a deliberate fire-and-forget.
+func deferSuppressed(s *syncer) {
+	//lint:ignore errwrap best-effort sync on shutdown path
+	defer s.Sync()
+}

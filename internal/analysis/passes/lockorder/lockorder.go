@@ -1,0 +1,191 @@
+// Package lockorder detects lock-order inversions across the whole
+// module. Every time a function acquires the mutex of one struct type
+// while holding the mutex of another, that is an ordering commitment:
+// type A's lock is taken before type B's. If some other function —
+// anywhere in the module — commits to the opposite order, two goroutines
+// running the two functions can each hold one lock and wait forever on
+// the other.
+//
+// The per-package Run pass solves the lock dataflow for every function
+// (including goroutine and deferred-closure bodies) and records a
+// directed edge held-type -> acquired-type for each nested acquisition,
+// keyed by package-qualified struct type names. The Finish hook, which
+// runs once after every package, reports each edge that lies on a cycle.
+// Same-type nesting (a parent node locking a child of the same type) is
+// deliberately out of scope: it is a common hierarchical pattern and the
+// instance identity needed to judge it is not statically available.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"recdb/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:   "lockorder",
+	Doc:    "mutexes of different struct types must be acquired in one global order",
+	Run:    run,
+	Finish: finish,
+}
+
+// lockEdge records one nested acquisition: To's lock taken while From's
+// lock was held, at Pos inside Fn.
+type lockEdge struct {
+	From, To string
+	Pos      token.Position
+	Fn       string
+}
+
+func run(pass *analysis.Pass) error {
+	var edges []lockEdge
+	if prev, ok := pass.Shared["edges"].([]lockEdge); ok {
+		edges = prev
+	}
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		name := fd.Name.Name
+		var expand func(block *ast.BlockStmt, entry analysis.LockSet)
+		expand = func(block *ast.BlockStmt, entry analysis.LockSet) {
+			g := analysis.BuildCFG(block)
+			ownerTypes := lockOwnerTypes(pass, block)
+			lf := analysis.SolveLockFlow(g, pass.TypesInfo, entry)
+			lf.Walk(func(n ast.Node, held analysis.LockSet) {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return
+				}
+				base, op, ok := analysis.LockEventOf(pass.TypesInfo, es.X)
+				if !ok || (op != "Lock" && op != "RLock") {
+					return
+				}
+				to := ownerTypes[base]
+				if to == "" {
+					return
+				}
+				for heldKey, st := range held {
+					if heldKey == base || !st.Held() {
+						continue
+					}
+					from := ownerTypes[heldKey]
+					if from == "" || from == to {
+						continue
+					}
+					edges = append(edges, lockEdge{
+						From: from,
+						To:   to,
+						Pos:  pass.Fset.Position(es.Pos()),
+						Fn:   name,
+					})
+				}
+			})
+			for _, fl := range g.GoBodies {
+				expand(fl.Body, analysis.LockSet{})
+			}
+			for _, fl := range g.DeferBodies {
+				expand(fl.Body, analysis.ClosureEntryLocks(pass.TypesInfo, fl))
+			}
+		}
+		expand(fd.Body, analysis.LockSet{})
+	}
+	pass.Shared["edges"] = edges
+	return nil
+}
+
+// lockOwnerTypes maps each lock base key used in the body to the
+// package-qualified name of the struct type owning the mutex.
+func lockOwnerTypes(pass *analysis.Pass, block *ast.BlockStmt) map[string]string {
+	out := make(map[string]string)
+	ast.Inspect(block, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		base, _, ok := analysis.LockEventOf(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		sel := call.Fun.(*ast.SelectorExpr) // shape guaranteed by LockEventOf
+		owner := sel.X
+		if os, isSel := owner.(*ast.SelectorExpr); isSel {
+			owner = os.X
+		}
+		named := analysis.NamedOf(pass.TypesInfo.TypeOf(owner))
+		if named == nil {
+			return true
+		}
+		name := named.Obj().Name()
+		if p := named.Obj().Pkg(); p != nil {
+			name = p.Path() + "." + name
+		}
+		out[base] = name
+		return true
+	})
+	return out
+}
+
+func finish(mp *analysis.ModulePass) error {
+	edges, _ := mp.Shared["edges"].([]lockEdge)
+	if len(edges) == 0 {
+		return nil
+	}
+	// Adjacency over distinct type pairs.
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		if adj[e.From] == nil {
+			adj[e.From] = make(map[string]bool)
+		}
+		adj[e.From][e.To] = true
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for next := range adj[cur] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	// An edge From->To is on a cycle iff To reaches From. Report each such
+	// acquisition site once, deterministically ordered.
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	seen := make(map[lockEdge]bool)
+	for _, e := range edges {
+		if e.From == e.To || seen[e] || !reaches(e.To, e.From) {
+			continue
+		}
+		seen[e] = true
+		mp.ReportAtf(e.Pos, "lock-order inversion in %s: %s locked while holding %s, but elsewhere %s is locked while holding %s",
+			e.Fn, short(e.To), short(e.From), short(e.From), short(e.To))
+	}
+	return nil
+}
+
+// short trims the package path off a qualified type name for readability.
+func short(qualified string) string {
+	if i := strings.LastIndexByte(qualified, '.'); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}

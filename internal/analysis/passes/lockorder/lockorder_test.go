@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/lockorder"
+)
+
+func TestInversions(t *testing.T) { analysistest.Run(t, ".", lockorder.Analyzer, "a") }
+
+func TestConsistent(t *testing.T) { analysistest.Run(t, ".", lockorder.Analyzer, "b") }

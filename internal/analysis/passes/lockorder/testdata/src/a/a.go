@@ -1,0 +1,42 @@
+// Package a holds a lock-order inversion: Transfer locks Account then
+// Ledger, Audit locks Ledger then Account.
+package a
+
+import "sync"
+
+type Account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type Ledger struct {
+	mu      sync.Mutex
+	entries int
+}
+
+func Transfer(acc *Account, led *Ledger) {
+	acc.mu.Lock()
+	led.mu.Lock() // want "lock-order inversion"
+	led.entries++
+	acc.bal--
+	led.mu.Unlock()
+	acc.mu.Unlock()
+}
+
+func Audit(acc *Account, led *Ledger) {
+	led.mu.Lock()
+	acc.mu.Lock() // want "lock-order inversion"
+	_ = acc.bal
+	_ = led.entries
+	acc.mu.Unlock()
+	led.mu.Unlock()
+}
+
+// SuppressedAudit shows a sanctioned inversion being silenced.
+func SuppressedAudit(acc *Account, led *Ledger) {
+	led.mu.Lock()
+	//lint:ignore lockorder audit path cannot run concurrently with transfers
+	acc.mu.Lock()
+	acc.mu.Unlock()
+	led.mu.Unlock()
+}

@@ -1,0 +1,41 @@
+// Package b nests locks in one consistent global order; no inversion.
+package b
+
+import "sync"
+
+type Account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type Ledger struct {
+	mu      sync.Mutex
+	entries int
+}
+
+func Transfer(acc *Account, led *Ledger) {
+	acc.mu.Lock()
+	led.mu.Lock()
+	led.entries++
+	acc.bal--
+	led.mu.Unlock()
+	acc.mu.Unlock()
+}
+
+func Settle(acc *Account, led *Ledger) {
+	acc.mu.Lock()
+	led.mu.Lock()
+	led.entries = 0
+	led.mu.Unlock()
+	acc.mu.Unlock()
+}
+
+// Hierarchy locks two instances of one type: same-type nesting is out of
+// the analyzer's scope.
+func Hierarchy(parent, child *Account) {
+	parent.mu.Lock()
+	child.mu.Lock()
+	child.bal = parent.bal
+	child.mu.Unlock()
+	parent.mu.Unlock()
+}

@@ -1,15 +1,30 @@
-// Package locksafe checks mutex discipline on guarded structs.
+// Package locksafe checks mutex discipline on guarded structs, v2: built
+// on the analysis package's CFG + lock dataflow instead of a lexical
+// region model.
 //
 // A struct with a sync.Mutex or sync.RWMutex field is "guarded". A field
 // of a guarded struct is itself "guarded" when some function in the
 // package writes it while holding the struct's lock — that write is the
-// author declaring the field lock-protected, and from then on every access
-// must honour it. The analyzer walks each function keeping a lexical model
-// of which locks are held (Lock opens a region, a same-depth Unlock closes
-// it, an Unlock inside a conditional only ends that branch, defer Unlock
-// holds to function end) and reports guarded-field accesses outside a
-// region, writes under a read lock, and calls to a lock-acquiring method
-// of a value whose lock is already held (self-deadlock).
+// author declaring the field lock-protected, and from then on every
+// access must honour it. The dataflow computes, at every program point,
+// which locks may and must be held; the analyzer reports:
+//
+//   - guarded-field accesses where the lock is not held on every path
+//     (with a distinct "on some path" message when only part of the paths
+//     arrive unlocked);
+//   - guarded-field writes under a read lock;
+//   - calls to a lock-acquiring method of a value whose lock is already
+//     held (self-deadlock);
+//   - Unlock/RUnlock of a lock no path holds ("not locked") or that some
+//     path has already released ("on some path");
+//   - an explicit Unlock while a deferred Unlock of the same lock is
+//     pending (double unlock at return).
+//
+// Unlike v1, goroutine bodies (go func(){...}) and deferred closures are
+// analyzed too: a goroutine starts with no locks held and must acquire
+// the guard itself; a deferred closure that releases a lock it did not
+// acquire is the release half of a Lock/defer-closure pair and runs with
+// that lock held.
 //
 // Exemptions mirror the kernel's conventions: methods named *Locked run
 // with the caller holding the lock, and values constructed locally in the
@@ -28,14 +43,9 @@ import (
 // Analyzer is the locksafe pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "locksafe",
-	Doc:  "guarded fields must be accessed under their mutex; no self-deadlocks",
+	Doc:  "guarded fields must be accessed under their mutex; no self-deadlocks or double unlocks",
 	Run:  run,
 }
-
-const (
-	lockExcl = "Lock"
-	lockRead = "RLock"
-)
 
 // guardInfo is the package-wide model built in the collection pass.
 type guardInfo struct {
@@ -61,13 +71,302 @@ func run(pass *analysis.Pass) error {
 	// Collection pass: learn which fields are written under lock and which
 	// methods acquire their receiver's lock.
 	for _, fd := range analysis.FuncDecls(pass.Files) {
-		newWalker(pass, gi, fd, true).walkBody()
+		forEachBody(pass, fd, func(b body) {
+			newChecker(pass, gi, fd, b, true).walk()
+		})
 	}
 	// Checking pass.
 	for _, fd := range analysis.FuncDecls(pass.Files) {
-		newWalker(pass, gi, fd, false).walkBody()
+		forEachBody(pass, fd, func(b body) {
+			newChecker(pass, gi, fd, b, false).walk()
+		})
 	}
 	return nil
+}
+
+// body is one analyzable code body: the function itself, a goroutine
+// closure, or a deferred closure, with its entry lock state.
+type body struct {
+	block *ast.BlockStmt
+	entry analysis.LockSet
+	// closure is true for go/defer function literals: the *Locked name
+	// exemption and the receiver identity do not transfer into them.
+	closure bool
+	// goroutine marks a go-spawned closure: enclosing locals are shared
+	// with the spawner and lose their constructor exemption.
+	goroutine bool
+}
+
+// forEachBody yields the function body and, recursively, every goroutine
+// and deferred-closure body inside it with its entry lock assumption.
+func forEachBody(pass *analysis.Pass, fd *ast.FuncDecl, fn func(body)) {
+	var expand func(b body)
+	expand = func(b body) {
+		fn(b)
+		g := analysis.BuildCFG(b.block)
+		for _, fl := range g.GoBodies {
+			expand(body{block: fl.Body, entry: analysis.LockSet{}, closure: true, goroutine: true})
+		}
+		for _, fl := range g.DeferBodies {
+			expand(body{
+				block:     fl.Body,
+				entry:     analysis.ClosureEntryLocks(pass.TypesInfo, fl),
+				closure:   true,
+				goroutine: b.goroutine,
+			})
+		}
+	}
+	expand(body{block: fd.Body, entry: analysis.LockSet{}})
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	gi         *guardInfo
+	fn         *ast.FuncDecl
+	b          body
+	collecting bool
+	recvBase   string          // receiver name, "" for plain functions/closures
+	recvType   string          // receiver struct name
+	locals     map[string]bool // locally constructed values, exempt
+}
+
+func newChecker(pass *analysis.Pass, gi *guardInfo, fd *ast.FuncDecl, b body, collecting bool) *checker {
+	c := &checker{pass: pass, gi: gi, fn: fd, b: b, collecting: collecting, locals: make(map[string]bool)}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		c.recvBase = fd.Recv.List[0].Names[0].Name
+		if named := analysis.NamedOf(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)); named != nil {
+			c.recvType = named.Obj().Name()
+		}
+	}
+	// A goroutine shares the spawner's locals with it, so the constructor
+	// exemption only covers values constructed inside the goroutine body.
+	if b.goroutine {
+		collectLocals(b.block, c.locals)
+	} else {
+		collectLocals(fd.Body, c.locals)
+	}
+	return c
+}
+
+// collectLocals records variables bound to freshly constructed values:
+// x := &T{...}, x := T{...}, x := new(T). Their fields cannot be contended
+// yet, so the constructor pattern of filling them in unlocked is fine.
+func collectLocals(block *ast.BlockStmt, locals map[string]bool) {
+	ast.Inspect(block, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.CompositeLit:
+				locals[id.Name] = true
+			case *ast.UnaryExpr:
+				if rhs.Op == token.AND {
+					if _, isLit := rhs.X.(*ast.CompositeLit); isLit {
+						locals[id.Name] = true
+					}
+				}
+			case *ast.CallExpr:
+				if fid, ok := rhs.Fun.(*ast.Ident); ok && fid.Name == "new" {
+					locals[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walk solves the lock dataflow for the body and applies the collection
+// or checking visitor at every reachable node.
+func (c *checker) walk() {
+	g := analysis.BuildCFG(c.b.block)
+	lf := analysis.SolveLockFlow(g, c.pass.TypesInfo, c.b.entry)
+	deferred := lf.DeferredUnlocks()
+	deferredSet := make(map[string]bool, len(deferred))
+	for _, k := range deferred {
+		deferredSet[k] = true
+	}
+	// Position of the first deferred unlock per key: an explicit unlock
+	// after it is a double unlock.
+	deferPos := make(map[string]token.Pos)
+	for _, d := range g.Defers {
+		if base, op, ok := analysis.LockEventOf(c.pass.TypesInfo, d.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			if _, seen := deferPos[base]; !seen {
+				deferPos[base] = d.Pos()
+			}
+		}
+	}
+
+	lf.Walk(func(n ast.Node, held analysis.LockSet) {
+		// Lock events get the unlock checks; everything else is scanned
+		// for guarded accesses and deadlocking calls.
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if base, op, ok := analysis.LockEventOf(c.pass.TypesInfo, es.X); ok {
+				c.checkLockEvent(es, base, op, held, deferPos)
+				return
+			}
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // the deferred body is analyzed separately
+		}
+		if gs, ok := n.(*ast.GoStmt); ok {
+			// The spawned body is analyzed separately; only the call's
+			// argument expressions run here.
+			for _, arg := range gs.Call.Args {
+				c.inspect(arg, held, nil)
+			}
+			return
+		}
+		writes := writeTargets(n)
+		c.inspect(n, held, writes)
+	})
+}
+
+// checkLockEvent reports unlock misuse: releasing a lock no path holds,
+// releasing on a path that may have released already, and explicit
+// unlocks made redundant by a pending deferred unlock.
+func (c *checker) checkLockEvent(es *ast.ExprStmt, base, op string, held analysis.LockSet, deferPos map[string]token.Pos) {
+	if c.collecting {
+		if base == c.recvBase && c.recvType != "" && !c.b.closure && (op == "Lock" || op == "RLock") {
+			m := c.gi.lockMethods[c.recvType]
+			if m == nil {
+				m = make(map[string]string)
+				c.gi.lockMethods[c.recvType] = m
+			}
+			if m[c.fn.Name.Name] != analysis.LockExcl {
+				kind := analysis.LockExcl
+				if op == "RLock" {
+					kind = analysis.LockRead
+				}
+				m[c.fn.Name.Name] = kind
+			}
+		}
+		return
+	}
+	if op != "Unlock" && op != "RUnlock" {
+		return
+	}
+	if dp, ok := deferPos[base]; ok && dp < es.Pos() {
+		c.pass.Reportf(es.Pos(), "explicit %s of %s with a deferred %s pending: double unlock at return", op, base, op)
+		return
+	}
+	st := held[base]
+	switch {
+	case !st.Held():
+		c.pass.Reportf(es.Pos(), "%s of %s which is not locked on any path", op, base)
+	case !st.Must:
+		c.pass.Reportf(es.Pos(), "%s of %s which some path has already unlocked", op, base)
+	}
+}
+
+// inspect scans an expression or leaf statement for guarded-field
+// accesses and deadlocking method calls under the current lock state.
+func (c *checker) inspect(n ast.Node, held analysis.LockSet, writes map[ast.Node]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.FuncLit:
+			return false // go/defer bodies are analyzed separately; other
+			// closures run later under their own locking discipline
+		case *ast.CallExpr:
+			c.checkCall(v, held)
+		case *ast.SelectorExpr:
+			c.checkAccess(v, held, writes[v])
+		}
+		return true
+	})
+}
+
+// checkCall flags calls to a lock-acquiring method of a value whose lock
+// the caller may already hold.
+func (c *checker) checkCall(call *ast.CallExpr, held analysis.LockSet) {
+	if c.collecting {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := analysis.BaseString(sel.X)
+	if base == "" {
+		return
+	}
+	st, isHeld := held[base]
+	if !isHeld || !st.Held() {
+		return
+	}
+	named := analysis.NamedOf(c.pass.TypesInfo.TypeOf(sel.X))
+	if named == nil {
+		return
+	}
+	acquires, ok := c.gi.lockMethods[named.Obj().Name()][sel.Sel.Name]
+	if !ok {
+		return
+	}
+	if st.Kind() == analysis.LockRead && acquires == analysis.LockRead {
+		return // RLock is re-entrant enough not to flag
+	}
+	c.pass.Reportf(call.Pos(), "calling %s.%s while already holding %s's lock: self-deadlock", base, sel.Sel.Name, base)
+}
+
+// checkAccess handles one selector expression base.field.
+func (c *checker) checkAccess(sel *ast.SelectorExpr, held analysis.LockSet, isWrite bool) {
+	named := analysis.NamedOf(c.pass.TypesInfo.TypeOf(sel.X))
+	if named == nil {
+		return
+	}
+	tname := named.Obj().Name()
+	if _, guardedStruct := c.gi.mutexField[tname]; !guardedStruct {
+		return
+	}
+	field := sel.Sel.Name
+	base := analysis.BaseString(sel.X)
+	if base == "" {
+		return
+	}
+	st := held[base]
+	lockedMethod := !c.b.closure && strings.HasSuffix(c.fn.Name.Name, "Locked") && base == c.recvBase
+
+	if c.collecting {
+		if isWrite && (st.Held() || lockedMethod) && !c.locals[rootOf(base)] {
+			gf := c.gi.guardedFields[tname]
+			if gf == nil {
+				gf = make(map[string]bool)
+				c.gi.guardedFields[tname] = gf
+			}
+			gf[field] = true
+		}
+		return
+	}
+
+	if !c.gi.guardedFields[tname][field] {
+		return
+	}
+	if lockedMethod {
+		return
+	}
+	if c.locals[rootOf(base)] {
+		return // freshly constructed, not shared yet
+	}
+	verb := "read"
+	if isWrite {
+		verb = "written"
+	}
+	switch {
+	case !st.Held():
+		c.pass.Reportf(sel.Pos(), "guarded field %s.%s %s without holding %s.%s", tname, field, verb, base, c.gi.mutexField[tname])
+	case !st.Must:
+		c.pass.Reportf(sel.Pos(), "guarded field %s.%s %s while %s.%s is unlocked on some path", tname, field, verb, base, c.gi.mutexField[tname])
+	case isWrite && st.Kind() == analysis.LockRead:
+		c.pass.Reportf(sel.Pos(), "guarded field %s.%s written while holding only a read lock", tname, field)
+	}
 }
 
 func discoverGuardedStructs(pass *analysis.Pass, gi *guardInfo) {
@@ -86,7 +385,7 @@ func discoverGuardedStructs(pass *analysis.Pass, gi *guardInfo) {
 				return true
 			}
 			for i := 0; i < st.NumFields(); i++ {
-				if mutexKindOf(st.Field(i).Type()) != "" {
+				if analysis.MutexKindOf(st.Field(i).Type()) != "" {
 					gi.mutexField[ts.Name.Name] = st.Field(i).Name()
 					break
 				}
@@ -96,363 +395,27 @@ func discoverGuardedStructs(pass *analysis.Pass, gi *guardInfo) {
 	}
 }
 
-// mutexKindOf returns "Mutex" or "RWMutex" for sync mutex types, "" otherwise.
-func mutexKindOf(t types.Type) string {
-	named := analysis.NamedOf(t)
-	if named == nil {
-		return ""
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
-		return ""
-	}
-	if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
-		return obj.Name()
-	}
-	return ""
-}
-
-// heldLock records one held lock region's kind.
-type heldLock struct {
-	kind string // lockExcl or lockRead
-}
-
-type heldSet map[string]heldLock // keyed by owner base expression ("h", "it.heap")
-
-func (h heldSet) clone() heldSet {
-	c := make(heldSet, len(h))
-	for k, v := range h {
-		c[k] = v
-	}
-	return c
-}
-
-type walker struct {
-	pass       *analysis.Pass
-	gi         *guardInfo
-	fn         *ast.FuncDecl
-	collecting bool
-	recvBase   string          // receiver name, "" for plain functions
-	recvType   string          // receiver struct name
-	locals     map[string]bool // locally constructed values, exempt
-}
-
-func newWalker(pass *analysis.Pass, gi *guardInfo, fd *ast.FuncDecl, collecting bool) *walker {
-	w := &walker{pass: pass, gi: gi, fn: fd, collecting: collecting, locals: make(map[string]bool)}
-	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
-		w.recvBase = fd.Recv.List[0].Names[0].Name
-		if named := analysis.NamedOf(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)); named != nil {
-			w.recvType = named.Obj().Name()
-		}
-	}
-	w.collectLocals()
-	return w
-}
-
-// collectLocals records variables bound to freshly constructed values:
-// x := &T{...}, x := T{...}, x := new(T). Their fields cannot be contended
-// yet, so the constructor pattern of filling them in unlocked is fine.
-func (w *walker) collectLocals() {
-	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
-			return true
-		}
-		for i, lhs := range as.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			switch rhs := as.Rhs[i].(type) {
-			case *ast.CompositeLit:
-				w.locals[id.Name] = true
-			case *ast.UnaryExpr:
-				if rhs.Op == token.AND {
-					if _, isLit := rhs.X.(*ast.CompositeLit); isLit {
-						w.locals[id.Name] = true
-					}
-				}
-			case *ast.CallExpr:
-				if fid, ok := rhs.Fun.(*ast.Ident); ok && fid.Name == "new" {
-					w.locals[id.Name] = true
-				}
-			}
-		}
-		return true
-	})
-}
-
-func (w *walker) walkBody() {
-	w.walkList(w.fn.Body.List, make(heldSet))
-}
-
-func (w *walker) walkList(stmts []ast.Stmt, held heldSet) {
-	for _, s := range stmts {
-		w.walkStmt(s, held)
-	}
-}
-
-// walkStmt threads the held-lock set through one statement. Compound
-// statements get a clone: a lock state change inside a branch is local to
-// that branch, which is exactly the early-exit Unlock-then-return idiom.
-func (w *walker) walkStmt(s ast.Stmt, held heldSet) {
-	switch v := s.(type) {
-	case *ast.ExprStmt:
-		if base, op, ok := w.lockEvent(v.X); ok {
-			w.applyLockEvent(held, base, op, v.Pos())
-			return
-		}
-		w.inspect(v.X, held, nil)
+// writeTargets collects the field selectors a statement mutates: s.f = v,
+// s.f++, s.m[k] = v and *s.p = v all write through a field of s.
+func writeTargets(n ast.Node) map[ast.Node]bool {
+	writes := make(map[ast.Node]bool)
+	switch v := n.(type) {
 	case *ast.AssignStmt:
-		writes := make(map[ast.Node]bool)
 		for _, lhs := range v.Lhs {
 			if sel := writeTarget(lhs); sel != nil {
 				writes[sel] = true
 			}
 		}
-		w.inspect(v, held, writes)
 	case *ast.IncDecStmt:
-		writes := make(map[ast.Node]bool)
 		if sel := writeTarget(v.X); sel != nil {
 			writes[sel] = true
 		}
-		w.inspect(v, held, writes)
-	case *ast.DeferStmt:
-		// defer x.mu.Unlock() keeps the region open to function end;
-		// anything else deferred runs under an unknowable lock state.
-		return
-	case *ast.GoStmt:
-		// The goroutine body runs concurrently under its own locking.
-		return
-	case *ast.BlockStmt:
-		w.walkList(v.List, held.clone())
-	case *ast.LabeledStmt:
-		w.walkStmt(v.Stmt, held)
-	case *ast.IfStmt:
-		inner := held.clone()
-		if v.Init != nil {
-			w.walkStmt(v.Init, inner)
-		}
-		w.inspect(v.Cond, inner, nil)
-		w.walkList(v.Body.List, inner.clone())
-		if v.Else != nil {
-			w.walkStmt(v.Else, inner.clone())
-		}
-	case *ast.ForStmt:
-		inner := held.clone()
-		if v.Init != nil {
-			w.walkStmt(v.Init, inner)
-		}
-		if v.Cond != nil {
-			w.inspect(v.Cond, inner, nil)
-		}
-		if v.Post != nil {
-			w.walkStmt(v.Post, inner)
-		}
-		w.walkList(v.Body.List, inner.clone())
-	case *ast.RangeStmt:
-		inner := held.clone()
-		w.inspect(v.X, inner, nil)
-		w.walkList(v.Body.List, inner.clone())
-	case *ast.SwitchStmt:
-		inner := held.clone()
-		if v.Init != nil {
-			w.walkStmt(v.Init, inner)
-		}
-		if v.Tag != nil {
-			w.inspect(v.Tag, inner, nil)
-		}
-		for _, c := range v.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.walkList(cc.Body, inner.clone())
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		inner := held.clone()
-		if v.Init != nil {
-			w.walkStmt(v.Init, inner)
-		}
-		for _, c := range v.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.walkList(cc.Body, inner.clone())
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range v.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				inner := held.clone()
-				if cc.Comm != nil {
-					w.walkStmt(cc.Comm, inner)
-				}
-				w.walkList(cc.Body, inner)
-			}
-		}
-	default:
-		w.inspect(s, held, nil)
 	}
-}
-
-// lockEvent decodes expr as <owner>.<mu>.Lock/RLock/Unlock/RUnlock(),
-// returning the owner's base string and the operation.
-func (w *walker) lockEvent(expr ast.Expr) (base, op string, ok bool) {
-	call, isCall := expr.(*ast.CallExpr)
-	if !isCall {
-		return "", "", false
-	}
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	if mutexKindOf(w.pass.TypesInfo.TypeOf(sel.X)) == "" {
-		return "", "", false
-	}
-	owner := sel.X
-	if os, isOwnerSel := owner.(*ast.SelectorExpr); isOwnerSel {
-		owner = os.X
-	}
-	b := analysis.BaseString(owner)
-	if b == "" {
-		return "", "", false
-	}
-	return b, sel.Sel.Name, true
-}
-
-func (w *walker) applyLockEvent(held heldSet, base, op string, pos token.Pos) {
-	switch op {
-	case "Lock":
-		held[base] = heldLock{kind: lockExcl}
-	case "RLock":
-		held[base] = heldLock{kind: lockRead}
-	case "Unlock", "RUnlock":
-		delete(held, base)
-	}
-	if w.collecting && base == w.recvBase && w.recvType != "" && (op == "Lock" || op == "RLock") {
-		m := w.gi.lockMethods[w.recvType]
-		if m == nil {
-			m = make(map[string]string)
-			w.gi.lockMethods[w.recvType] = m
-		}
-		if m[w.fn.Name.Name] != lockExcl {
-			kind := lockExcl
-			if op == "RLock" {
-				kind = lockRead
-			}
-			m[w.fn.Name.Name] = kind
-		}
-	}
-	_ = pos
-}
-
-// inspect scans an expression (or leaf statement) for guarded-field
-// accesses and deadlocking method calls under the current held set.
-func (w *walker) inspect(n ast.Node, held heldSet, writes map[ast.Node]bool) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(node ast.Node) bool {
-		switch v := node.(type) {
-		case *ast.FuncLit:
-			return false // runs later, under its own locking discipline
-		case *ast.CallExpr:
-			w.checkCall(v, held)
-		case *ast.SelectorExpr:
-			w.checkAccess(v, held, writes[v])
-		}
-		return true
-	})
-}
-
-// checkCall flags calls to a lock-acquiring method of a value whose lock
-// the caller already holds.
-func (w *walker) checkCall(call *ast.CallExpr, held heldSet) {
-	if w.collecting {
-		return
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	base := analysis.BaseString(sel.X)
-	if base == "" {
-		return
-	}
-	hl, isHeld := held[base]
-	if !isHeld {
-		return
-	}
-	named := analysis.NamedOf(w.pass.TypesInfo.TypeOf(sel.X))
-	if named == nil {
-		return
-	}
-	acquires, ok := w.gi.lockMethods[named.Obj().Name()][sel.Sel.Name]
-	if !ok {
-		return
-	}
-	if hl.kind == lockRead && acquires == lockRead {
-		return // RLock is re-entrant enough not to flag
-	}
-	w.pass.Reportf(call.Pos(), "calling %s.%s while already holding %s's lock: self-deadlock", base, sel.Sel.Name, base)
-}
-
-// checkAccess handles one selector expression base.field.
-func (w *walker) checkAccess(sel *ast.SelectorExpr, held heldSet, isWrite bool) {
-	named := analysis.NamedOf(w.pass.TypesInfo.TypeOf(sel.X))
-	if named == nil {
-		return
-	}
-	tname := named.Obj().Name()
-	if _, guardedStruct := w.gi.mutexField[tname]; !guardedStruct {
-		return
-	}
-	field := sel.Sel.Name
-	base := analysis.BaseString(sel.X)
-	if base == "" {
-		return
-	}
-	hl, isHeld := held[base]
-
-	if w.collecting {
-		lockedMethod := strings.HasSuffix(w.fn.Name.Name, "Locked") && base == w.recvBase
-		if isWrite && (isHeld || lockedMethod) && !w.locals[rootOf(base)] {
-			gf := w.gi.guardedFields[tname]
-			if gf == nil {
-				gf = make(map[string]bool)
-				w.gi.guardedFields[tname] = gf
-			}
-			gf[field] = true
-		}
-		return
-	}
-
-	if !w.gi.guardedFields[tname][field] {
-		return
-	}
-	if strings.HasSuffix(w.fn.Name.Name, "Locked") && base == w.recvBase {
-		return
-	}
-	if w.locals[rootOf(base)] {
-		return // freshly constructed, not shared yet
-	}
-	if !isHeld {
-		verb := "read"
-		if isWrite {
-			verb = "written"
-		}
-		w.pass.Reportf(sel.Pos(), "guarded field %s.%s %s without holding %s.%s", tname, field, verb, base, w.gi.mutexField[tname])
-		return
-	}
-	if isWrite && hl.kind == lockRead {
-		w.pass.Reportf(sel.Pos(), "guarded field %s.%s written while holding only a read lock", tname, field)
-	}
+	return writes
 }
 
 // writeTarget unwraps an assignment target to the field selector being
-// mutated: s.m[k] = v and *s.p = v both write through a field of s.
+// mutated.
 func writeTarget(e ast.Expr) *ast.SelectorExpr {
 	for {
 		switch v := e.(type) {

@@ -50,3 +50,49 @@ func (s *Store) BadSet(k string) {
 	s.m[k] = 1 // want "read lock"
 	s.mu.RUnlock()
 }
+
+// GoUnlocked touches the guarded field from a goroutine that never takes
+// the lock; the spawned body starts lock-free even though the spawner
+// holds the mutex.
+func (c *Counter) GoUnlocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "written without holding"
+	}()
+}
+
+// DoubleUnlock releases explicitly while a deferred release is pending.
+func (c *Counter) DoubleUnlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.mu.Unlock() // want "double unlock"
+}
+
+// UnlockedRelease releases a lock nothing acquired.
+func (c *Counter) UnlockedRelease() {
+	c.mu.Unlock() // want "not locked"
+}
+
+// SomePathUnlock conditionally releases, then releases again on the
+// rejoined path: one path arrives already unlocked.
+func (c *Counter) SomePathUnlock(early bool) {
+	c.mu.Lock()
+	if early {
+		c.mu.Unlock()
+	}
+	c.mu.Unlock() // want "already unlocked"
+}
+
+// SomePathRead reads the guarded field after a branch that may have
+// released the lock.
+func (c *Counter) SomePathRead(early bool) int {
+	c.mu.Lock()
+	if early {
+		c.mu.Unlock()
+	}
+	n := c.n      // want "unlocked on some path"
+	c.mu.Unlock() // want "already unlocked"
+	return n
+}

@@ -69,3 +69,29 @@ func (s *Store) Get(k string) int {
 	defer s.mu.RUnlock()
 	return s.m[k]
 }
+
+// GoLocked spawns a goroutine that takes the lock itself before touching
+// the guarded field.
+func (c *Counter) GoLocked() {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+// DeferClosureRelease uses the Lock / deferred-closure-release pairing:
+// the closure runs with the lock held, so its field write is safe.
+func (c *Counter) DeferClosureRelease() {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+// Suppressed documents a deliberate unlocked read.
+func (c *Counter) Suppressed() int {
+	//lint:ignore locksafe sampled stat, torn reads acceptable
+	return c.n
+}

@@ -87,14 +87,47 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 
 	for _, p := range pins {
-		if p.bufObj != nil && escapes(fd.Body, pass.TypesInfo, p.bufObj) {
-			continue // pin ownership transferred; caller releases
+		if p.bufObj != nil {
+			if esc := escapeOf(fd.Body, pass.TypesInfo, p.bufObj); esc.escaped {
+				// Ownership transfer is only a real exemption when someone
+				// can still release the pin. A return hands it to the
+				// caller; a store into a struct is only safe when that
+				// struct has a release method (Iterator.Close unpinning its
+				// page). A struct with no such method is a one-way door: the
+				// pin can never be released.
+				if esc.owner == "" || pass.Pkg.Scope().Lookup(esc.owner) == nil || hasReleaseMethod(pass, esc.owner) {
+					// Types declared elsewhere are exempt: their release
+					// methods are out of this package's sight.
+					continue
+				}
+				pass.Reportf(p.call.Pos(), "page pinned by %s is stored in %s, which has no method calling Unpin: the pin can never be released", p.method, esc.owner)
+				continue
+			}
 		}
 		c := &checker{info: pass.TypesInfo, pin: p}
 		if c.leaks(fd) {
 			pass.Reportf(p.call.Pos(), "page pinned by %s is not unpinned on every path (missing Unpin before return)", p.method)
 		}
 	}
+}
+
+// hasReleaseMethod reports whether the named struct type (declared in this
+// package) has a method whose body calls BufferPool.Unpin — the release
+// half of the store-pin-in-field ownership pattern.
+func hasReleaseMethod(pass *analysis.Pass, typeName string) bool {
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		if fd.Recv == nil || len(fd.Recv.List) != 1 {
+			continue
+		}
+		named := analysis.NamedOf(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+		if named == nil || named.Obj().Name() != typeName {
+			continue
+		}
+		if containsUnpin(pass.TypesInfo, fd.Body) {
+			return true
+		}
+	}
+	return false
 }
 
 // pinCall reports whether call pins a page, returning the method name.
@@ -118,10 +151,20 @@ func identObj(info *types.Info, e ast.Expr) types.Object {
 	return info.Uses[id]
 }
 
-// escapes reports whether the pinned buffer's ownership leaves the
-// function: stored through a selector or index expression, placed in a
-// composite literal, or returned.
-func escapes(body *ast.BlockStmt, info *types.Info, obj types.Object) bool {
+// escape describes how a pinned buffer's ownership leaves the function.
+type escape struct {
+	escaped bool
+	// owner is the struct type name the buffer was stored into (via a
+	// field assignment or composite literal), "" when ownership left some
+	// other way (returned, stored through an index) — those remain exempt.
+	owner string
+}
+
+// escapeOf reports whether and how the pinned buffer's ownership leaves
+// the function: stored through a selector or index expression, placed in
+// a composite literal, or returned.
+func escapeOf(body *ast.BlockStmt, info *types.Info, obj types.Object) escape {
+	out := escape{}
 	usesObj := func(e ast.Expr) bool {
 		found := false
 		ast.Inspect(e, func(n ast.Node) bool {
@@ -132,41 +175,66 @@ func escapes(body *ast.BlockStmt, info *types.Info, obj types.Object) bool {
 		})
 		return found
 	}
-	escaped := false
+	ownerName := func(t types.Type) string {
+		if named := analysis.NamedOf(t); named != nil {
+			return named.Obj().Name()
+		}
+		return ""
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
-		if escaped {
+		if out.escaped {
 			return false
 		}
 		switch v := n.(type) {
 		case *ast.AssignStmt:
 			for i, lhs := range v.Lhs {
-				switch lhs.(type) {
-				case *ast.SelectorExpr, *ast.IndexExpr:
-					rhs := v.Rhs[0]
-					if len(v.Rhs) == len(v.Lhs) {
-						rhs = v.Rhs[i]
+				rhs := v.Rhs[0]
+				if len(v.Rhs) == len(v.Lhs) {
+					rhs = v.Rhs[i]
+				}
+				// Unwrap c.bufs[id], *s.p, (s.f) down to the field selector
+				// so the owning struct is attributed correctly.
+				target := lhs
+			unwrap:
+				for {
+					switch t := target.(type) {
+					case *ast.IndexExpr:
+						target = t.X
+					case *ast.StarExpr:
+						target = t.X
+					case *ast.ParenExpr:
+						target = t.X
+					default:
+						break unwrap
 					}
+				}
+				switch t := target.(type) {
+				case *ast.SelectorExpr:
 					if usesObj(rhs) {
-						escaped = true
+						out = escape{escaped: true, owner: ownerName(info.TypeOf(t.X))}
+					}
+				case *ast.Ident:
+					if target != lhs && usesObj(rhs) {
+						out = escape{escaped: true} // local slice/map store
 					}
 				}
 			}
 		case *ast.ReturnStmt:
 			for _, r := range v.Results {
 				if id, ok := r.(*ast.Ident); ok && info.Uses[id] == obj {
-					escaped = true
+					out = escape{escaped: true}
 				}
 			}
 		case *ast.CompositeLit:
 			for _, el := range v.Elts {
 				if usesObj(el) {
-					escaped = true
+					out = escape{escaped: true, owner: ownerName(info.TypeOf(v))}
 				}
 			}
 		}
-		return !escaped
+		return !out.escaped
 	})
-	return escaped
+	return out
 }
 
 // checker walks control flow from a pin site looking for a path that

@@ -49,3 +49,21 @@ func leakNewPage(bp *BufferPool, full bool) error {
 func discarded(bp *BufferPool, id PageID) {
 	bp.Fetch(id) // want "discarded"
 }
+
+// cache stores pinned buffers but has no method that ever unpins: storing
+// a pin here makes it unreleasable.
+type cache struct {
+	bufs map[PageID][]byte
+}
+
+func (c *cache) size() int { return len(c.bufs) }
+
+// storeForever parks the pin in a struct nothing can release.
+func storeForever(bp *BufferPool, c *cache, id PageID) error {
+	buf, err := bp.Fetch(id) // want "no method calling Unpin"
+	if err != nil {
+		return err
+	}
+	c.bufs[id] = buf
+	return nil
+}

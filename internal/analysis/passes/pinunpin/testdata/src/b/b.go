@@ -64,3 +64,30 @@ func newPageBalanced(bp *BufferPool) (PageID, error) {
 	bp.Unpin(id, true)
 	return id, nil
 }
+
+// Close releases the iterator's pin: the method that makes the ownership
+// transfer in escapeToField legitimate.
+func (it *iterator) Close(bp *BufferPool, id PageID) {
+	if it.pinned {
+		bp.Unpin(id, false)
+		it.pinned = false
+	}
+}
+
+// composed transfers the pin into a composite literal of a releasing type.
+func composed(bp *BufferPool, id PageID) (*iterator, error) {
+	buf, err := bp.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	return &iterator{buf: buf, pinned: true}, nil
+}
+
+// returned hands the raw buffer (and its pin) to the caller.
+func returned(bp *BufferPool, id PageID) ([]byte, error) {
+	buf, err := bp.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,56 @@
+// Package a violates the WAL ordering contract.
+package a
+
+import "sync"
+
+type Log struct{ n int }
+
+func (l *Log) Append(p []byte) (uint64, error) {
+	l.n++
+	return uint64(l.n), nil
+}
+
+type Engine struct{ q []string }
+
+func (e *Engine) SetCommitHook(h func(string) error) {}
+
+func (e *Engine) ExecParsed(q string) error {
+	e.q = append(e.q, q)
+	return nil
+}
+
+type DB struct {
+	mu  sync.Mutex
+	eng *Engine
+	wal *Log
+}
+
+// rawAppend writes the WAL outside any registered commit hook.
+func (db *DB) rawAppend(q string) {
+	db.wal.Append([]byte(q)) // want "outside the registered commit hook"
+}
+
+// closureAppend hides the raw append inside an unregistered closure.
+func (db *DB) closureAppend(q string) func() {
+	return func() {
+		db.wal.Append([]byte(q)) // want "outside the registered commit hook"
+	}
+}
+
+// execUnlocked reaches the engine without the commit mutex.
+func (db *DB) execUnlocked(q string) error {
+	return db.eng.ExecParsed(q) // want "without holding"
+}
+
+// execSomePath may arrive at the engine with the mutex already released.
+func (db *DB) execSomePath(q string, fast bool) error {
+	db.mu.Lock()
+	if fast {
+		db.mu.Unlock()
+	}
+	err := db.eng.ExecParsed(q) // want "unlocked on some path"
+	if !fast {
+		db.mu.Unlock()
+	}
+	return err
+}

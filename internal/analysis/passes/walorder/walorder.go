@@ -1,0 +1,176 @@
+// Package walorder protects the engine's durability contract: the order
+// WAL append vs. state apply, and the mutex that serializes them.
+//
+// Two rules, both derived from the crash-safety design (DESIGN.md):
+//
+//  1. Raw WAL writes are confined to the commit hook. The only sanctioned
+//     caller of Log.Append is a function registered via SetCommitHook
+//     (either a named function/method passed by value or a function
+//     literal passed inline) — that hook is invoked by the engine at the
+//     one point in the commit sequence where logging before apply is
+//     guaranteed. An Append anywhere else can persist a statement that
+//     never applied, or apply one that never persisted.
+//
+//  2. Engine exec entry points reached through a mutex-owning wrapper
+//     (db.eng.ExecParsed and friends) must be called with the wrapper's
+//     mutex held on every path. That mutex is what makes hook-append and
+//     apply atomic with respect to snapshots and concurrent commits.
+//
+// Methods of the Log type itself are exempt from rule 1 (the WAL's own
+// internals), as are engines reached through plain locals (replay code
+// constructs a private engine before any concurrency exists).
+package walorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"recdb/internal/analysis"
+)
+
+// Analyzer is the walorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walorder",
+	Doc:  "WAL appends only inside the registered commit hook; engine exec only under the owner's mutex",
+	Run:  run,
+}
+
+// execEntryPoints are the Engine methods that mutate state and therefore
+// trigger the commit hook.
+var execEntryPoints = map[string]bool{
+	"Exec":                true,
+	"ExecScript":          true,
+	"ExecParsed":          true,
+	"ExecParsedCtx":       true,
+	"ExecScriptParsed":    true,
+	"ExecScriptParsedCtx": true,
+}
+
+func run(pass *analysis.Pass) error {
+	hooks, hookLits := hookRegistrations(pass)
+	for _, fd := range analysis.FuncDecls(pass.Files) {
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		sanctioned := (fn != nil && hooks[fn]) || receiverIsLog(pass, fd)
+		checkAppends(pass, fd.Body, sanctioned, hookLits)
+		checkExecLocks(pass, fd)
+	}
+	return nil
+}
+
+// hookRegistrations finds every function registered as a commit hook:
+// named functions/methods passed by value to SetCommitHook, and function
+// literals passed inline.
+func hookRegistrations(pass *analysis.Pass) (map[*types.Func]bool, map[*ast.FuncLit]bool) {
+	g := analysis.BuildCallGraph(pass.Files, pass.TypesInfo)
+	hooks := g.FuncValuesPassedTo(pass.TypesInfo, pass.Files, "SetCommitHook")
+	lits := make(map[*ast.FuncLit]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "SetCommitHook" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					lits[fl] = true
+				}
+			}
+			return true
+		})
+	}
+	return hooks, lits
+}
+
+// receiverIsLog reports whether fd is a method of the WAL Log type.
+func receiverIsLog(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	named := analysis.NamedOf(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+	return named != nil && named.Obj().Name() == "Log"
+}
+
+// checkAppends flags Log.Append calls outside sanctioned contexts,
+// descending into function literals and granting hook literals sanction.
+func checkAppends(pass *analysis.Pass, body ast.Node, sanctioned bool, hookLits map[*ast.FuncLit]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if v != body {
+				checkAppends(pass, v.Body, sanctioned || hookLits[v], hookLits)
+				return false
+			}
+		case *ast.CallExpr:
+			if _, ok := analysis.MethodCall(pass.TypesInfo, v, "Log", "Append"); ok && !sanctioned {
+				pass.Reportf(v.Pos(), "Log.Append outside the registered commit hook: WAL and engine state can diverge on crash")
+			}
+		}
+		return true
+	})
+}
+
+// checkExecLocks verifies rule 2 with the lock dataflow: every Engine
+// exec entry point reached through <owner>.<field> where owner's struct
+// has a mutex must execute with that mutex held on all paths.
+func checkExecLocks(pass *analysis.Pass, fd *ast.FuncDecl) {
+	g := analysis.BuildCFG(fd.Body)
+	lf := analysis.SolveLockFlow(g, pass.TypesInfo, analysis.LockSet{})
+	lf.Walk(func(n ast.Node, held analysis.LockSet) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			if _, ok := node.(*ast.FuncLit); ok {
+				return false // runs later, under its own discipline
+			}
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !execEntryPoints[sel.Sel.Name] {
+				return true
+			}
+			engNamed := analysis.NamedOf(pass.TypesInfo.TypeOf(sel.X))
+			if engNamed == nil || engNamed.Obj().Name() != "Engine" {
+				return true
+			}
+			ownerSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true // plain local engine: private, pre-concurrency
+			}
+			ownerNamed := analysis.NamedOf(pass.TypesInfo.TypeOf(ownerSel.X))
+			if ownerNamed == nil || !hasMutexField(ownerNamed) {
+				return true
+			}
+			base := analysis.BaseString(ownerSel.X)
+			if base == "" {
+				return true
+			}
+			st := held[base]
+			switch {
+			case !st.Held():
+				pass.Reportf(call.Pos(), "Engine.%s called through %s.%s without holding %s's mutex: commit hook and apply lose their ordering guarantee", sel.Sel.Name, base, ownerSel.Sel.Name, base)
+			case !st.Must:
+				pass.Reportf(call.Pos(), "Engine.%s called through %s.%s while %s's mutex is unlocked on some path", sel.Sel.Name, base, ownerSel.Sel.Name, base)
+			}
+			return true
+		})
+	})
+}
+
+// hasMutexField reports whether the named type's underlying struct owns a
+// sync.Mutex or sync.RWMutex field.
+func hasMutexField(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if analysis.MutexKindOf(st.Field(i).Type()) != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"recdb/internal/analysis/analysistest"
+	"recdb/internal/analysis/passes/walorder"
+)
+
+func TestViolations(t *testing.T) { analysistest.Run(t, ".", walorder.Analyzer, "a") }
+
+func TestCompliant(t *testing.T) { analysistest.Run(t, ".", walorder.Analyzer, "b") }

@@ -7,17 +7,30 @@ import (
 	"strings"
 )
 
-// Run applies every analyzer to every package and returns the surviving
-// diagnostics sorted by file, line, column, analyzer, and message — a
-// deterministic order so CI output is stable and diffable. Findings
-// silenced by //lint:ignore comments are dropped.
+// Run applies every analyzer to every package, then runs each analyzer's
+// Finish hook (cross-package checks over the facts Run accumulated), and
+// returns the surviving diagnostics sorted by file, line, column,
+// analyzer, and message — a deterministic order so CI output is stable
+// and diffable. Findings silenced by //lint:ignore comments are dropped;
+// the suppression map spans all analyzed packages, so Finish-time
+// findings honor suppressions in whichever file they land in.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	sup := make(suppressions)
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		suppressionsOf(pkg, sup)
+	}
+	shared := make(map[string]map[string]any, len(analyzers))
+	for _, a := range analyzers {
+		shared[a.Name] = make(map[string]any)
+	}
 	for _, pkg := range pkgs {
 		if pkg.Types == nil {
 			continue // nothing type-checked to analyze
 		}
-		sup := suppressionsOf(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -25,6 +38,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Shared:    shared[a.Name],
 				diags:     &diags,
 			}
 			before := len(diags)
@@ -33,6 +47,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			diags = sup.filter(diags, before)
 		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Shared: shared[a.Name], diags: &diags}
+		before := len(diags)
+		if err := a.Finish(mp); err != nil {
+			return nil, fmt.Errorf("analysis: %s finish: %w", a.Name, err)
+		}
+		diags = sup.filter(diags, before)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -81,11 +106,11 @@ type suppressionKey struct {
 
 type suppressions map[suppressionKey]bool
 
-// suppressionsOf scans a package's comments for //lint:ignore directives.
-// A directive suppresses the named analyzers on its own line and the line
-// below, so it works both as a trailing comment and as a lead-in line.
-func suppressionsOf(pkg *Package) suppressions {
-	sup := make(suppressions)
+// suppressionsOf scans a package's comments for //lint:ignore directives,
+// adding them to sup. A directive suppresses the named analyzers on its
+// own line and the line below, so it works both as a trailing comment and
+// as a lead-in line.
+func suppressionsOf(pkg *Package, sup suppressions) {
 	fset := fsetOf(pkg)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -106,7 +131,6 @@ func suppressionsOf(pkg *Package) suppressions {
 			}
 		}
 	}
-	return sup
 }
 
 // filter drops suppressed diagnostics appended at or after index from.

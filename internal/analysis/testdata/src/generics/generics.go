@@ -1,0 +1,46 @@
+// Package generics pins loader and analyzer behavior on
+// type-parameterized code.
+package generics
+
+import "sync"
+
+// Pair is a generic container.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Map is a generic guarded map: locksafe-style analyses must handle the
+// instantiated selector types without panicking.
+type Map[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+func NewMap[K comparable, V any]() *Map[K, V] {
+	return &Map[K, V]{m: make(map[K]V)}
+}
+
+func (s *Map[K, V]) Put(k K, v V) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+func (s *Map[K, V]) Get(k K) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+// Keys instantiates Pair and ranges generically.
+func Keys[K comparable, V any](s *Map[K, V]) []Pair[K, V] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Pair[K, V], 0, len(s.m))
+	for k, v := range s.m {
+		out = append(out, Pair[K, V]{Key: k, Val: v})
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package multi exercises multi-analyzer suppression across files.
+package multi
+
+// Plain is reported by both test analyzers.
+func Plain() {}
+
+//lint:ignore funcmark,typemark both test analyzers silenced here
+func BothSuppressed() {}
+
+//lint:ignore funcmark only one analyzer silenced
+func OnlyFuncmarkSuppressed() {}

@@ -1,0 +1,8 @@
+package multi
+
+// Second file: the suppression map must span the whole package.
+
+//lint:ignore funcmark,typemark suppressed in a different file
+func OtherFileSuppressed() {}
+
+func OtherFilePlain() {}

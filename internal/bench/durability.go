@@ -62,7 +62,7 @@ func RunDurability(commits int) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	eng, l, err := durableEngine(dir, -1)
 	if err != nil {
 		return t, err
@@ -127,7 +127,7 @@ func timeCommits(syncEvery, n int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
 	eng, l, err := durableEngine(dir, syncEvery)
 	if err != nil {
 		return 0, err

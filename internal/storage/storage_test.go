@@ -554,3 +554,52 @@ func TestFileDiskShortReadIsError(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAsPagePanicsOnWrongSize pins the sanctioned nopanic site in
+// page.go: AsPage must reject a buffer that is not exactly PageSize.
+// Every in-tree caller passes pool frames, which are PageSize by
+// construction — this test is the tripwire for any future caller that
+// is not.
+func TestAsPagePanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsPage on a short buffer must panic")
+		}
+	}()
+	AsPage(make([]byte, PageSize-1))
+}
+
+// TestAsPageAcceptsPoolFrames proves the invariant the suppression
+// relies on: buffers handed out by the pool are always PageSize.
+func TestAsPageAcceptsPoolFrames(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 2, nil)
+	id, buf, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bp.Unpin(id, false)
+	if len(buf) != PageSize {
+		t.Fatalf("pool frame is %d bytes, want PageSize", len(buf))
+	}
+	if p := AsPage(buf); p == nil {
+		t.Fatal("AsPage rejected a pool frame")
+	}
+}
+
+// TestUnpinOfUnpinnedPanics pins the sanctioned nopanic site in
+// bufferpool.go: a double unpin is caller corruption (the frame would be
+// double-freed into the LRU) and must fail loudly.
+func TestUnpinOfUnpinnedPanics(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 2, nil)
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Unpin of the same pin must panic")
+		}
+	}()
+	bp.Unpin(id, false)
+}

@@ -1,0 +1,78 @@
+package recdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// The three //lint:ignore nopanic sites in the module are sanctioned
+// panics: each is either a documented API contract or an internal
+// invariant no user input can reach. These tests pin those contracts so a
+// future refactor that widens panic reachability fails loudly instead of
+// silently inheriting the suppression.
+
+// TestMustExecPanicsOnError pins MustExec's documented contract
+// (recdb.go): it mirrors template.Must, converting an error into a panic
+// for example and test code. The panic is the API, not an escape hatch.
+func TestMustExecPanicsOnError(t *testing.T) {
+	db := Open()
+	defer db.Close()
+
+	db.MustExec("CREATE TABLE t (id INT)")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustExec on invalid SQL must panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "recdb: ") {
+			t.Fatalf("panic value = %v, want a recdb-prefixed message", r)
+		}
+	}()
+	db.MustExec("THIS IS NOT SQL")
+}
+
+// TestMustExecReturnsOnSuccess covers the non-panicking half.
+func TestMustExecReturnsOnSuccess(t *testing.T) {
+	db := Open()
+	defer db.Close()
+
+	db.MustExec("CREATE TABLE t (id INT)")
+	res := db.MustExec("INSERT INTO t VALUES (1)")
+	if res.RowsAffected != 1 {
+		t.Fatalf("RowsAffected = %d, want 1", res.RowsAffected)
+	}
+}
+
+// TestUserInputCannotReachSanctionedPanics drives adversarial SQL through
+// the public API and asserts every failure surfaces as an error, not a
+// panic: the storage-layer panic sites (AsPage's size check, BufferPool's
+// unpin-of-unpinned check) stay unreachable from user input because all
+// page buffers are pool frames and every pin is released exactly once.
+func TestUserInputCannotReachSanctionedPanics(t *testing.T) {
+	db := Open()
+	defer db.Close()
+
+	stmts := []string{
+		"CREATE TABLE t (id INT, name TEXT)",
+		"INSERT INTO t VALUES (1, 'a')",
+		"INSERT INTO t VALUES (notanumber, )",
+		"SELECT missing FROM t",
+		"SELECT * FROM nosuchtable",
+		"DELETE FROM t WHERE",
+		"UPDATE t SET",
+		"DROP TABLE nosuchtable",
+		"INSERT INTO t VALUES (2, 'b')",
+		"SELECT * FROM t WHERE id = 1",
+	}
+	for _, s := range stmts {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("statement %q panicked: %v", s, r)
+				}
+			}()
+			_, _ = db.Exec(s)
+		}()
+	}
+}

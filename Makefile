@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-serve bench-paper fault-sweep vet lint fmt examples clean
+.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-serve bench-concurrency bench-paper fault-sweep vet lint fmt examples clean
 
 all: vet lint test build
 
@@ -42,6 +42,14 @@ bench-metrics:
 # and 64 connections. Writes BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/recdb-bench -exp serve -scale 0.25 -conns 1,8,64 -json BENCH_serve.json
+
+# Concurrency sweep for the snapshot-read path: 1, 8, and 64 connections
+# under a pure-read and a 90/10 read/write mix (the mixed cells run
+# against a durable database, so writes pay their real WAL fsync and the
+# sweep shows whether reads stall behind them). Writes
+# BENCH_concurrency.json.
+bench-concurrency:
+	$(GO) run ./cmd/recdb-bench -exp serve -scale 0.25 -conns 1,8,64 -mix 100/0,90/10 -json BENCH_concurrency.json
 
 # Exhaustive crash simulation: every fault point x every fault mode, and
 # every byte of a snapshot flipped (the default test run samples both),

@@ -247,6 +247,14 @@ func (c *Conn) roundTrip(ctx context.Context, kind wire.Type, sql string) (wire.
 			if got == id {
 				rows.rows = append(rows.rows, row)
 			}
+		case wire.TypeRowBatch:
+			got, batch, err := wire.DecodeRowBatch(p)
+			if err != nil {
+				return wire.Complete{}, nil, c.poisonLocked(err)
+			}
+			if got == id {
+				rows.rows = append(rows.rows, batch...)
+			}
 		case wire.TypeComplete:
 			done, err := wire.DecodeComplete(p)
 			if err != nil {

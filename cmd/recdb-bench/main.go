@@ -37,6 +37,7 @@ func main() {
 	md := flag.Bool("md", false, "emit Markdown tables")
 	workers := flag.String("workers", "1,2,4", "worker counts for the scaling experiment")
 	connCounts := flag.String("conns", "1,8,64", "connection counts for the serve experiment")
+	mix := flag.String("mix", "100/0", "read/write percent mixes for the serve experiment (e.g. 100/0,90/10)")
 	commits := flag.Int("commits", 2000, "statements per phase of the durability experiment")
 	jsonPath := flag.String("json", "", "also write the result tables as JSON to this file")
 	flag.Parse()
@@ -49,6 +50,11 @@ func main() {
 	conns, err := parseWorkers(*connCounts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recdb-bench: -conns: %v\n", err)
+		os.Exit(2)
+	}
+	mixes, err := serve.ParseMixes(*mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recdb-bench: -mix: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -115,7 +121,7 @@ func main() {
 			return bench.RunMetricsOverhead(spec(dataset.MovieLens), *neighborhood)
 		}},
 		{"serve", func() (bench.Table, error) {
-			return serve.Run(*scale, conns)
+			return serve.Run(*scale, conns, mixes)
 		}},
 	}
 

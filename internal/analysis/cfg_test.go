@@ -174,7 +174,7 @@ func (c *C) f(fast bool) int {
 			if !ok || sel.Sel.Name != "n" {
 				return true
 			}
-			st, ok := held["c"]
+			st, ok := held["c.mu"]
 			if !ok || !st.Must || !st.MayExcl {
 				t.Errorf("c.n read without must-held lock: %+v", held)
 			}
@@ -208,7 +208,7 @@ func (c *C) f(early bool) {
 		if _, op, ok := LockEventOf(info, es.X); !ok || op != "Unlock" {
 			return
 		}
-		st := held["c"]
+		st := held["c.mu"]
 		if !st.Held() {
 			return // the conditional unlock: lock still must-held there
 		}
@@ -238,13 +238,13 @@ func (c *C) f() {
 	g := BuildCFG(fd.Body)
 	lf := SolveLockFlow(g, info, LockSet{})
 	keys := lf.DeferredUnlocks()
-	if len(keys) != 1 || keys[0] != "c" {
-		t.Errorf("DeferredUnlocks = %v, want [c]", keys)
+	if len(keys) != 2 || keys[0] != "c.mu" || keys[1] != "c.rw" {
+		t.Errorf("DeferredUnlocks = %v, want [c.mu c.rw]", keys)
 	}
 	entry := ClosureEntryLocks(info, g.DeferBodies[0])
-	st, ok := entry["c"]
+	st, ok := entry["c.rw"]
 	if !ok || !st.MayRead || st.MayExcl {
-		t.Errorf("closure entry locks = %+v, want read-held c", entry)
+		t.Errorf("closure entry locks = %+v, want read-held c.rw", entry)
 	}
 }
 

@@ -27,6 +27,14 @@ type LockState struct {
 	MayRead bool
 	// Must: every path to this point holds the lock (in some mode).
 	Must bool
+	// Released: some path to this point acquired the lock and then
+	// explicitly released it. This separates the two ways Must can be
+	// false while May holds: a conditional acquisition (one branch locks,
+	// the other never touches the mutex — the sanctioned
+	// lock-only-if-mutating protocol) never sets Released, while a
+	// lock-then-early-unlock (the bug the some-path checks exist for)
+	// does.
+	Released bool
 }
 
 // Held reports whether any path holds the lock at all.
@@ -44,8 +52,12 @@ func (s LockState) Kind() string {
 	return ""
 }
 
-// LockSet maps a lock owner key (BaseString of the mutex's owner, e.g.
-// "db" for db.mu) to its state. Absent keys are definitely unheld.
+// LockSet maps a lock key — the full BaseString of the mutex expression,
+// e.g. "db.mu" for db.mu.Lock() or "h.verMu" for h.verMu.Lock() — to its
+// state. Keying by the full path (rather than the owner alone) keeps two
+// mutexes of the same struct distinct, which structs with a wide lock
+// plus a narrow lock (HeapFile's mu and verMu) require. Absent keys are
+// definitely unheld.
 type LockSet map[string]LockState
 
 // Clone copies the set.
@@ -76,28 +88,32 @@ func joinLockSets(a, b LockSet) LockSet {
 	for k, va := range a {
 		vb := b[k] // zero value when absent: nothing held on that path
 		out[k] = LockState{
-			MayExcl: va.MayExcl || vb.MayExcl,
-			MayRead: va.MayRead || vb.MayRead,
-			Must:    va.Must && vb.Must,
+			MayExcl:  va.MayExcl || vb.MayExcl,
+			MayRead:  va.MayRead || vb.MayRead,
+			Must:     va.Must && vb.Must,
+			Released: va.Released || vb.Released,
 		}
 	}
 	for k, vb := range b {
 		if _, seen := a[k]; !seen {
-			out[k] = LockState{MayExcl: vb.MayExcl, MayRead: vb.MayRead, Must: false}
+			out[k] = LockState{MayExcl: vb.MayExcl, MayRead: vb.MayRead, Must: false, Released: vb.Released}
 		}
 	}
 	// Drop fully-bottom entries so equality checks converge.
 	for k, v := range out {
-		if !v.MayExcl && !v.MayRead && !v.Must {
+		if v == (LockState{}) {
 			delete(out, k)
 		}
 	}
 	return out
 }
 
-// LockEventOf decodes expr as <owner>.<mu>.(Lock|RLock|Unlock|RUnlock)()
-// on a sync.Mutex or sync.RWMutex, returning the owner's base key and the
-// operation name.
+// LockEventOf decodes expr as <mutex-path>.(Lock|RLock|Unlock|RUnlock)()
+// on a sync.Mutex or sync.RWMutex, returning the full mutex path as the
+// lock key ("db.mu", "h.verMu", or "mu" for a bare mutex variable) and
+// the operation name. The key deliberately includes the mutex field so
+// that a struct with more than one mutex gets one lock fact per mutex;
+// SplitLockKey recovers the owner when a check needs it.
 func LockEventOf(info *types.Info, expr ast.Expr) (base, op string, ok bool) {
 	call, isCall := expr.(*ast.CallExpr)
 	if !isCall {
@@ -115,15 +131,30 @@ func LockEventOf(info *types.Info, expr ast.Expr) (base, op string, ok bool) {
 	if MutexKindOf(info.TypeOf(sel.X)) == "" {
 		return "", "", false
 	}
-	owner := sel.X
-	if os, isOwnerSel := owner.(*ast.SelectorExpr); isOwnerSel {
-		owner = os.X
-	}
-	b := BaseString(owner)
+	b := BaseString(sel.X)
 	if b == "" {
 		return "", "", false
 	}
 	return b, sel.Sel.Name, true
+}
+
+// SplitLockKey splits a lock key into the owner path and the mutex field
+// name: "h.verMu" -> ("h", "verMu"). A bare mutex variable has no owner:
+// "mu" -> ("", "mu").
+func SplitLockKey(key string) (owner, field string) {
+	if i := lastDot(key); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return "", key
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
 }
 
 // MutexKindOf returns "Mutex" or "RWMutex" for the sync mutex types, ""
@@ -143,7 +174,10 @@ func MutexKindOf(t types.Type) string {
 	return ""
 }
 
-// ApplyLockOp updates the set for one decoded lock event.
+// ApplyLockOp updates the set for one decoded lock event. An unlock
+// leaves a Released tombstone rather than clearing the key: downstream
+// program points can then tell "held on no path because it was released"
+// from "never touched", which the walorder conditional-lock rule needs.
 func ApplyLockOp(set LockSet, base, op string) {
 	switch op {
 	case "Lock":
@@ -151,7 +185,7 @@ func ApplyLockOp(set LockSet, base, op string) {
 	case "RLock":
 		set[base] = LockState{MayRead: true, Must: true}
 	case "Unlock", "RUnlock":
-		delete(set, base)
+		set[base] = LockState{Released: true}
 	}
 }
 

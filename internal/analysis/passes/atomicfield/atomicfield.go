@@ -7,11 +7,22 @@
 //
 // The analyzer records every field whose address is passed to a
 // sync/atomic function anywhere in the package, then flags plain
-// selector accesses to those fields. Out of scope by design: typed
-// atomics (atomic.Int64 — the type system already prevents plain
-// access), atomics on slice or array elements (instance identity is not
-// static), and fields of values freshly constructed in the same function
-// (not shared yet, the constructor pattern).
+// selector accesses to those fields. Out of scope by design: atomics on
+// slice or array elements (instance identity is not static) and fields
+// of values freshly constructed in the same function (not shared yet,
+// the constructor pattern).
+//
+// Typed atomics (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...)
+// prevent plain access by construction, but they have a failure mode of
+// their own: copying one by value detaches the copy from every
+// concurrent site that still uses the original, silently forking the
+// counter. The analyzer therefore also flags by-value copies of
+// sync/atomic types — in assignments, call arguments, composite
+// literals, returns, and range clauses. Taking the address (&s.ops),
+// calling methods (s.ops.Load()), and binding method values
+// (s.ops.Load — the receiver binds by pointer) are the sanctioned uses
+// and are never flagged; neither is a composite literal, which
+// constructs a fresh value rather than copying a shared one.
 package atomicfield
 
 import (
@@ -39,6 +50,8 @@ func run(pass *analysis.Pass) error {
 	// atomicOperands are the selector nodes appearing as &s.f inside an
 	// atomic call; they are the sanctioned accesses.
 	atomicOperands := make(map[*ast.SelectorExpr]bool)
+
+	checkTypedCopies(pass)
 
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -88,6 +101,81 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkTypedCopies flags by-value copies of sync/atomic typed values
+// (atomic.Int64 and friends) wherever a copy can happen: assignment and
+// var-initializer right-hand sides, call arguments, composite-literal
+// elements, return results, and range value variables. The expressions
+// sanctioned by design never reach a copy context: &s.ops produces a
+// pointer type, and s.ops.Load() / the method value s.ops.Load leave
+// the atomic as the selector's receiver, not as the context expression.
+func checkTypedCopies(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range st.Rhs {
+					reportTypedCopy(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range st.Values {
+					reportTypedCopy(pass, v)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range st.Results {
+					reportTypedCopy(pass, r)
+				}
+			case *ast.CallExpr:
+				for _, a := range st.Args {
+					reportTypedCopy(pass, a)
+				}
+			case *ast.CompositeLit:
+				for _, el := range st.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					reportTypedCopy(pass, el)
+				}
+			case *ast.RangeStmt:
+				// for _, c := range []atomic.Int64{...} copies each element.
+				if st.Value != nil {
+					reportTypedCopy(pass, st.Value)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportTypedCopy flags e when it is a sync/atomic typed value copied by
+// value in the enclosing context.
+func reportTypedCopy(pass *analysis.Pass, e ast.Expr) {
+	e = ast.Unparen(e)
+	if _, ok := e.(*ast.CompositeLit); ok {
+		return // fresh construction, not a copy of a shared value
+	}
+	name := typedAtomicName(pass.TypesInfo.TypeOf(e))
+	if name == "" {
+		return
+	}
+	pass.Reportf(e.Pos(), "copy of %s detaches it from every site using the original; share a pointer to it instead", name)
+}
+
+// typedAtomicName returns "atomic.Int64"-style names for the typed
+// synchronization values of sync/atomic, "" for every other type.
+// Pointers to them deliberately return "": sharing by pointer is the
+// sanctioned pattern.
+func typedAtomicName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return "atomic." + obj.Name()
 }
 
 // isAtomicCall reports whether call targets a function in sync/atomic.

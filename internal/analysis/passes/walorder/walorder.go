@@ -12,9 +12,14 @@
 //     never applied, or apply one that never persisted.
 //
 //  2. Engine exec entry points reached through a mutex-owning wrapper
-//     (db.eng.ExecParsed and friends) must be called with the wrapper's
-//     mutex held on every path. That mutex is what makes hook-append and
-//     apply atomic with respect to snapshots and concurrent commits.
+//     (db.eng.ExecParsed and friends) must be reachable with the
+//     wrapper's mutex held. That mutex is what makes hook-append and
+//     apply atomic with respect to concurrent commits. A conditional
+//     acquisition is sanctioned — the wrapper locks only for mutating
+//     statements, read-only ones go through page-level snapshots without
+//     it, and the dataflow cannot evaluate that predicate — but a call
+//     site no path ever locks for, or one some path has locked and then
+//     released before the call, is an ordering bug.
 //
 // Methods of the Log type itself are exempt from rule 1 (the WAL's own
 // internals), as are engines reached through plain locals (replay code
@@ -141,18 +146,33 @@ func checkExecLocks(pass *analysis.Pass, fd *ast.FuncDecl) {
 				return true // plain local engine: private, pre-concurrency
 			}
 			ownerNamed := analysis.NamedOf(pass.TypesInfo.TypeOf(ownerSel.X))
-			if ownerNamed == nil || !hasMutexField(ownerNamed) {
+			if ownerNamed == nil {
+				return true
+			}
+			mutexes := mutexFieldsOf(ownerNamed)
+			if len(mutexes) == 0 {
 				return true
 			}
 			base := analysis.BaseString(ownerSel.X)
 			if base == "" {
 				return true
 			}
-			st := held[base]
+			// The best state among the owner's mutexes decides; Released
+			// separates the sanctioned conditional lock (one branch never
+			// touches the mutex) from a lock-then-early-release.
+			var st analysis.LockState
+			for _, mf := range mutexes {
+				s := held[base+"."+mf]
+				if s.Held() && (!st.Held() || (s.Must && !st.Must)) {
+					st = s
+				} else if !st.Held() && s.Released {
+					st.Released = true
+				}
+			}
 			switch {
 			case !st.Held():
 				pass.Reportf(call.Pos(), "Engine.%s called through %s.%s without holding %s's mutex: commit hook and apply lose their ordering guarantee", sel.Sel.Name, base, ownerSel.Sel.Name, base)
-			case !st.Must:
+			case st.Released:
 				pass.Reportf(call.Pos(), "Engine.%s called through %s.%s while %s's mutex is unlocked on some path", sel.Sel.Name, base, ownerSel.Sel.Name, base)
 			}
 			return true
@@ -160,17 +180,18 @@ func checkExecLocks(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// hasMutexField reports whether the named type's underlying struct owns a
-// sync.Mutex or sync.RWMutex field.
-func hasMutexField(named *types.Named) bool {
+// mutexFieldsOf returns the names of the sync.Mutex / sync.RWMutex fields
+// of the named type's underlying struct.
+func mutexFieldsOf(named *types.Named) []string {
 	st, ok := named.Underlying().(*types.Struct)
 	if !ok {
-		return false
+		return nil
 	}
+	var out []string
 	for i := 0; i < st.NumFields(); i++ {
 		if analysis.MutexKindOf(st.Field(i).Type()) != "" {
-			return true
+			out = append(out, st.Field(i).Name())
 		}
 	}
-	return false
+	return out
 }

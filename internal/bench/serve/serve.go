@@ -4,6 +4,12 @@
 // session scheduling, and executor included) as the connection count
 // grows.
 //
+// Each cell runs one read/write mix: pure-read mixes measure how far
+// snapshot reads scale past one connection, and mixed cells measure
+// whether reads stall behind writers (the WAL fsync sits inside the
+// writer's critical section, so before snapshot reads existed a 90/10
+// mix serialized everything behind the log).
+//
 // It lives apart from internal/bench because it needs the root recdb
 // package (to open the served database), which internal/bench must not
 // import: the root package's own bench_test.go imports internal/bench,
@@ -15,7 +21,10 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +38,40 @@ import (
 // totalOps is the per-cell operation budget, split across the cell's
 // connections. 960 divides evenly by every default connection count.
 const totalOps = 960
+
+// Mix is a read/write traffic split in percent (Read + Write = 100).
+type Mix struct {
+	Read, Write int
+}
+
+// String renders the mix as "read/write".
+func (m Mix) String() string { return fmt.Sprintf("%d/%d", m.Read, m.Write) }
+
+// ParseMixes parses a comma-separated list of "read/write" percent
+// pairs, e.g. "100/0,90/10".
+func ParseMixes(s string) ([]Mix, error) {
+	var out []Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rw := strings.Split(part, "/")
+		if len(rw) != 2 {
+			return nil, fmt.Errorf("mix %q is not read/write", part)
+		}
+		r, err1 := strconv.Atoi(rw[0])
+		w, err2 := strconv.Atoi(rw[1])
+		if err1 != nil || err2 != nil || r < 0 || w < 0 || r+w != 100 {
+			return nil, fmt.Errorf("mix %q must be percentages summing to 100", part)
+		}
+		out = append(out, Mix{Read: r, Write: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no mixes given")
+	}
+	return out, nil
+}
 
 // workload is one query shape driven through the server.
 type workload struct {
@@ -48,13 +91,31 @@ func workloads() []workload {
 }
 
 // Run serves a scaled MovieLens database and measures each workload at
-// each connection count: total wall time, aggregate throughput, and
-// client-observed p50/p99 latency.
-func Run(scale float64, conns []int) (bench.Table, error) {
+// each connection count and mix: total wall time, aggregate throughput,
+// and client-observed p50/p99 read latency.
+//
+// The served database is durable (WAL attached) whenever any mix
+// writes, so the write path pays its real fsync cost; the ratings table
+// gets an index on uid so the point lookup is an index probe rather
+// than a heap scan, which keeps a single connection round-trip-bound
+// and lets added connections pipeline. The recommend workload runs only
+// under pure-read mixes (its cost dwarfs the read/write interference
+// the mixed cells exist to expose).
+func Run(scale float64, conns []int, mixes []Mix) (bench.Table, error) {
 	t := bench.Table{
 		ID:     "Serve",
 		Title:  "Serving layer: end-to-end throughput and latency over loopback TCP",
-		Header: []string{"Workload", "Conns", "Ops", "Wall", "Ops/s", "p50", "p99"},
+		Header: []string{"Workload", "Mix", "Conns", "Ops", "Wall", "Ops/s", "p50", "p99"},
+	}
+	if len(mixes) == 0 {
+		mixes = []Mix{{Read: 100, Write: 0}}
+	}
+
+	writes := false
+	for _, m := range mixes {
+		if m.Write > 0 {
+			writes = true
+		}
 	}
 
 	db := recdb.Open()
@@ -63,8 +124,21 @@ func Run(scale float64, conns []int) (bench.Table, error) {
 	if err := dataset.Load(db.Engine(), dataset.Generate(spec)); err != nil {
 		return t, err
 	}
+	if _, err := db.Exec(`CREATE INDEX ratings_uid ON ratings (uid)`); err != nil {
+		return t, err
+	}
 	if _, err := db.Exec(`CREATE RECOMMENDER Rec ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`); err != nil {
 		return t, err
+	}
+	if writes {
+		dir, err := os.MkdirTemp("", "recdb-bench-serve")
+		if err != nil {
+			return t, err
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		if err := db.SaveTo(dir); err != nil {
+			return t, err
+		}
 	}
 
 	srv := server.New(db, server.Options{MaxConns: 128})
@@ -82,22 +156,28 @@ func Run(scale float64, conns []int) (bench.Table, error) {
 	}()
 	addr := ln.Addr().String()
 
-	for _, w := range workloads() {
-		for _, nc := range conns {
-			wall, lats, err := runCell(addr, nc, w.sql, spec.Users)
-			if err != nil {
-				return t, fmt.Errorf("%s @ %d conns: %w", w.name, nc, err)
+	for _, m := range mixes {
+		for _, w := range workloads() {
+			if m.Write > 0 && w.name != "point lookup" {
+				continue
 			}
-			ops := len(lats)
-			t.Rows = append(t.Rows, []string{
-				w.name,
-				fmt.Sprintf("%d", nc),
-				fmt.Sprintf("%d", ops),
-				fmtDur(wall),
-				fmt.Sprintf("%.0f", float64(ops)/wall.Seconds()),
-				fmtDur(quantile(lats, 0.50)),
-				fmtDur(quantile(lats, 0.99)),
-			})
+			for _, nc := range conns {
+				wall, lats, err := runCell(addr, nc, m, w.sql, spec.Users)
+				if err != nil {
+					return t, fmt.Errorf("%s %s @ %d conns: %w", w.name, m, nc, err)
+				}
+				ops := len(lats)
+				t.Rows = append(t.Rows, []string{
+					w.name,
+					m.String(),
+					fmt.Sprintf("%d", nc),
+					fmt.Sprintf("%d", ops),
+					fmtDur(wall),
+					fmt.Sprintf("%.0f", float64(ops)/wall.Seconds()),
+					fmtDur(quantile(lats, 0.50)),
+					fmtDur(quantile(lats, 0.99)),
+				})
+			}
 		}
 	}
 	snap := db.Engine().Metrics().Snapshot()
@@ -106,9 +186,11 @@ func Run(scale float64, conns []int) (bench.Table, error) {
 }
 
 // runCell drives one workload cell: nc connections issuing the cell's
-// share of totalOps queries each, all concurrently. It returns the wall
-// time of the whole cell and every per-op latency.
-func runCell(addr string, nc int, gen func(int64) string, users int) (time.Duration, []time.Duration, error) {
+// share of totalOps operations each, all concurrently. Op j of a
+// connection is a write when j mod 100 falls under the mix's write
+// percentage, so writes interleave evenly instead of bursting. It
+// returns the wall time of the whole cell and every per-op latency.
+func runCell(addr string, nc int, m Mix, gen func(int64) string, users int) (time.Duration, []time.Duration, error) {
 	per := totalOps / nc
 	if per == 0 {
 		per = 1
@@ -131,9 +213,18 @@ func runCell(addr string, nc int, gen func(int64) string, users int) (time.Durat
 			defer func() { _ = c.Close() }()
 			lats := make([]time.Duration, 0, per)
 			for j := 0; j < per; j++ {
-				user := int64((n*per+j)%users + 1)
+				op := n*per + j
+				user := int64(op%users + 1)
 				opStart := time.Now()
-				if _, err := c.Query(ctx, gen(user)); err != nil {
+				if j%100 < m.Write {
+					// Fresh item ids keep inserts from colliding with the
+					// generated ratings.
+					stmt := fmt.Sprintf(`INSERT INTO ratings VALUES (%d, %d, 3.0)`, user, 1_000_000+op)
+					if _, err := c.Exec(ctx, stmt); err != nil {
+						errs[n] = err
+						return
+					}
+				} else if _, err := c.Query(ctx, gen(user)); err != nil {
 					errs[n] = err
 					return
 				}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"recdb/internal/btree"
 	"recdb/internal/geo"
@@ -22,9 +23,12 @@ import (
 const DefaultPoolPages = 512
 
 // Catalog is the table registry. All methods are safe for concurrent use.
+// The table map is published copy-on-write through an atomic pointer:
+// lookups on the query path are a single atomic load and never contend
+// with DDL, which clones the map under mu and swaps the new generation in.
 type Catalog struct {
-	mu        sync.RWMutex
-	tables    map[string]*Table
+	mu        sync.Mutex // serializes table-map writers (DDL)
+	tables    atomic.Pointer[map[string]*Table]
 	stats     *storage.Stats
 	poolPages int
 }
@@ -38,11 +42,13 @@ func New(stats *storage.Stats, poolPages int) *Catalog {
 	if poolPages <= 0 {
 		poolPages = DefaultPoolPages
 	}
-	return &Catalog{
-		tables:    make(map[string]*Table),
+	c := &Catalog{
 		stats:     stats,
 		poolPages: poolPages,
 	}
+	empty := make(map[string]*Table)
+	c.tables.Store(&empty)
+	return c
 }
 
 // Stats returns the shared I/O counters.
@@ -77,7 +83,7 @@ func (c *Catalog) CreateTable(name string, schema *types.Schema, pkCol int) (*Ta
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, exists := c.tables[key]; exists {
+	if _, exists := (*c.tables.Load())[key]; exists {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
 	if pkCol >= schema.Len() {
@@ -103,7 +109,7 @@ func (c *Catalog) CreateTable(name string, schema *types.Schema, pkCol int) (*Ta
 			Tree:   btree.New(0),
 		}
 	}
-	c.tables[key] = t
+	c.publishLocked(func(m map[string]*Table) { m[key] = t })
 	return t, nil
 }
 
@@ -112,18 +118,28 @@ func (c *Catalog) DropTable(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, exists := c.tables[key]; !exists {
+	if _, exists := (*c.tables.Load())[key]; !exists {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
-	delete(c.tables, key)
+	c.publishLocked(func(m map[string]*Table) { delete(m, key) })
 	return nil
+}
+
+// publishLocked clones the current table map, applies mutate, and swaps
+// the new generation in. Caller holds mu.
+func (c *Catalog) publishLocked(mutate func(map[string]*Table)) {
+	cur := *c.tables.Load()
+	next := make(map[string]*Table, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	mutate(next)
+	c.tables.Store(&next)
 }
 
 // Get returns the table with the given name (case-insensitive).
 func (c *Catalog) Get(name string) (*Table, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	t, ok := c.tables[strings.ToLower(name)]
+	t, ok := (*c.tables.Load())[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("catalog: table %q does not exist", name)
 	}
@@ -132,18 +148,15 @@ func (c *Catalog) Get(name string) (*Table, error) {
 
 // Has reports whether a table exists.
 func (c *Catalog) Has(name string) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	_, ok := c.tables[strings.ToLower(name)]
+	_, ok := (*c.tables.Load())[strings.ToLower(name)]
 	return ok
 }
 
 // Names returns all table names, unordered.
 func (c *Catalog) Names() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.tables))
-	for _, t := range c.tables {
+	cur := *c.tables.Load()
+	out := make([]string, 0, len(cur))
+	for _, t := range cur {
 		out = append(out, t.Name)
 	}
 	return out
@@ -356,15 +369,17 @@ func (t *Table) IndexOn(column string) (*Index, bool) {
 	return idx, ok
 }
 
-// LookupPK fetches the row whose primary key equals v.
+// LookupPK fetches the row whose primary key equals v. The read lock is
+// held across the heap fetch so a concurrent update cannot relocate the
+// row between the tree probe and the read.
 func (t *Table) LookupPK(v types.Value) (types.Row, storage.RID, bool, error) {
 	if t.PKCol < 0 {
 		return nil, storage.RID{}, false, fmt.Errorf("catalog: table %q has no primary key", t.Name)
 	}
 	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idx := t.pkIndexLocked()
 	got, ok := idx.Tree.Get(types.Row{v})
-	t.mu.RUnlock()
 	if !ok {
 		return nil, storage.RID{}, false, nil
 	}
@@ -374,6 +389,32 @@ func (t *Table) LookupPK(v types.Value) (types.Row, storage.RID, bool, error) {
 		return nil, storage.RID{}, false, err
 	}
 	return row, rid, true, nil
+}
+
+// ScanIndexRange visits RIDs whose indexed column value is in [lo, hi]
+// under the table's read lock, so concurrent writers cannot mutate the
+// tree mid-walk. Executor index scans must come through here rather than
+// calling Index.ScanIndex directly.
+func (t *Table) ScanIndexRange(idx *Index, lo, hi types.Value, fn func(rid storage.RID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx.ScanIndex(lo, hi, fn)
+}
+
+// SearchIndexContaining is Index.SearchContaining under the table's read
+// lock (see ScanIndexRange).
+func (t *Table) SearchIndexContaining(idx *Index, q geo.Geometry, fn func(rid storage.RID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx.SearchContaining(q, fn)
+}
+
+// SearchIndexWithin is Index.SearchWithin under the table's read lock
+// (see ScanIndexRange).
+func (t *Table) SearchIndexWithin(idx *Index, q geo.Geometry, dist float64, fn func(rid storage.RID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx.SearchWithin(q, dist, fn)
 }
 
 // ScanIndex visits rows whose indexed column value is in [lo, hi] (nil

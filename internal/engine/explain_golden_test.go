@@ -19,7 +19,7 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite EXPLAIN golden files")
 
 var (
-	planTimeRE = regexp.MustCompile(`time=[^ )]+`)
+	planTimeRE = regexp.MustCompile(`(time|self)=[^ )]+`)
 	execTimeRE = regexp.MustCompile(`Execution time: .+`)
 )
 
@@ -27,7 +27,7 @@ var (
 // output — wall-clock durations. Rows, loops, and buffer hit/miss counts
 // are deterministic for a fixed dataset and stay pinned.
 func normalizePlan(s string) string {
-	s = planTimeRE.ReplaceAllString(s, "time=<dur>")
+	s = planTimeRE.ReplaceAllString(s, "$1=<dur>")
 	s = execTimeRE.ReplaceAllString(s, "Execution time: <dur>")
 	return s
 }

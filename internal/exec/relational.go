@@ -81,29 +81,35 @@ func NewIndexScan(table *catalog.Table, index *catalog.Index, qualifier string, 
 // Schema implements Operator.
 func (s *IndexScan) Schema() *types.Schema { return s.schema }
 
-// Open implements Operator.
+// Open implements Operator. The candidate RIDs are collected under the
+// table's read lock so concurrent writers cannot mutate the tree
+// mid-walk.
 func (s *IndexScan) Open() error {
 	s.rids = s.rids[:0]
 	s.pos = 0
-	s.Index.ScanIndex(s.Lo, s.Hi, func(rid storage.RID) bool {
+	s.Table.ScanIndexRange(s.Index, s.Lo, s.Hi, func(rid storage.RID) bool {
 		s.rids = append(s.rids, rid)
 		return true
 	})
 	return nil
 }
 
-// Next implements Operator.
+// Next implements Operator. A candidate whose tuple vanished between
+// Open and here (deleted or relocated by a concurrent writer) is
+// skipped, not an error.
 func (s *IndexScan) Next() (types.Row, bool, error) {
-	if s.pos >= len(s.rids) {
-		return nil, false, nil
+	for s.pos < len(s.rids) {
+		rid := s.rids[s.pos]
+		s.pos++
+		row, ok, err := s.Table.Heap.Lookup(rid)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
 	}
-	rid := s.rids[s.pos]
-	s.pos++
-	row, err := s.Table.Heap.Get(rid)
-	if err != nil {
-		return nil, false, err
-	}
-	return row, true, nil
+	return nil, false, nil
 }
 
 // Close implements Operator.

@@ -66,22 +66,28 @@ func (s *SpatialIndexScan) Open() error {
 		s.rids = append(s.rids, rid)
 		return true
 	}
+	// Candidates are collected under the table's read lock so concurrent
+	// writers cannot mutate the R-tree mid-walk.
 	if s.Pred == SpatialDWithin {
-		s.Index.SearchWithin(s.Query, s.Dist, collect)
+		s.Table.SearchIndexWithin(s.Index, s.Query, s.Dist, collect)
 	} else {
-		s.Index.SearchContaining(s.Query, collect)
+		s.Table.SearchIndexContaining(s.Index, s.Query, collect)
 	}
 	return nil
 }
 
-// Next implements Operator: fetch and refine.
+// Next implements Operator: fetch and refine. A candidate whose tuple
+// vanished between Open and here is skipped, not an error.
 func (s *SpatialIndexScan) Next() (types.Row, bool, error) {
 	for s.pos < len(s.rids) {
 		rid := s.rids[s.pos]
 		s.pos++
-		row, err := s.Table.Heap.Get(rid)
+		row, ok, err := s.Table.Heap.Lookup(rid)
 		if err != nil {
 			return nil, false, err
+		}
+		if !ok {
+			continue
 		}
 		v := row[s.Index.Column]
 		if v.Kind() != types.KindGeometry || v.Geometry() == nil {

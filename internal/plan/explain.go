@@ -35,11 +35,26 @@ func describe(op exec.Operator, depth int, out *[]string) {
 }
 
 // analyzeSuffix renders one operator's runtime counters. Rows, time, and
-// buffer counts are totals across all loops, and time/buffers are
-// inclusive of the operator's subtree (Postgres-style).
+// buffer counts are totals across all loops; time and buffers are
+// inclusive of the operator's subtree (Postgres-style), while self is the
+// exclusive share — inclusive time minus the direct children's inclusive
+// time — which pinpoints the operator that actually burned the cycles.
 func analyzeSuffix(a *exec.Analyzed) string {
-	return fmt.Sprintf(" (actual rows=%d loops=%d time=%s buffers hit=%d miss=%d)",
-		a.Rows, a.Loops, time.Duration(a.Nanos), a.Reads-a.Misses, a.Misses)
+	childNanos := int64(0)
+	for _, c := range children(a.Op) {
+		if ca, ok := c.(*exec.Analyzed); ok {
+			childNanos += ca.Nanos
+		}
+	}
+	self := a.Nanos - childNanos
+	if self < 0 {
+		// Clock skew between nested time.Now pairs can nudge the sum of
+		// child inclusives past the parent's; clamp rather than render a
+		// negative duration.
+		self = 0
+	}
+	return fmt.Sprintf(" (actual rows=%d loops=%d time=%s self=%s buffers hit=%d miss=%d)",
+		a.Rows, a.Loops, time.Duration(a.Nanos), time.Duration(self), a.Reads-a.Misses, a.Misses)
 }
 
 // children returns op's child operators in display order.

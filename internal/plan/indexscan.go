@@ -1,0 +1,87 @@
+package plan
+
+import (
+	"strings"
+
+	"recdb/internal/catalog"
+	"recdb/internal/exec"
+	"recdb/internal/expr"
+	"recdb/internal/sql"
+	"recdb/internal/types"
+)
+
+// tryIndexScan inspects one WHERE conjunct and, when it is an equality
+// between a B-tree-indexed column of this table and a constant
+// (<col> = <const> or <const> = <col>), returns an IndexScan probing
+// exactly that key. The planner keeps the original conjunct as a filter
+// above the scan: the index walk collects candidate RIDs and a candidate
+// may be stale by the time its tuple is fetched (deleted and the slot
+// reused by a concurrent writer), so the recheck is what makes the
+// read path safe without table-level locking.
+func tryIndexScan(tab *catalog.Table, qualifier string, c sql.Expr) *exec.IndexScan {
+	b, ok := c.(*sql.Binary)
+	if !ok || b.Op != sql.OpEq {
+		return nil
+	}
+	if v, idx := constValue(b.R), treeIndex(tab, qualifier, b.L); idx != nil {
+		if key, ok := indexKey(tab, idx, v); ok {
+			return exec.NewIndexScan(tab, idx, qualifier, key, key)
+		}
+	}
+	if v, idx := constValue(b.L), treeIndex(tab, qualifier, b.R); idx != nil {
+		if key, ok := indexKey(tab, idx, v); ok {
+			return exec.NewIndexScan(tab, idx, qualifier, key, key)
+		}
+	}
+	return nil
+}
+
+// constValue evaluates e as a constant (a literal or arithmetic over
+// literals), returning the null Value when it is not one.
+func constValue(e sql.Expr) types.Value {
+	compiled, err := expr.Compile(e, emptySchema)
+	if err != nil {
+		return types.Null()
+	}
+	v, err := compiled(nil)
+	if err != nil {
+		return types.Null()
+	}
+	return v
+}
+
+// treeIndex resolves e as a reference to one of tab's columns (visible
+// under qualifier) that has a B-tree index.
+func treeIndex(tab *catalog.Table, qualifier string, e sql.Expr) *catalog.Index {
+	ref, ok := e.(*sql.ColumnRef)
+	if !ok {
+		return nil
+	}
+	if ref.Qualifier != "" && !strings.EqualFold(ref.Qualifier, qualifier) {
+		return nil
+	}
+	if _, err := tab.Schema.Resolve("", ref.Name); err != nil {
+		return nil
+	}
+	idx, ok := tab.IndexOn(ref.Name)
+	if !ok || idx.Tree == nil {
+		return nil
+	}
+	return idx
+}
+
+// indexKey coerces a constant to the indexed column's kind so the B-tree
+// probe compares like with like. NULL never matches an equality.
+func indexKey(tab *catalog.Table, idx *catalog.Index, v types.Value) (types.Value, bool) {
+	if v.Kind() == types.KindNull {
+		return types.Value{}, false
+	}
+	want := tab.Schema.Columns[idx.Column].Kind
+	if v.Kind() == want {
+		return v, true
+	}
+	if v.Kind() == types.KindInt && want == types.KindFloat {
+		return types.NewFloat(float64(v.Int())), true
+	}
+	return types.Value{}, false
+}

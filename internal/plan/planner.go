@@ -209,8 +209,10 @@ func (p *Planner) planPlain(stmt *sql.Select, conjuncts []sql.Expr, applied map[
 }
 
 // scanTable builds the access path for one FROM entry: a SpatialIndexScan
-// when an R-tree-eligible spatial conjunct targets this table, otherwise a
-// sequential scan; remaining single-table conjuncts stack as filters.
+// when an R-tree-eligible spatial conjunct targets this table, an
+// IndexScan when an equality conjunct probes a B-tree-indexed column,
+// otherwise a sequential scan; remaining single-table conjuncts stack as
+// filters.
 func (p *Planner) scanTable(ref sql.TableRef, conjuncts []sql.Expr, applied map[sql.Expr]bool) (exec.Operator, error) {
 	tab, err := p.Catalog.Get(ref.Table)
 	if err != nil {
@@ -224,6 +226,12 @@ func (p *Planner) scanTable(ref sql.TableRef, conjuncts []sql.Expr, applied map[
 		if sscan := trySpatialScan(tab, ref.Name(), c); sscan != nil {
 			applied[c] = true // the scan verifies the exact predicate
 			op = sscan
+			break
+		}
+		if iscan := tryIndexScan(tab, ref.Name(), c); iscan != nil {
+			// Deliberately not applied: the equality stays as a recheck
+			// filter above the scan (see tryIndexScan).
+			op = iscan
 			break
 		}
 	}

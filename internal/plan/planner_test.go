@@ -247,3 +247,91 @@ func TestRecordQueryHook(t *testing.T) {
 		t.Fatalf("recorded: %v", recorded)
 	}
 }
+
+// TestEqualityIndexSelection: an equality conjunct on a B-tree-indexed
+// column becomes an IndexScan probe with the equality retained as a
+// recheck filter; non-indexed columns and non-equality predicates keep
+// the sequential scan.
+func TestEqualityIndexSelection(t *testing.T) {
+	p, _ := fixture(t)
+	tab, err := p.Catalog.Get("ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CreateIndex("ratings_uid", "uid"); err != nil {
+		t.Fatal(err)
+	}
+
+	find := func(op exec.Operator) *exec.IndexScan {
+		for {
+			switch v := op.(type) {
+			case *exec.IndexScan:
+				return v
+			case *exec.Filter:
+				op = v.Child
+			case *exec.Project:
+				op = v.Child
+			default:
+				return nil
+			}
+		}
+	}
+
+	op, _ := planQuery(t, p, `SELECT iid FROM ratings WHERE uid = 2`)
+	is := find(op)
+	if is == nil {
+		t.Fatalf("expected IndexScan under the plan, got %T", op)
+	}
+	if is.Index.Name != "ratings_uid" {
+		t.Fatalf("picked index %q", is.Index.Name)
+	}
+	if _, ok := op.(*exec.Project); !ok {
+		t.Fatalf("plan root: %T", op)
+	}
+	// The recheck filter must still be present above the scan.
+	rows := runAll(t, op)
+	if len(rows) != 3 {
+		t.Fatalf("uid=2 returned %d rows, want 3", len(rows))
+	}
+
+	// Reversed operand order probes too.
+	if find(mustPlan(t, p, `SELECT iid FROM ratings WHERE 2 = uid`)) == nil {
+		t.Fatal("const = col should use the index")
+	}
+	// Int literal against a float-typed indexed column coerces.
+	if _, err := tab.CreateIndex("ratings_rv", "ratingval"); err != nil {
+		t.Fatal(err)
+	}
+	if find(mustPlan(t, p, `SELECT iid FROM ratings WHERE ratingval = 1`)) == nil {
+		t.Fatal("int literal on float index should coerce and probe")
+	}
+	// Non-equality and non-indexed predicates stay sequential.
+	if find(mustPlan(t, p, `SELECT iid FROM ratings WHERE iid = 1`)) != nil {
+		t.Fatal("iid has no index; expected SeqScan")
+	}
+}
+
+func mustPlan(t *testing.T, p *Planner, q string) exec.Operator {
+	t.Helper()
+	op, _ := planQuery(t, p, q)
+	return op
+}
+
+func runAll(t *testing.T, op exec.Operator) []types.Row {
+	t.Helper()
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+	var out []types.Row
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, row)
+	}
+}

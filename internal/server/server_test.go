@@ -132,6 +132,45 @@ func TestQueryExecPingRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHighFanoutScan pulls a result well past the row-batch chunk size
+// through the wire, so the answer spans several RowBatch frames and at
+// least one flush boundary; every row must arrive intact and in order.
+func TestHighFanoutScan(t *testing.T) {
+	db := recdb.Open()
+	db.MustExec(`CREATE TABLE blobs (id INT, pad TEXT)`)
+	pad := strings.Repeat("x", 100)
+	var stmts []string
+	for i := 0; i < 1200; i++ {
+		stmts = append(stmts, fmt.Sprintf(`INSERT INTO blobs VALUES (%d, '%s')`, i, pad))
+	}
+	if _, err := db.ExecScript(strings.Join(stmts, ";\n")); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := startServer(t, db, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	rows, err := c.Query(context.Background(), `SELECT id, pad FROM blobs ORDER BY id ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1200 {
+		t.Fatalf("rows = %d, want 1200", rows.Len())
+	}
+	for i := 0; rows.Next(); i++ {
+		var id int64
+		var p string
+		if err := rows.Scan(&id, &p); err != nil {
+			t.Fatal(err)
+		}
+		if id != int64(i) || p != pad {
+			t.Fatalf("row %d = (%d, %d pad bytes)", i, id, len(p))
+		}
+	}
+}
+
 // TestConcurrentClients is the acceptance hammer: 64 clients of mixed
 // traffic under -race, zero dropped responses.
 func TestConcurrentClients(t *testing.T) {

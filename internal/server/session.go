@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 
 	"recdb"
 	"recdb/internal/metrics"
+	"recdb/internal/types"
 	"recdb/internal/wire"
 )
 
@@ -396,9 +398,18 @@ func (w *frameWriter) writeError(e wire.ErrorMsg) error {
 	return w.write(wire.TypeError, wire.AppendError(nil, e), true)
 }
 
+// rowBatchTarget is the encoded-tuple budget per RowBatch frame: small
+// enough to keep first-row latency low, large enough that high-fanout
+// scans amortize the frame header and CRC over hundreds of tuples.
+const rowBatchTarget = 32 << 10
+
 // writeRows streams a Query answer: RowDescription, the data rows, then
-// CommandComplete. Rows are already materialized, so holding the write
-// lock here costs encoding time only, never executor time.
+// CommandComplete. Consecutive tuples coalesce into RowBatch frames of
+// about rowBatchTarget encoded bytes; a batch that ends up holding a
+// single tuple is sent as a plain DataRow, so low-fanout answers look
+// exactly as they did before batching existed. Rows are already
+// materialized, so holding the write lock here costs encoding time only,
+// never executor time.
 func (w *frameWriter) writeRows(id uint32, rows *recdb.Rows) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -407,18 +418,41 @@ func (w *frameWriter) writeRows(id uint32, rows *recdb.Rows) error {
 		return err
 	}
 	var n int64
+	count := 0
+	tuples := make([]byte, 0, 4096)
 	scratch := make([]byte, 0, 256)
-	for rows.Next() {
-		scratch = wire.AppendDataRow(scratch[:0], id, rows.Row())
-		if err := wire.WriteFrame(w.bw, wire.TypeDataRow, scratch); err != nil {
+	flushBatch := func() error {
+		if count == 0 {
+			return nil
+		}
+		t := wire.TypeDataRow
+		scratch = wire.AppendID(scratch[:0], id)
+		if count > 1 {
+			t = wire.TypeRowBatch
+			scratch = binary.AppendUvarint(scratch, uint64(count))
+		}
+		scratch = append(scratch, tuples...)
+		tuples, count = tuples[:0], 0
+		if err := wire.WriteFrame(w.bw, t, scratch); err != nil {
 			return err
 		}
-		n++
 		if w.bw.Buffered() > 1<<16 {
-			if err := w.flushLocked(); err != nil {
+			return w.flushLocked()
+		}
+		return nil
+	}
+	for rows.Next() {
+		tuples = types.EncodeRow(tuples, rows.Row())
+		count++
+		n++
+		if len(tuples) >= rowBatchTarget {
+			if err := flushBatch(); err != nil {
 				return err
 			}
 		}
+	}
+	if err := flushBatch(); err != nil {
+		return err
 	}
 	done := wire.AppendComplete(scratch[:0], wire.Complete{ID: id, Rows: n})
 	if err := wire.WriteFrame(w.bw, wire.TypeComplete, done); err != nil {

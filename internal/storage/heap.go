@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"recdb/internal/types"
 )
@@ -19,20 +20,42 @@ func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
 // HeapFile stores rows in slotted pages through a buffer pool. Inserts
 // append to the last page with room (the fill pattern the paper's bulk
 // model loads produce); scans visit pages in order, block by block.
+//
+// The heap is multi-versioned at the page-buffer level: every mutation
+// publishes a new generation (heapState) with an atomic pointer store,
+// and Scan pins the generation current at its start — an in-flight scan
+// keeps reading its version to completion while writers proceed (see
+// version.go). Mutations are serialized by mu; plain point Gets share it.
 type HeapFile struct {
 	mu   sync.RWMutex
 	pool *BufferPool
 	// lastPage caches the page most likely to have free space.
 	lastPage PageID
-	rowCount int64
+
+	// state is the published generation: sequence number, page count,
+	// and row count. Readers snapshot it with one atomic load.
+	state atomic.Pointer[heapState]
+
+	// verMu guards the snapshot refcounts and the page-version overlay.
+	// Writers hold it for the duration of a page edit; snapshot acquire,
+	// release, and per-page version lookups hold it briefly.
+	verMu   sync.Mutex
+	live    map[uint64]int // snapshot seq → open handles
+	overlay map[PageID][]pageVersion
 }
 
 // NewHeapFile creates a heap over the pool's disk. The disk may already
 // contain pages (reopening an existing table), in which case the row count
 // is rebuilt by scanning.
 func NewHeapFile(pool *BufferPool) (*HeapFile, error) {
-	h := &HeapFile{pool: pool, lastPage: InvalidPageID}
+	h := &HeapFile{
+		pool:     pool,
+		lastPage: InvalidPageID,
+		live:     make(map[uint64]int),
+		overlay:  make(map[PageID][]pageVersion),
+	}
 	n := pool.Disk().NumPages()
+	h.state.Store(&heapState{seq: 0, numPages: n, rowCount: 0})
 	if n > 0 {
 		h.lastPage = PageID(n - 1)
 		if err := h.recount(); err != nil {
@@ -56,9 +79,10 @@ func (h *HeapFile) recount() error {
 		}
 		count++
 	}
-	h.mu.Lock()
-	h.rowCount = count
-	h.mu.Unlock()
+	h.verMu.Lock()
+	st := h.state.Load()
+	h.state.Store(&heapState{seq: st.seq, numPages: st.numPages, rowCount: count})
+	h.verMu.Unlock()
 	return nil
 }
 
@@ -66,14 +90,10 @@ func (h *HeapFile) recount() error {
 func (h *HeapFile) Pool() *BufferPool { return h.pool }
 
 // NumPages returns the number of pages in the heap.
-func (h *HeapFile) NumPages() uint32 { return h.pool.Disk().NumPages() }
+func (h *HeapFile) NumPages() uint32 { return h.state.Load().numPages }
 
 // NumRows returns the number of live rows.
-func (h *HeapFile) NumRows() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.rowCount
-}
+func (h *HeapFile) NumRows() int64 { return h.state.Load().rowCount }
 
 // Insert encodes row and stores it, returning its RID.
 func (h *HeapFile) Insert(row types.Row) (RID, error) {
@@ -83,7 +103,12 @@ func (h *HeapFile) Insert(row types.Row) (RID, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.insertLocked(tuple)
+}
 
+// insertLocked stores an encoded tuple; the caller holds mu exclusively
+// and has checked the tuple fits a page.
+func (h *HeapFile) insertLocked(tuple []byte) (RID, error) {
 	// Try the cached last page first.
 	if h.lastPage != InvalidPageID {
 		rid, ok, err := h.tryInsert(h.lastPage, tuple)
@@ -91,45 +116,54 @@ func (h *HeapFile) Insert(row types.Row) (RID, error) {
 			return RID{}, err
 		}
 		if ok {
-			h.rowCount++
 			return rid, nil
 		}
 	}
-	// Allocate a fresh page.
+	// Allocate a fresh page. No snapshot can reference it (it lies past
+	// every snapshot's page count), so it is initialized in place; verMu
+	// is held so the page-count bump publishes atomically with the edit.
+	h.verMu.Lock()
 	id, buf, err := h.pool.NewPage()
 	if err != nil {
+		h.verMu.Unlock()
 		return RID{}, err
 	}
 	p := InitPage(buf)
 	slot, err := p.Insert(tuple)
-	h.pool.Unpin(id, true)
 	if err != nil {
+		h.bumpLocked(1, 0)
+		h.verMu.Unlock()
+		h.pool.Unpin(id, true)
 		return RID{}, err
 	}
+	h.bumpLocked(1, 1)
+	h.verMu.Unlock()
+	h.pool.Unpin(id, true)
 	h.lastPage = id
-	h.rowCount++
 	return RID{Page: id, Slot: slot}, nil
 }
 
 func (h *HeapFile) tryInsert(id PageID, tuple []byte) (RID, bool, error) {
-	buf, err := h.pool.Fetch(id)
-	if err != nil {
-		return RID{}, false, err
-	}
-	p := AsPage(buf)
-	slot, err := p.Insert(tuple)
-	if err == ErrPageFull {
-		h.pool.Unpin(id, false)
-		return RID{}, false, nil
-	}
-	h.pool.Unpin(id, err == nil)
-	if err != nil {
+	var slot SlotID
+	inserted := false
+	err := h.editPage(id, func(p *Page) (int64, bool, error) {
+		s, err := p.Insert(tuple)
+		if err == ErrPageFull {
+			return 0, false, nil // page untouched; fall through to a fresh page
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		slot, inserted = s, true
+		return 1, true, nil
+	})
+	if err != nil || !inserted {
 		return RID{}, false, err
 	}
 	return RID{Page: id, Slot: slot}, true, nil
 }
 
-// Get decodes the row at rid.
+// Get decodes the row at rid (the current version).
 func (h *HeapFile) Get(rid RID) (types.Row, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -147,25 +181,41 @@ func (h *HeapFile) Get(rid RID) (types.Row, error) {
 	return row, err
 }
 
+// Lookup decodes the row at rid; ok=false reports that no live tuple is
+// there (it was deleted or relocated), which concurrent index scans
+// treat as "skip", not corruption.
+func (h *HeapFile) Lookup(rid RID) (types.Row, bool, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	buf, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	tuple, ok := AsPage(buf).Get(rid.Slot)
+	if !ok {
+		return nil, false, nil
+	}
+	row, _, err := types.DecodeRow(tuple)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
 // Delete removes the row at rid.
 func (h *HeapFile) Delete(rid RID) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	buf, err := h.pool.Fetch(rid.Page)
-	if err != nil {
-		return err
-	}
-	p := AsPage(buf)
-	if _, ok := p.Get(rid.Slot); !ok {
-		h.pool.Unpin(rid.Page, false)
-		return fmt.Errorf("storage: delete of missing tuple at %v", rid)
-	}
-	err = p.Delete(rid.Slot)
-	h.pool.Unpin(rid.Page, err == nil)
-	if err == nil {
-		h.rowCount--
-	}
-	return err
+	return h.editPage(rid.Page, func(p *Page) (int64, bool, error) {
+		if _, ok := p.Get(rid.Slot); !ok {
+			return 0, false, fmt.Errorf("storage: delete of missing tuple at %v", rid)
+		}
+		if err := p.Delete(rid.Slot); err != nil {
+			return 0, false, err
+		}
+		return -1, true, nil
+	})
 }
 
 // Update replaces the row at rid in place when it fits in the page after
@@ -173,61 +223,73 @@ func (h *HeapFile) Delete(rid RID) error {
 // new) RID.
 func (h *HeapFile) Update(rid RID, row types.Row) (RID, error) {
 	tuple := types.EncodeRow(nil, row)
+	if len(tuple) > PageSize-pageHeaderSize-slotSize {
+		return RID{}, fmt.Errorf("storage: row of %d bytes exceeds page capacity", len(tuple))
+	}
 	h.mu.Lock()
-	buf, err := h.pool.Fetch(rid.Page)
+	defer h.mu.Unlock()
+	out := rid
+	relocate := false
+	err := h.editPage(rid.Page, func(p *Page) (int64, bool, error) {
+		old, ok := p.Get(rid.Slot)
+		if !ok {
+			return 0, false, fmt.Errorf("storage: update of missing tuple at %v", rid)
+		}
+		if len(tuple) <= len(old) {
+			// Fits in place (slot length shrinks are fine).
+			off, _ := p.slot(rid.Slot)
+			copy(p.buf[off:], tuple)
+			p.setSlot(rid.Slot, off, uint16(len(tuple)))
+			return 0, true, nil
+		}
+		// Try same page after dropping the old tuple and compacting.
+		if err := p.Delete(rid.Slot); err != nil {
+			return 0, false, err
+		}
+		p.Compact()
+		if slot, err := p.Insert(tuple); err == nil {
+			out = RID{Page: rid.Page, Slot: slot}
+			return 0, true, nil
+		}
+		// Relocate: commit the delete; the re-insert elsewhere happens
+		// below, under the same exclusive h.mu.
+		relocate = true
+		return -1, true, nil
+	})
 	if err != nil {
-		h.mu.Unlock()
 		return RID{}, err
 	}
-	p := AsPage(buf)
-	old, ok := p.Get(rid.Slot)
-	if !ok {
-		h.pool.Unpin(rid.Page, false)
-		h.mu.Unlock()
-		return RID{}, fmt.Errorf("storage: update of missing tuple at %v", rid)
+	if relocate {
+		return h.insertLocked(tuple)
 	}
-	if len(tuple) <= len(old) {
-		// Fits in place (slot length shrinks are fine).
-		off, _ := p.slot(rid.Slot)
-		copy(p.buf[off:], tuple)
-		p.setSlot(rid.Slot, off, uint16(len(tuple)))
-		h.pool.Unpin(rid.Page, true)
-		h.mu.Unlock()
-		return rid, nil
-	}
-	// Try same page after dropping the old tuple and compacting.
-	if err := p.Delete(rid.Slot); err != nil {
-		h.pool.Unpin(rid.Page, false)
-		h.mu.Unlock()
-		return RID{}, err
-	}
-	p.Compact()
-	if slot, err := p.Insert(tuple); err == nil {
-		h.pool.Unpin(rid.Page, true)
-		h.mu.Unlock()
-		return RID{Page: rid.Page, Slot: slot}, nil
-	}
-	h.pool.Unpin(rid.Page, true)
-	h.rowCount--
-	h.mu.Unlock()
-	return h.Insert(row)
+	return out, nil
 }
 
-// Iterator walks all live rows in page order. It holds no pins between
-// Next calls on different pages, so scans of arbitrarily large heaps work
-// with a small pool.
+// Iterator walks all live rows of one heap snapshot in page order. It
+// holds no pins between Next calls on different pages, so scans of
+// arbitrarily large heaps work with a small pool — and it never blocks
+// on (nor is blocked by) concurrent writers, which copy-on-write around
+// the snapshot's pages.
 type Iterator struct {
-	heap   *HeapFile
-	page   PageID
-	slot   int
-	buf    []byte
-	pinned bool
-	closed bool
+	snap    *Snapshot
+	ownSnap bool // Close releases the snapshot too
+	page    PageID
+	slot    int
+	buf     []byte
+	pinned  bool
+	closed  bool
 }
 
-// Scan returns an iterator positioned before the first row.
+// Scan returns an iterator over the heap's current version, positioned
+// before the first row. Close it to release the pinned snapshot.
 func (h *HeapFile) Scan() *Iterator {
-	return &Iterator{heap: h, page: 0, slot: -1}
+	return &Iterator{snap: h.Snapshot(), ownSnap: true, page: 0, slot: -1}
+}
+
+// Scan returns an iterator over the snapshot, positioned before the
+// first row. Closing the iterator does not close the snapshot.
+func (s *Snapshot) Scan() *Iterator {
+	return &Iterator{snap: s, page: 0, slot: -1}
 }
 
 // Next returns the next row and its RID. ok=false signals end of heap.
@@ -235,21 +297,17 @@ func (it *Iterator) Next() (types.Row, RID, bool, error) {
 	if it.closed {
 		return nil, RID{}, false, fmt.Errorf("storage: Next on closed iterator")
 	}
-	it.heap.mu.RLock()
-	defer it.heap.mu.RUnlock()
 	for {
-		n := it.heap.pool.Disk().NumPages()
-		if uint32(it.page) >= n {
+		if uint32(it.page) >= it.snap.numPages {
 			it.unpin()
 			return nil, RID{}, false, nil
 		}
-		if !it.pinned {
-			buf, err := it.heap.pool.Fetch(it.page)
+		if it.buf == nil {
+			buf, pinned, err := it.snap.pageBytes(it.page)
 			if err != nil {
 				return nil, RID{}, false, err
 			}
-			it.buf = buf
-			it.pinned = true
+			it.buf, it.pinned = buf, pinned
 		}
 		p := AsPage(it.buf)
 		for it.slot+1 < p.NumSlots() {
@@ -272,16 +330,20 @@ func (it *Iterator) Next() (types.Row, RID, bool, error) {
 
 func (it *Iterator) unpin() {
 	if it.pinned {
-		it.heap.pool.Unpin(it.page, false)
+		it.snap.h.pool.Unpin(it.page, false)
 		it.pinned = false
-		it.buf = nil
 	}
+	it.buf = nil
 }
 
-// Close releases any held pin. Safe to call multiple times.
+// Close releases any held pin (and the snapshot, for iterators from
+// HeapFile.Scan). Safe to call multiple times.
 func (it *Iterator) Close() {
 	if !it.closed {
 		it.unpin()
+		if it.ownSnap {
+			it.snap.Close()
+		}
 		it.closed = true
 	}
 }

@@ -70,6 +70,7 @@ const (
 	TypeHello    Type = 'H' // handshake answer: session id + server version
 	TypeRowDesc  Type = 'D' // result column names + planner strategy
 	TypeDataRow  Type = 'R' // one result tuple
+	TypeRowBatch Type = 'r' // several result tuples in one frame
 	TypeComplete Type = 'Z' // terminal: affected/returned row count
 	TypePong     Type = 'p' // answer to Ping
 	TypeError    Type = 'e' // terminal: typed error
@@ -288,6 +289,50 @@ func DecodeDataRow(p []byte) (uint32, types.Row, error) {
 		return 0, nil, fmt.Errorf("wire: %w", err)
 	}
 	return id, row, nil
+}
+
+// RowBatch carries several result tuples in one frame, amortizing the
+// 9-byte frame header and per-frame CRC over a batch. High-fanout scans
+// produce thousands of small tuples; one syscall-sized frame per tuple
+// dominates the wire cost, so the server coalesces them (singles still
+// travel as DataRow). The payload is the request id, a uvarint tuple
+// count, then the tuples back to back in the engine's self-describing
+// encoding.
+
+// AppendRowBatch encodes a RowBatch payload.
+func AppendRowBatch(dst []byte, id uint32, rows []types.Row) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	for _, r := range rows {
+		dst = types.EncodeRow(dst, r)
+	}
+	return dst
+}
+
+// DecodeRowBatch decodes a RowBatch payload.
+func DecodeRowBatch(p []byte) (uint32, []types.Row, error) {
+	if len(p) < 4 {
+		return 0, nil, &FrameError{Reason: "truncated row batch"}
+	}
+	id := binary.LittleEndian.Uint32(p[0:4])
+	n, sz := binary.Uvarint(p[4:])
+	if sz <= 0 || n > MaxFrameSize {
+		return 0, nil, &FrameError{Reason: "truncated batch count"}
+	}
+	rest := p[4+sz:]
+	rows := make([]types.Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		row, used, err := types.DecodeRow(rest)
+		if err != nil {
+			return 0, nil, fmt.Errorf("wire: %w", err)
+		}
+		rows = append(rows, row)
+		rest = rest[used:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, &FrameError{Reason: "trailing bytes after row batch"}
+	}
+	return id, rows, nil
 }
 
 // Complete is the terminal success frame: the affected row count for Exec,

@@ -33,6 +33,44 @@ func TestFrameGolden(t *testing.T) {
 	}
 }
 
+// TestRowBatchGolden pins the exact bytes of a multi-row batch frame: the
+// request id, a uvarint tuple count, then the tuples back to back in the
+// engine encoding. A change to any layer of the encoding must show up
+// here on purpose.
+func TestRowBatchGolden(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []types.Row{
+		{types.NewInt(1), types.NewText("a")},
+		{types.NewInt(-2), types.NewText("bc")},
+	}
+	if err := WriteFrame(&buf, TypeRowBatch, AppendRowBatch(nil, 9, rows)); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0x13, 0x00, 0x00, 0x00, // len = 19 (type + 4 id + 1 count + 13 tuple bytes)
+		0x7b, 0xe0, 0x70, 0x0a, // crc32c over type+payload
+		'r',
+		0x09, 0x00, 0x00, 0x00, // id = 9
+		0x02,                               // 2 tuples
+		0x02, 0x01, 0x02, 0x03, 0x01, 'a', // row 1: int 1 (zigzag 2), text "a"
+		0x02, 0x01, 0x03, 0x03, 0x02, 'b', 'c', // row 2: int -2 (zigzag 3), text "bc"
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("frame bytes drifted:\n got %#v\nwant %#v", buf.Bytes(), want)
+	}
+	id, got, err := DecodeRowBatch(buf.Bytes()[9:])
+	if err != nil || id != 9 || len(got) != 2 {
+		t.Fatalf("decode = id %d, %d rows, %v", id, len(got), err)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if got[i][j].String() != rows[i][j].String() {
+				t.Fatalf("row %d value %d = %v, want %v", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+}
+
 // TestRoundTrip encodes and decodes every frame kind through a stream.
 func TestRoundTrip(t *testing.T) {
 	row := types.Row{types.NewInt(42), types.NewFloat(4.5), types.NewText("hi"), types.NewBool(true), types.Null()}
@@ -50,6 +88,7 @@ func TestRoundTrip(t *testing.T) {
 	write(TypeCancel, AppendID(nil, 1))
 	write(TypeRowDesc, AppendRowDesc(nil, RowDesc{ID: 1, Strategy: "IndexRecommend", Columns: []string{"iid", "ratingval"}}))
 	write(TypeDataRow, AppendDataRow(nil, 1, row))
+	write(TypeRowBatch, AppendRowBatch(nil, 1, []types.Row{row, row, row}))
 	write(TypeComplete, AppendComplete(nil, Complete{ID: 1, Rows: 5}))
 	write(TypePong, AppendID(nil, 3))
 	write(TypeError, AppendError(nil, ErrorMsg{ID: 2, Code: CodeTimeout, Message: "query timed out"}))
@@ -100,6 +139,17 @@ func TestRoundTrip(t *testing.T) {
 	for i := range row {
 		if got[i].String() != row[i].String() {
 			t.Fatalf("value %d = %v, want %v", i, got[i], row[i])
+		}
+	}
+	bid, batch, err := DecodeRowBatch(next(TypeRowBatch))
+	if err != nil || bid != 1 || len(batch) != 3 {
+		t.Fatalf("rowbatch = id %d, %d rows, %v", bid, len(batch), err)
+	}
+	for _, b := range batch {
+		for i := range row {
+			if b[i].String() != row[i].String() {
+				t.Fatalf("batch value %d = %v, want %v", i, b[i], row[i])
+			}
 		}
 	}
 	c, err := DecodeComplete(next(TypeComplete))
@@ -197,6 +247,15 @@ func TestDecodeTruncatedPayloads(t *testing.T) {
 	}
 	if _, _, err := DecodeDataRow([]byte{1, 0, 0, 0, 2, byte(types.KindText)}); err == nil {
 		t.Error("DecodeDataRow accepted a truncated row")
+	}
+	if _, _, err := DecodeRowBatch([]byte{1, 0, 0}); err == nil {
+		t.Error("DecodeRowBatch accepted a short payload")
+	}
+	if _, _, err := DecodeRowBatch([]byte{1, 0, 0, 0, 2, 1, byte(types.KindInt)}); err == nil {
+		t.Error("DecodeRowBatch accepted a truncated tuple")
+	}
+	if _, _, err := DecodeRowBatch(append(AppendRowBatch(nil, 1, []types.Row{{types.NewInt(1)}}), 0xff)); err == nil {
+		t.Error("DecodeRowBatch accepted trailing bytes")
 	}
 	if _, err := DecodeComplete([]byte{1, 0, 0, 0}); err == nil {
 		t.Error("DecodeComplete accepted a missing count")

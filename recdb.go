@@ -135,7 +135,11 @@ type DB struct {
 	// the in-memory apply and the WAL append happen as one atomic step
 	// (log order = apply order, which crash recovery replays), and SaveTo
 	// checkpoints under the same lock capture the snapshot and the WAL
-	// high-water mark atomically. Read-only statements share it.
+	// high-water mark atomically. Read-only statements never take it:
+	// they read through page-level snapshots (storage.Snapshot) and the
+	// catalog's atomically published generation, so a reader observes each
+	// statement either fully applied or not at all without blocking on a
+	// writer stalled in a WAL fsync.
 	mu           sync.RWMutex
 	fs           fault.FS // filesystem for durability (nil until attached)
 	dir          string   // durable home ("" while purely in-memory)
@@ -192,9 +196,6 @@ func (db *DB) Exec(query string) (Result, error) {
 	if engine.Mutates(stmt) {
 		db.mu.Lock()
 		defer db.mu.Unlock()
-	} else {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
 	}
 	r, err := db.eng.ExecParsed(stmt, query)
 	return Result{RowsAffected: r.RowsAffected}, err
@@ -229,9 +230,6 @@ func (db *DB) ExecScript(script string) (Result, error) {
 	if exclusive {
 		db.mu.Lock()
 		defer db.mu.Unlock()
-	} else {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
 	}
 	r, err := db.eng.ExecScriptParsed(stmts)
 	return Result{RowsAffected: r.RowsAffected}, err
@@ -258,9 +256,6 @@ func (db *DB) ExecScriptContext(ctx context.Context, script string) (Result, err
 	if exclusive {
 		db.mu.Lock()
 		defer db.mu.Unlock()
-	} else {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
 	}
 	r, err := db.eng.ExecScriptParsedCtx(ctx, stmts)
 	return Result{RowsAffected: r.RowsAffected}, err

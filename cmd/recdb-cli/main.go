@@ -107,19 +107,24 @@ func main() {
 		fatal(err)
 	}
 
+	// Close the session before db.Close: a transaction left open at exit
+	// holds the database's shared lock, and Close takes it exclusively.
+	r := newLocalRunner(db)
+	defer r.close()
+
 	if *script != "" {
 		content, err := os.ReadFile(*script)
 		if err != nil {
 			fatal(err)
 		}
-		if err := runScript(&localRunner{db: db}, string(content)); err != nil {
+		if err := runScript(r, string(content)); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	fmt.Println("RecDB-Go shell — end statements with ';', \\q to quit, \\d to list tables")
-	repl(&localRunner{db: db})
+	repl(r)
 }
 
 // runner is the statement/meta execution backend behind the REPL and -f
@@ -133,11 +138,30 @@ type runner interface {
 	meta(cmd string) bool
 }
 
-// localRunner executes against the embedded database.
-type localRunner struct{ db *recdb.DB }
+// localRunner executes against the embedded database through one
+// long-lived Session, so an interactive BEGIN stays open across input
+// lines until COMMIT or ROLLBACK.
+type localRunner struct {
+	db   *recdb.DB
+	sess *recdb.Session
+}
 
-func (l *localRunner) statement(input string) error { return runStatement(l.db, input) }
+func newLocalRunner(db *recdb.DB) *localRunner {
+	return &localRunner{db: db, sess: db.NewSession()}
+}
+
+func (l *localRunner) statement(input string) error { return runStatement(l.db, l.sess, input) }
 func (l *localRunner) meta(cmd string) bool         { return meta(l.db, cmd) }
+
+// close ends the session, rolling back a transaction the script or
+// REPL left open — with a notice, since the user may not have meant to
+// abandon it.
+func (l *localRunner) close() {
+	if l.sess.InTransaction() {
+		fmt.Println("rolled back transaction left open at exit")
+	}
+	_ = l.sess.Close()
+}
 
 // remoteRunner executes against a recdb-server session.
 type remoteRunner struct{ c *client.Conn }
@@ -462,7 +486,7 @@ func evaluate(eng *engine.Engine, name string, k int) error {
 	return nil
 }
 
-func runStatement(db *recdb.DB, input string) error {
+func runStatement(db *recdb.DB, sess *recdb.Session, input string) error {
 	trimmed := strings.TrimSpace(input)
 	if trimmed == "" {
 		return nil
@@ -477,7 +501,7 @@ func runStatement(db *recdb.DB, input string) error {
 		printResult(res)
 		return nil
 	}
-	r, err := db.ExecScript(input)
+	r, err := sess.Exec(input)
 	if err != nil {
 		return err
 	}

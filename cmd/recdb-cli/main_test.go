@@ -86,7 +86,7 @@ func TestIsQuery(t *testing.T) {
 func TestRunStatementSelectPrintsRows(t *testing.T) {
 	db := testDB(t)
 	out := capture(t, func() {
-		if err := runStatement(db, "SELECT uid, iid FROM ratings WHERE uid = 1 ORDER BY iid;"); err != nil {
+		if err := runStatement(db, db.NewSession(), "SELECT uid, iid FROM ratings WHERE uid = 1 ORDER BY iid;"); err != nil {
 			t.Error(err)
 		}
 	})
@@ -98,7 +98,7 @@ func TestRunStatementSelectPrintsRows(t *testing.T) {
 func TestRunStatementRecommendShowsPlan(t *testing.T) {
 	db := testDB(t)
 	out := capture(t, func() {
-		if err := runStatement(db, `SELECT R.iid, R.ratingval FROM ratings R
+		if err := runStatement(db, db.NewSession(), `SELECT R.iid, R.ratingval FROM ratings R
 			RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
 			WHERE R.uid = 3`); err != nil {
 			t.Error(err)
@@ -112,7 +112,7 @@ func TestRunStatementRecommendShowsPlan(t *testing.T) {
 func TestRunStatementExplain(t *testing.T) {
 	db := testDB(t)
 	out := capture(t, func() {
-		if err := runStatement(db, `EXPLAIN SELECT uid FROM ratings WHERE uid = 1`); err != nil {
+		if err := runStatement(db, db.NewSession(), `EXPLAIN SELECT uid FROM ratings WHERE uid = 1`); err != nil {
 			t.Error(err)
 		}
 	})
@@ -124,17 +124,17 @@ func TestRunStatementExplain(t *testing.T) {
 func TestRunStatementScript(t *testing.T) {
 	db := testDB(t)
 	out := capture(t, func() {
-		if err := runStatement(db, "CREATE TABLE x (a INT); INSERT INTO x VALUES (1), (2);"); err != nil {
+		if err := runStatement(db, db.NewSession(), "CREATE TABLE x (a INT); INSERT INTO x VALUES (1), (2);"); err != nil {
 			t.Error(err)
 		}
 	})
 	if !strings.Contains(out, "OK (2 rows affected)") {
 		t.Fatalf("script output:\n%s", out)
 	}
-	if err := runStatement(db, "BROKEN;"); err == nil {
+	if err := runStatement(db, db.NewSession(), "BROKEN;"); err == nil {
 		t.Fatal("broken statement should error")
 	}
-	if err := runStatement(db, "   "); err != nil {
+	if err := runStatement(db, db.NewSession(), "   "); err != nil {
 		t.Fatal("blank input should be a no-op")
 	}
 }
@@ -175,7 +175,7 @@ func TestMetaCommands(t *testing.T) {
 		}
 	}
 	out = capture(t, func() {
-		if err := runStatement(db, `EXPLAIN ANALYZE SELECT uid FROM ratings WHERE uid = 1`); err != nil {
+		if err := runStatement(db, db.NewSession(), `EXPLAIN ANALYZE SELECT uid FROM ratings WHERE uid = 1`); err != nil {
 			t.Error(err)
 		}
 	})

@@ -1,8 +1,10 @@
 package recdb
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"testing"
 
@@ -29,8 +31,9 @@ const crashSeedScript = `
 
 // crashProgress records how far the workload got before the fault.
 type crashProgress struct {
-	saved bool // the first checkpoint was acknowledged
-	acked int  // ratings inserts acknowledged since then
+	saved        bool // the first checkpoint was acknowledged
+	acked        int  // ratings inserts acknowledged since then
+	txnCommitted bool // the uid-9 two-row transaction's Commit returned
 }
 
 // runCrashWorkload drives the workload over fs, stopping at the first
@@ -64,6 +67,42 @@ func runCrashWorkload(fs fault.FS) (crashProgress, error) {
 		return p, err
 	}
 	if err := ack("INSERT INTO ratings VALUES (8, 1, 2.0)"); err != nil {
+		return p, err
+	}
+	// An explicit transaction: two inserts that must reach the log as one
+	// atomic group, so recovery sees both or neither — never one.
+	tx, err := db.Begin()
+	if err != nil {
+		return p, err
+	}
+	if _, err := tx.Exec("INSERT INTO ratings VALUES (9, 1, 1.0)"); err != nil {
+		_ = tx.Rollback()
+		return p, err
+	}
+	if _, err := tx.Exec("INSERT INTO ratings VALUES (9, 2, 2.0)"); err != nil {
+		_ = tx.Rollback()
+		return p, err
+	}
+	if err := tx.Commit(); err != nil {
+		return p, err
+	}
+	p.txnCommitted = true
+	p.acked += 2
+	// A rolled-back transaction: its writes never touch the log, so no
+	// recovery at any fault point may surface them.
+	tx, err = db.Begin()
+	if err != nil {
+		return p, err
+	}
+	if _, err := tx.Exec("INSERT INTO ratings VALUES (10, 1, 1.0)"); err != nil {
+		_ = tx.Rollback()
+		return p, err
+	}
+	if err := tx.Rollback(); err != nil {
+		return p, err
+	}
+	// One more autocommit write so fault points land after the commit too.
+	if err := ack("INSERT INTO ratings VALUES (8, 2, 1.5)"); err != nil {
 		return p, err
 	}
 	return p, nil
@@ -112,6 +151,38 @@ func verifyRecovery(t *testing.T, fs fault.FS, p crashProgress, mode fault.Mode,
 		}
 	} else if n != want {
 		t.Fatalf("%s: ratings = %d, want %d (progress %+v)", tag, n, want, p)
+	}
+
+	// Transaction atomicity: the uid-9 transaction recovered whole or not
+	// at all, and if its Commit was acknowledged (and the fault mode is
+	// not silent corruption, which may cost an acknowledged suffix), it
+	// recovered whole.
+	countUID := func(uid int) int64 {
+		rows, err := db.Query(fmt.Sprintf("SELECT COUNT(*) FROM ratings WHERE uid = %d", uid))
+		if err != nil || !rows.Next() {
+			t.Fatalf("%s: counting uid %d: %v", tag, uid, err)
+		}
+		var c int64
+		if err := rows.Scan(&c); err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		return c
+	}
+	n9 := countUID(9)
+	if n9 != 0 && n9 != 2 {
+		t.Fatalf("%s: partial transaction recovered: %d of 2 rows (progress %+v)", tag, n9, p)
+	}
+	if mode != fault.ModeFlip {
+		if p.txnCommitted && n9 != 2 {
+			t.Fatalf("%s: acknowledged transaction lost (progress %+v)", tag, p)
+		}
+		if !p.txnCommitted && n9 != 0 {
+			t.Fatalf("%s: unacknowledged transaction recovered (progress %+v)", tag, p)
+		}
+	}
+	// The rolled-back transaction must never surface.
+	if n10 := countUID(10); n10 != 0 {
+		t.Fatalf("%s: rolled-back transaction recovered %d rows", tag, n10)
 	}
 
 	// Primary-key uniqueness survived recovery.
@@ -180,6 +251,224 @@ func TestCrashSweep(t *testing.T) {
 			mem.Restart()
 			verifyRecovery(t, mem, p, m.mode, tag)
 		}
+	}
+}
+
+// runTxnAtomicityWorkload is TestTxnCrashSweep's focused workload: seed a
+// keyed table, checkpoint, then commit one transaction touching three
+// rows (insert, update, delete). Every mutating I/O after the checkpoint
+// belongs to the transaction's commit, so a fault sweep lands on every
+// byte of the atomic group append.
+func runTxnAtomicityWorkload(fs fault.FS) (saved, committed bool, err error) {
+	db := Open()
+	db.fs = fs
+	defer db.Close()
+	if _, err := db.ExecScript(`
+		CREATE TABLE kv (k INT PRIMARY KEY, v INT);
+		INSERT INTO kv VALUES (1, 0), (2, 0), (3, 0);
+	`); err != nil {
+		return false, false, err
+	}
+	if err := db.SaveTo("db"); err != nil {
+		return false, false, err
+	}
+	saved = true
+	tx, err := db.Begin()
+	if err != nil {
+		return saved, false, err
+	}
+	for _, stmt := range []string{
+		"INSERT INTO kv VALUES (4, 4)",
+		"UPDATE kv SET v = 10 WHERE k = 1",
+		"DELETE FROM kv WHERE k = 2",
+	} {
+		if _, err := tx.Exec(stmt); err != nil {
+			_ = tx.Rollback()
+			return saved, false, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return saved, false, err
+	}
+	return saved, true, nil
+}
+
+// TestTxnCrashSweep crashes a three-statement transaction's commit at
+// every fault point in every mode and asserts recovery lands on exactly
+// the pre-transaction or post-transaction state — never a mixture.
+func TestTxnCrashSweep(t *testing.T) {
+	clean := fault.NewInject(fault.NewMemFS())
+	if _, _, err := runTxnAtomicityWorkload(clean); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	total := clean.Ops()
+
+	preState := "1:0 2:0 3:0"
+	postState := "1:10 3:0 4:4"
+	modes := []struct {
+		mode fault.Mode
+		name string
+	}{
+		{fault.ModeFail, "fail"},
+		{fault.ModeTorn, "torn"},
+		{fault.ModePowerCut, "powercut"},
+		{fault.ModeFlip, "flip"},
+	}
+	for _, m := range modes {
+		for n := int64(1); n <= total; n++ {
+			tag := fmt.Sprintf("%s@%d", m.name, n)
+			mem := fault.NewMemFS()
+			inj := fault.NewInject(mem)
+			inj.SetPlan(m.mode, n)
+			saved, committed, _ := runTxnAtomicityWorkload(inj)
+			inj.Crash()
+			mem.Restart()
+
+			db, err := openDirFS(mem, "db", engine.Config{})
+			if err != nil {
+				if !saved {
+					continue
+				}
+				var pce *persist.CorruptError
+				var wce *wal.CorruptError
+				if m.mode == fault.ModeFlip && (errors.As(err, &pce) || errors.As(err, &wce) || errors.Is(err, persist.ErrNoSnapshot)) {
+					continue
+				}
+				t.Fatalf("%s: recovery failed: %v", tag, err)
+			}
+			rows, err := db.Query("SELECT k, v FROM kv ORDER BY k")
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			state := ""
+			for rows.Next() {
+				var k, v int64
+				if err := rows.Scan(&k, &v); err != nil {
+					t.Fatalf("%s: %v", tag, err)
+				}
+				if state != "" {
+					state += " "
+				}
+				state += fmt.Sprintf("%d:%d", k, v)
+			}
+			db.Close()
+			if state != preState && state != postState {
+				t.Fatalf("%s: recovered a partial transaction: %q (want %q or %q)", tag, state, preState, postState)
+			}
+			if m.mode != fault.ModeFlip {
+				if committed && state != postState {
+					t.Fatalf("%s: acknowledged transaction lost: %q", tag, state)
+				}
+				if !committed && saved && state != preState {
+					t.Fatalf("%s: unacknowledged transaction visible: %q", tag, state)
+				}
+			}
+		}
+	}
+	t.Logf("swept %d fault points x %d modes", total, len(modes))
+}
+
+// TestWALv1MigrationReplay proves the upgrade path from the version-1
+// statement-text log format: a snapshot whose WAL tail is a hand-built
+// v1 segment must replay through the SQL front end, then be rewritten —
+// the post-recovery checkpoint leaves a version-2 log behind, and the
+// sequence numbering continues where the v1 log stopped.
+func TestWALv1MigrationReplay(t *testing.T) {
+	fs := fault.NewMemFS()
+	db := Open()
+	db.fs = fs
+	db.MustExec("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+	if err := db.SaveTo("db"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Swap the (empty, v2) log the checkpoint attached for a v1 segment
+	// holding two statement-text records, framed exactly as the previous
+	// format wrote them.
+	const walDir = "db/wal"
+	names, err := fs.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if err := fs.Remove(walDir + "/" + name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := []byte("RDBW1\n")
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	for i, stmt := range []string{
+		"INSERT INTO kv VALUES (1, 10)",
+		"INSERT INTO kv VALUES (2, 20)",
+	} {
+		rec := make([]byte, 16+len(stmt))
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(len(stmt)))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(i+1))
+		copy(rec[16:], stmt)
+		binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], castagnoli))
+		buf = append(buf, rec...)
+	}
+	f, err := fs.Create(walDir + "/wal-0000000000000001.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(walDir); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := openDirFS(fs, "db", engine.Config{})
+	if err != nil {
+		t.Fatalf("recovering from a v1 log: %v", err)
+	}
+	rows, err := db2.Query("SELECT COUNT(*) FROM kv")
+	if err != nil || !rows.Next() {
+		t.Fatalf("reading recovered table: %v", err)
+	}
+	var n int64
+	if err := rows.Scan(&n); err != nil || n != 2 {
+		t.Fatalf("recovered rows = %d, %v (want 2)", n, err)
+	}
+	// The statements replayed, so the post-recovery checkpoint rewrote
+	// the log: the surviving segment must be version 2, and the sequence
+	// must continue past the v1 records.
+	names, err = fs.ReadDir(walDir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("segments after migration: %v, %v", names, err)
+	}
+	seg, err := fs.ReadFile(walDir + "/" + names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seg[:6]) != "RDBW2\n" {
+		t.Fatalf("post-migration segment magic = %q, want RDBW2", seg[:6])
+	}
+	db2.MustExec("INSERT INTO kv VALUES (3, 30)")
+	if got := db2.Durability().WALSeq; got != 3 {
+		t.Fatalf("WALSeq after migration commit = %d, want 3", got)
+	}
+	db2.Close()
+
+	db3, err := openDirFS(fs, "db", engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	rows, err = db3.Query("SELECT COUNT(*) FROM kv")
+	if err != nil || !rows.Next() {
+		t.Fatal(err)
+	}
+	if err := rows.Scan(&n); err != nil || n != 3 {
+		t.Fatalf("rows after second recovery = %d, %v (want 3)", n, err)
 	}
 }
 

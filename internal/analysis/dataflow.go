@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -174,6 +175,93 @@ func MutexKindOf(t types.Type) string {
 	return ""
 }
 
+// collectMutexAliases scans a CFG for local aliases of a mutex path —
+// `m := &s.mu` (and pointer copies `n := m`) — and maps each alias
+// variable to the canonical lock key of the mutex it points at. Without
+// this, `m.Lock()` and `s.mu.Unlock()` would track as two different
+// locks and every alias-style critical section would be a false
+// "unlocked" finding. An alias that is ever redirected at a second
+// mutex is dropped as ambiguous.
+func collectMutexAliases(info *types.Info, g *CFG) map[string]string {
+	aliases := map[string]string{}
+	ambiguous := map[string]bool{}
+	record := func(name, key string) {
+		if ambiguous[name] {
+			return
+		}
+		if prev, ok := aliases[name]; ok && prev != key {
+			delete(aliases, name)
+			ambiguous[name] = true
+			return
+		}
+		aliases[name] = key
+	}
+	visit := func(as *ast.AssignStmt) {
+		if len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.UnaryExpr:
+				if rhs.Op != token.AND || MutexKindOf(info.TypeOf(rhs.X)) == "" {
+					continue
+				}
+				if b := BaseString(rhs.X); b != "" {
+					if canon, ok := aliases[b]; ok {
+						b = canon
+					}
+					record(id.Name, b)
+				}
+			case *ast.Ident:
+				if canon, ok := aliases[rhs.Name]; ok {
+					record(id.Name, canon)
+				}
+			}
+		}
+	}
+	// Two passes over the blocks so an alias copy sees its source even
+	// when block order does not follow def order.
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				ast.Inspect(n, func(node ast.Node) bool {
+					if _, ok := node.(*ast.FuncLit); ok {
+						return false
+					}
+					switch v := node.(type) {
+					case *ast.AssignStmt:
+						visit(v)
+					case *ast.ValueSpec: // var m = &s.mu
+						visit(&ast.AssignStmt{Lhs: identExprs(v.Names), Rhs: v.Values})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return aliases
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+// canonLockKey resolves an alias lock key to its canonical form.
+func canonLockKey(aliases map[string]string, base string) string {
+	if canon, ok := aliases[base]; ok {
+		return canon
+	}
+	return base
+}
+
 // ApplyLockOp updates the set for one decoded lock event. An unlock
 // leaves a Released tombstone rather than clearing the key: downstream
 // program points can then tell "held on no path because it was released"
@@ -193,13 +281,13 @@ func ApplyLockOp(set LockSet, base, op string) {
 // calls in expression statements change the state; a defer of an Unlock
 // keeps the lock held to function end (the deferred release runs at
 // return, after every node of this graph).
-func applyLockNode(info *types.Info, n ast.Node, set LockSet) {
+func applyLockNode(info *types.Info, aliases map[string]string, n ast.Node, set LockSet) {
 	es, ok := n.(*ast.ExprStmt)
 	if !ok {
 		return
 	}
 	if base, op, ok := LockEventOf(info, es.X); ok {
-		ApplyLockOp(set, base, op)
+		ApplyLockOp(set, canonLockKey(aliases, base), op)
 	}
 }
 
@@ -207,6 +295,8 @@ func applyLockNode(info *types.Info, n ast.Node, set LockSet) {
 type LockFlow struct {
 	g    *CFG
 	info *types.Info
+	// aliases maps local mutex aliases (m := &s.mu) to canonical keys.
+	aliases map[string]string
 	// in[i] is the lock set on entry to Blocks[i]; nil marks a block no
 	// path reaches.
 	in []LockSet
@@ -215,6 +305,7 @@ type LockFlow struct {
 // SolveLockFlow runs the forward worklist analysis over g with the given
 // entry state (non-nil; empty for a function that starts lock-free).
 func SolveLockFlow(g *CFG, info *types.Info, entry LockSet) *LockFlow {
+	aliases := collectMutexAliases(info, g)
 	n := len(g.Blocks)
 	in := make([]LockSet, n)
 	in[0] = entry.Clone()
@@ -233,7 +324,7 @@ func SolveLockFlow(g *CFG, info *types.Info, entry LockSet) *LockFlow {
 		}
 		s := in[i].Clone()
 		for _, node := range g.Blocks[i].Nodes {
-			applyLockNode(info, node, s)
+			applyLockNode(info, aliases, node, s)
 		}
 		return s
 	}
@@ -272,7 +363,20 @@ func SolveLockFlow(g *CFG, info *types.Info, entry LockSet) *LockFlow {
 			}
 		}
 	}
-	return &LockFlow{g: g, info: info, in: in}
+	return &LockFlow{g: g, info: info, aliases: aliases, in: in}
+}
+
+// EventOf decodes expr as a lock event like LockEventOf, additionally
+// resolving local mutex aliases (m := &s.mu) to the canonical lock key
+// the solved flow tracks. Checks that pair a decoded event with the
+// flow's lock sets must use this, not LockEventOf, or an aliased
+// critical section reads as two unrelated locks.
+func (lf *LockFlow) EventOf(expr ast.Expr) (base, op string, ok bool) {
+	base, op, ok = LockEventOf(lf.info, expr)
+	if !ok {
+		return "", "", false
+	}
+	return canonLockKey(lf.aliases, base), op, true
 }
 
 // Walk visits every reachable node in block order with the lock set in
@@ -287,7 +391,7 @@ func (lf *LockFlow) Walk(fn func(n ast.Node, held LockSet)) {
 		s := state.Clone()
 		for _, node := range b.Nodes {
 			fn(node, s)
-			applyLockNode(lf.info, node, s)
+			applyLockNode(lf.info, lf.aliases, node, s)
 		}
 	}
 }
@@ -297,7 +401,7 @@ func (lf *LockFlow) Walk(fn func(n ast.Node, held LockSet)) {
 func (lf *LockFlow) DeferredUnlocks() []string {
 	seen := map[string]bool{}
 	for _, d := range lf.g.Defers {
-		if base, op, ok := LockEventOf(lf.info, d.Call); ok && (op == "Unlock" || op == "RUnlock") {
+		if base, op, ok := lf.EventOf(d.Call); ok && (op == "Unlock" || op == "RUnlock") {
 			seen[base] = true
 			continue
 		}

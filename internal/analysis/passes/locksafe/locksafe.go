@@ -202,7 +202,7 @@ func (c *checker) walk() {
 	// after it is a double unlock.
 	deferPos := make(map[string]token.Pos)
 	for _, d := range g.Defers {
-		if base, op, ok := analysis.LockEventOf(c.pass.TypesInfo, d.Call); ok && (op == "Unlock" || op == "RUnlock") {
+		if base, op, ok := lf.EventOf(d.Call); ok && (op == "Unlock" || op == "RUnlock") {
 			if _, seen := deferPos[base]; !seen {
 				deferPos[base] = d.Pos()
 			}
@@ -213,7 +213,7 @@ func (c *checker) walk() {
 		// Lock events get the unlock checks; everything else is scanned
 		// for guarded accesses and deadlocking calls.
 		if es, ok := n.(*ast.ExprStmt); ok {
-			if base, op, ok := analysis.LockEventOf(c.pass.TypesInfo, es.X); ok {
+			if base, op, ok := lf.EventOf(es.X); ok {
 				c.checkLockEvent(es, base, op, held, deferPos)
 				return
 			}

@@ -130,3 +130,33 @@ func (l *Layered) Seq() uint64 {
 	defer l.verMu.Unlock()
 	return l.seq
 }
+
+// AliasLock locks through a pointer alias of the mutex and unlocks
+// through the field path: one mutex, one critical section. The dataflow
+// must resolve the alias or this reads as an unlock of a never-locked
+// mutex.
+func (c *Counter) AliasLock() int {
+	m := &c.mu
+	m.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// AliasUnlock is the mirror image: field-path lock, alias unlock — and a
+// deferred alias unlock must count as the release of c.mu.
+func (c *Counter) AliasUnlock() int {
+	m := &c.mu
+	c.mu.Lock()
+	defer m.Unlock()
+	return c.n
+}
+
+// AliasCopy chains the alias through a pointer copy.
+func (c *Counter) AliasCopy() {
+	m := &c.mu
+	p := m
+	p.Lock()
+	c.n++
+	c.mu.Unlock()
+}

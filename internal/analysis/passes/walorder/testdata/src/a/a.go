@@ -10,6 +10,11 @@ func (l *Log) Append(p []byte) (uint64, error) {
 	return uint64(l.n), nil
 }
 
+func (l *Log) AppendBatch(ps [][]byte) (uint64, error) {
+	l.n += len(ps)
+	return uint64(l.n), nil
+}
+
 type Engine struct{ q []string }
 
 func (e *Engine) SetCommitHook(h func(string) error) {}
@@ -28,6 +33,16 @@ type DB struct {
 // rawAppend writes the WAL outside any registered commit hook.
 func (db *DB) rawAppend(q string) {
 	db.wal.Append([]byte(q)) // want "outside the registered commit hook"
+}
+
+// rawBatch writes a record group outside the commit path: a transaction
+// "committed" this way can be durable without ever applying.
+func (db *DB) rawBatch(qs []string) {
+	var ps [][]byte
+	for _, q := range qs {
+		ps = append(ps, []byte(q))
+	}
+	db.wal.AppendBatch(ps) // want "outside the registered commit hook"
 }
 
 // closureAppend hides the raw append inside an unregistered closure.

@@ -10,6 +10,11 @@ func (l *Log) Append(p []byte) (uint64, error) {
 	return uint64(l.n), nil
 }
 
+func (l *Log) AppendBatch(ps [][]byte) (uint64, error) {
+	l.n += len(ps)
+	return uint64(l.n), nil
+}
+
 // rotate is WAL-internal maintenance: Log methods are exempt.
 func (l *Log) rotate() {
 	l.Append(nil)
@@ -30,8 +35,13 @@ type DB struct {
 	wal *Log
 }
 
-// logCommit is registered below; as the commit hook it may append.
+// logCommit is registered below; as the commit hook it may append —
+// one record for a single statement, one atomic group for a transaction.
 func (db *DB) logCommit(q string) error {
+	if len(q) > 1 {
+		_, err := db.wal.AppendBatch([][]byte{[]byte(q)})
+		return err
+	}
 	_, err := db.wal.Append([]byte(q))
 	return err
 }

@@ -4,7 +4,8 @@
 // Two rules, both derived from the crash-safety design (DESIGN.md):
 //
 //  1. Raw WAL writes are confined to the commit hook. The only sanctioned
-//     caller of Log.Append is a function registered via SetCommitHook
+//     caller of Log.Append or Log.AppendBatch is a function registered
+//     via SetCommitHook
 //     (either a named function/method passed by value or a function
 //     literal passed inline) — that hook is invoked by the engine at the
 //     one point in the commit sequence where logging before apply is
@@ -110,8 +111,10 @@ func checkAppends(pass *analysis.Pass, body ast.Node, sanctioned bool, hookLits 
 				return false
 			}
 		case *ast.CallExpr:
-			if _, ok := analysis.MethodCall(pass.TypesInfo, v, "Log", "Append"); ok && !sanctioned {
-				pass.Reportf(v.Pos(), "Log.Append outside the registered commit hook: WAL and engine state can diverge on crash")
+			for _, m := range [...]string{"Append", "AppendBatch"} {
+				if _, ok := analysis.MethodCall(pass.TypesInfo, v, "Log", m); ok && !sanctioned {
+					pass.Reportf(v.Pos(), "Log.%s outside the registered commit hook: WAL and engine state can diverge on crash", m)
+				}
 			}
 		}
 		return true

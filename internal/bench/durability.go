@@ -9,6 +9,7 @@ import (
 	"recdb/internal/engine"
 	"recdb/internal/fault"
 	"recdb/internal/persist"
+	"recdb/internal/types"
 	"recdb/internal/wal"
 )
 
@@ -82,7 +83,7 @@ func RunDurability(commits int) (Table, error) {
 	row("checkpoint (snapshot + log reset)", commits, time.Since(start))
 
 	for i := 0; i < commits; i++ {
-		if _, err := eng.Exec(insertStmt(commits+i)); err != nil {
+		if _, err := eng.Exec(insertStmt(commits + i)); err != nil {
 			return t, err
 		}
 	}
@@ -100,10 +101,9 @@ func RunDurability(commits int) (Table, error) {
 		return t, err
 	}
 	replayed := 0
-	seq, err := wal.Replay(fault.OS, filepath.Join(dir, "wal"), info.WALSeq, func(_ uint64, payload []byte) error {
+	seq, err := wal.Replay(fault.OS, filepath.Join(dir, "wal"), info.WALSeq, func(_ uint64, _ int, payload []byte) error {
 		replayed++
-		_, eerr := eng2.Exec(string(payload))
-		return eerr
+		return applyLogical(eng2, payload)
 	})
 	if err != nil {
 		return t, err
@@ -116,7 +116,74 @@ func RunDurability(commits int) (Table, error) {
 	if replayed != commits {
 		return t, fmt.Errorf("bench: recovery replayed %d of %d commits", replayed, commits)
 	}
+
+	// Replay-format experiment: the same insert workload logged two ways —
+	// as statement text (the pre-transactions WAL format, replayed through
+	// parse + plan + execute) and as logical tuple records (replayed by
+	// applying the encoded row straight to the heap). The gap is what the
+	// logical WAL buys every recovery.
+	for _, logical := range []bool{false, true} {
+		name := "replay, statement-text records (re-parse + re-plan)"
+		if logical {
+			name = "replay, logical tuple records (direct apply)"
+		}
+		d, err := timeReplayFormat(commits, logical)
+		if err != nil {
+			return t, err
+		}
+		row(name, commits, d)
+	}
 	return t, nil
+}
+
+// timeReplayFormat writes commits insert records in one of the two WAL
+// payload formats, then times replaying them into a fresh engine. Only
+// the replay loop is timed; log writing and engine setup are not.
+func timeReplayFormat(commits int, logical bool) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "recdb-durability-")
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
+	l, err := wal.Open(fault.OS, filepath.Join(dir, "wal"), 0, wal.Options{SyncEvery: -1})
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < commits; i++ {
+		var rec wal.Record
+		if logical {
+			rec = wal.Record{Kind: wal.RecInsert, Table: "ratings",
+				Row: types.EncodeRow(nil, insertRow(i))}
+		} else {
+			rec = wal.Record{Kind: wal.RecStmt, Text: insertStmt(i)}
+		}
+		//lint:ignore walorder the experiment fabricates a replay corpus; no engine is attached to diverge from
+		if _, err := l.Append(wal.EncodeRecord(nil, rec)); err != nil {
+			return 0, err
+		}
+	}
+	if err := l.Close(); err != nil {
+		return 0, err
+	}
+
+	eng := engine.New(engine.Config{})
+	defer eng.Close()
+	if _, err := eng.ExecScript(durabilitySchema); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	n := 0
+	if _, err := wal.Replay(fault.OS, filepath.Join(dir, "wal"), 0, func(_ uint64, _ int, payload []byte) error {
+		n++
+		return applyLogical(eng, payload)
+	}); err != nil {
+		return 0, err
+	}
+	d := time.Since(start)
+	if n != commits {
+		return 0, fmt.Errorf("bench: replayed %d of %d records", n, commits)
+	}
+	return d, nil
 }
 
 // timeCommits measures committing n statements through the WAL under one
@@ -148,8 +215,8 @@ func timeCommits(syncEvery, n int) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// durableEngine builds an engine whose commits append to a WAL in
-// dir/wal, the same wiring recdb uses after SaveTo.
+// durableEngine builds an engine whose commits append logical tuple
+// records to a WAL in dir/wal, the same wiring recdb uses after SaveTo.
 func durableEngine(dir string, syncEvery int) (*engine.Engine, *wal.Log, error) {
 	eng := engine.New(engine.Config{})
 	if _, err := eng.ExecScript(durabilitySchema); err != nil {
@@ -161,13 +228,66 @@ func durableEngine(dir string, syncEvery int) (*engine.Engine, *wal.Log, error) 
 		eng.Close()
 		return nil, nil, err
 	}
-	eng.SetCommitHook(func(stmt string) error {
-		_, aerr := l.Append([]byte(stmt))
+	eng.SetCommitHook(func(txn uint64, muts []engine.Mutation) error {
+		payloads := make([][]byte, 0, len(muts)+2)
+		if txn != 0 {
+			payloads = append(payloads, wal.EncodeRecord(nil, wal.Record{Kind: wal.RecTxnBegin, Txn: txn}))
+		}
+		for _, m := range muts {
+			rec := wal.Record{Kind: m.Kind, Txn: txn, Table: m.Table, Text: m.Text}
+			if m.Row != nil {
+				rec.Row = types.EncodeRow(nil, m.Row)
+			}
+			if m.Old != nil {
+				rec.Old = types.EncodeRow(nil, m.Old)
+			}
+			payloads = append(payloads, wal.EncodeRecord(nil, rec))
+		}
+		if txn != 0 {
+			payloads = append(payloads, wal.EncodeRecord(nil, wal.Record{Kind: wal.RecTxnCommit, Txn: txn}))
+		}
+		var aerr error
+		if len(payloads) == 1 {
+			_, aerr = l.Append(payloads[0])
+		} else {
+			_, aerr = l.AppendBatch(payloads)
+		}
 		return aerr
 	})
 	return eng, l, nil
 }
 
+// applyLogical replays one logical WAL payload into an engine. The
+// bench workload commits one row at a time, so every record is bare
+// (no transaction framing to buffer).
+func applyLogical(eng *engine.Engine, payload []byte) error {
+	rec, err := wal.DecodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	switch rec.Kind {
+	case wal.RecInsert:
+		row, _, derr := types.DecodeRow(rec.Row)
+		if derr != nil {
+			return derr
+		}
+		return eng.ApplyInsert(rec.Table, row)
+	case wal.RecStmt:
+		_, eerr := eng.Exec(rec.Text)
+		return eerr
+	}
+	return fmt.Errorf("bench: unexpected record kind %q", rec.Kind)
+}
+
 func insertStmt(i int) string {
 	return fmt.Sprintf("INSERT INTO ratings VALUES (%d, %d, %d.5)", i%997, i, i%4+1)
+}
+
+// insertRow is insertStmt's row in encoded-tuple form.
+func insertRow(i int) types.Row {
+	return types.Row{
+		types.NewInt(int64(i % 997)),
+		types.NewInt(int64(i)),
+		types.NewFloat(float64(i%4) + 0.5),
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recdb/internal/catalog"
@@ -64,6 +65,10 @@ type Engine struct {
 	mu     sync.RWMutex
 	caches map[string]*reccache.Manager // by lower-case recommender name
 
+	// txnSeq issues transaction ids: explicit transactions and autocommit
+	// statements whose WAL group spans more than one record.
+	txnSeq atomic.Uint64
+
 	commitHook CommitHook
 }
 
@@ -81,34 +86,58 @@ type engineMetrics struct {
 	analyzeQueries *metrics.Counter
 }
 
-// CommitHook observes every successfully executed mutating statement's
-// source text. recdb.DB installs one that appends the statement to the
-// write-ahead log; a hook error is returned from Exec/ExecScript so the
-// caller learns the statement is applied in memory but not yet durable.
-type CommitHook func(stmtText string) error
+// CommitHook observes every successfully applied group of mutations: an
+// autocommit statement's tuple changes, or a whole transaction's at
+// COMMIT. recdb.DB installs one that appends the group to the
+// write-ahead log as a single atomic batch; a hook error is returned
+// from Exec/ExecScript/Commit so the caller learns the changes are
+// applied in memory but not yet durable. txn is 0 for a group that needs
+// no transactional framing (a single-record statement); a non-zero id
+// tells the hook to wrap the group in TxnBegin/TxnCommit records.
+type CommitHook func(txn uint64, muts []Mutation) error
 
 // SetCommitHook installs (or, with nil, removes) the commit hook. It is
 // not synchronized with in-flight statements: install it before serving.
 func (e *Engine) SetCommitHook(h CommitHook) { e.commitHook = h }
 
 // Mutates reports whether a statement changes durable state (anything
-// but SELECT/EXPLAIN) and therefore must reach the commit hook. The
-// recdb layer also uses it to pick its lock mode: mutating statements
-// run one at a time so the write-ahead log records them in apply order.
+// but SELECT/EXPLAIN and transaction control) and therefore must reach
+// the commit hook. The recdb layer also uses it to pick its lock mode:
+// mutating statements hold their table's write lock so the write-ahead
+// log records same-table changes in apply order.
 func Mutates(stmt sql.Statement) bool {
 	switch stmt.(type) {
-	case *sql.Select, *sql.Explain:
+	case *sql.Select, *sql.Explain, *sql.Begin, *sql.Commit, *sql.Rollback:
 		return false
 	}
 	return true
 }
 
-// commit routes a successfully executed statement's text to the hook.
-func (e *Engine) commit(stmt sql.Statement, text string) error {
-	if e.commitHook == nil || !Mutates(stmt) {
+// IsDML reports whether a statement is a tuple-level write
+// (INSERT/DELETE/UPDATE) — the statements allowed inside a transaction,
+// which the recdb layer serializes per table rather than globally.
+func IsDML(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.Insert, *sql.Delete, *sql.Update:
+		return true
+	}
+	return false
+}
+
+// commitMuts routes an autocommit statement's applied mutations to the
+// hook. A group of more than one record gets a transaction id so the
+// hook's WAL batch is framed TxnBegin..TxnCommit and recovery applies it
+// all-or-nothing — a multi-row INSERT stays as atomic under the logical
+// WAL as it was as one statement-text record.
+func (e *Engine) commitMuts(muts []Mutation) error {
+	if e.commitHook == nil || len(muts) == 0 {
 		return nil
 	}
-	return e.commitHook(text)
+	var txn uint64
+	if len(muts) > 1 {
+		txn = e.txnSeq.Add(1)
+	}
+	return e.commitHook(txn, muts)
 }
 
 // New creates an empty engine.
@@ -282,34 +311,48 @@ func (e *Engine) ExecParsed(stmt sql.Statement, text string) (Result, error) {
 // observes cancellation between rows; a mutating statement checks the
 // context once before starting and then runs to completion — an applied
 // mutation is never half-aborted, so the WAL and the in-memory state
-// cannot diverge on a timeout.
+// cannot diverge on a timeout. A mutating statement that fails mid-way
+// (say, a primary-key violation on the third row of a multi-row INSERT)
+// is backed out before the error returns: autocommit statements are
+// atomic in memory, not just in the log.
 func (e *Engine) ExecParsedCtx(ctx context.Context, stmt sql.Statement, text string) (Result, error) {
-	res, err := e.execStmtCtx(ctx, stmt)
+	if !Mutates(stmt) {
+		return e.execReadOnlyCtx(ctx, stmt)
+	}
+	// Refuse to start a mutation on a dead context, but never abort one
+	// mid-flight: partial applies would be unrecoverable.
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("engine: statement not started: %w", err)
+	}
+	res, muts, err := e.execMutation(stmt)
 	if err != nil {
+		if uerr := e.undoMutations(muts); uerr != nil {
+			return res, fmt.Errorf("%w (and undo failed: %w)", err, uerr)
+		}
 		return res, err
 	}
-	if err := e.commit(stmt, text); err != nil {
+	for i := range muts {
+		if muts[i].Kind == MutStmt {
+			muts[i].Text = text
+		}
+	}
+	if err := e.runMaintenance(muts); err != nil {
+		return res, err
+	}
+	if err := e.commitMuts(muts); err != nil {
 		return res, err
 	}
 	return res, nil
 }
 
-// ExecStmt runs a parsed statement.
+// ExecStmt runs a parsed statement (autocommit, with no source text for
+// the log — callers with a write-ahead log attached use ExecParsed).
 func (e *Engine) ExecStmt(stmt sql.Statement) (Result, error) {
-	return e.execStmtCtx(context.Background(), stmt)
+	return e.ExecParsedCtx(context.Background(), stmt, "")
 }
 
-// execStmtCtx runs a parsed statement under ctx (see ExecParsedCtx for
-// the cancellation semantics).
-func (e *Engine) execStmtCtx(ctx context.Context, stmt sql.Statement) (Result, error) {
-	if Mutates(stmt) {
-		// Refuse to start a mutation on a dead context, but never abort
-		// one mid-flight: partial applies would be unrecoverable.
-		if err := ctx.Err(); err != nil {
-			return Result{}, fmt.Errorf("engine: statement not started: %w", err)
-		}
-		return e.execMutation(stmt)
-	}
+// execReadOnlyCtx runs the non-mutating statement kinds.
+func (e *Engine) execReadOnlyCtx(ctx context.Context, stmt sql.Statement) (Result, error) {
 	switch s := stmt.(type) {
 	case *sql.Select:
 		res, err := e.queryCtx(ctx, s)
@@ -323,28 +366,44 @@ func (e *Engine) execStmtCtx(ctx context.Context, stmt sql.Statement) (Result, e
 			return Result{}, err
 		}
 		return Result{RowsAffected: int64(len(res.Rows))}, nil
+	case *sql.Begin, *sql.Commit, *sql.Rollback:
+		return Result{}, fmt.Errorf("engine: %s requires a transaction-aware session (recdb.DB.Begin or NewSession)", stmtName(stmt))
 	default:
 		return Result{}, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
 }
 
-// execMutation dispatches the mutating statement kinds.
-func (e *Engine) execMutation(stmt sql.Statement) (Result, error) {
+// execMutation dispatches the mutating statement kinds and returns the
+// tuple-level mutations applied (for DDL, one MutStmt record whose Text
+// the caller stamps with the statement source). On error the returned
+// mutations are the changes applied before the failure — the caller
+// undoes them.
+func (e *Engine) execMutation(stmt sql.Statement) (Result, []Mutation, error) {
+	ddl := []Mutation{{Kind: MutStmt}}
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
-		return e.execCreateTable(s)
+		r, err := e.execCreateTable(s)
+		if err != nil {
+			return r, nil, err
+		}
+		return r, ddl, nil
 	case *sql.DropTable:
 		if s.IfExists && !e.cat.Has(s.Name) {
-			return Result{}, nil
+			return Result{}, ddl, nil
 		}
-		return Result{}, e.cat.DropTable(s.Name)
+		if err := e.cat.DropTable(s.Name); err != nil {
+			return Result{}, nil, err
+		}
+		return Result{}, ddl, nil
 	case *sql.CreateIndex:
 		tab, err := e.cat.Get(s.Table)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
-		_, err = tab.CreateIndex(s.Name, s.Column)
-		return Result{}, err
+		if _, err := tab.CreateIndex(s.Name, s.Column); err != nil {
+			return Result{}, nil, err
+		}
+		return Result{}, ddl, nil
 	case *sql.Insert:
 		return e.execInsert(s)
 	case *sql.Delete:
@@ -352,16 +411,20 @@ func (e *Engine) execMutation(stmt sql.Statement) (Result, error) {
 	case *sql.Update:
 		return e.execUpdate(s)
 	case *sql.CreateRecommender:
-		return e.execCreateRecommender(s)
+		r, err := e.execCreateRecommender(s)
+		if err != nil {
+			return r, nil, err
+		}
+		return r, ddl, nil
 	case *sql.DropRecommender:
 		name := strings.ToLower(s.Name)
 		if s.IfExists {
 			if _, ok := e.rec.Get(name); !ok {
-				return Result{}, nil
+				return Result{}, ddl, nil
 			}
 		}
 		if err := e.rec.Drop(s.Name); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		e.mu.Lock()
 		if c := e.caches[name]; c != nil {
@@ -369,9 +432,9 @@ func (e *Engine) execMutation(stmt sql.Statement) (Result, error) {
 			delete(e.caches, name)
 		}
 		e.mu.Unlock()
-		return Result{}, nil
+		return Result{}, ddl, nil
 	default:
-		return Result{}, fmt.Errorf("engine: unsupported statement %T", stmt)
+		return Result{}, nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
 }
 
@@ -483,14 +546,11 @@ func (e *Engine) ExecScriptParsed(stmts []sql.ScriptStmt) (Result, error) {
 func (e *Engine) ExecScriptParsedCtx(ctx context.Context, stmts []sql.ScriptStmt) (Result, error) {
 	var total Result
 	for _, s := range stmts {
-		r, err := e.execStmtCtx(ctx, s.Stmt)
+		r, err := e.ExecParsedCtx(ctx, s.Stmt, s.Text)
 		if err != nil {
 			return total, err
 		}
 		total.RowsAffected += r.RowsAffected
-		if err := e.commit(s.Stmt, s.Text); err != nil {
-			return total, err
-		}
 	}
 	return total, nil
 }
@@ -518,10 +578,10 @@ func (e *Engine) execCreateTable(s *sql.CreateTable) (Result, error) {
 	return Result{}, err
 }
 
-func (e *Engine) execInsert(s *sql.Insert) (Result, error) {
+func (e *Engine) execInsert(s *sql.Insert) (Result, []Mutation, error) {
 	tab, err := e.cat.Get(s.Table)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	// Map the column list (or identity).
 	colIdx := make([]int, 0, tab.Schema.Len())
@@ -533,17 +593,17 @@ func (e *Engine) execInsert(s *sql.Insert) (Result, error) {
 		for _, name := range s.Cols {
 			idx, err := tab.Schema.Resolve("", name)
 			if err != nil {
-				return Result{}, err
+				return Result{}, nil, err
 			}
 			colIdx = append(colIdx, idx)
 		}
 	}
 	empty := types.NewSchema()
 	var inserted int64
-	var insertedRows []types.Row
+	var muts []Mutation
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(colIdx) {
-			return Result{RowsAffected: inserted}, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(exprRow), len(colIdx))
+			return Result{RowsAffected: inserted}, muts, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(exprRow), len(colIdx))
 		}
 		row := make(types.Row, tab.Schema.Len())
 		for i := range row {
@@ -552,11 +612,11 @@ func (e *Engine) execInsert(s *sql.Insert) (Result, error) {
 		for i, ex := range exprRow {
 			c, err := expr.Compile(ex, empty)
 			if err != nil {
-				return Result{RowsAffected: inserted}, err
+				return Result{RowsAffected: inserted}, muts, err
 			}
 			v, err := c(nil)
 			if err != nil {
-				return Result{RowsAffected: inserted}, err
+				return Result{RowsAffected: inserted}, muts, err
 			}
 			// Parse text literals destined for geometry columns.
 			if v.Kind() == types.KindText && tab.Schema.Columns[colIdx[i]].Kind == types.KindGeometry {
@@ -570,85 +630,58 @@ func (e *Engine) execInsert(s *sql.Insert) (Result, error) {
 			row[colIdx[i]] = v
 		}
 		if _, err := tab.Insert(row); err != nil {
-			return Result{RowsAffected: inserted}, err
+			return Result{RowsAffected: inserted}, muts, err
 		}
-		insertedRows = append(insertedRows, row)
+		muts = append(muts, Mutation{Kind: MutInsert, Table: s.Table, Row: row})
 		inserted++
 	}
-	if err := e.afterInsert(s.Table, tab, insertedRows); err != nil {
-		return Result{RowsAffected: inserted}, err
-	}
-	return Result{RowsAffected: inserted}, nil
+	return Result{RowsAffected: inserted}, muts, nil
 }
 
-// afterInsert feeds maintenance: item-update statistics for every
-// recommender built on this table, then the N% rebuild policy.
-func (e *Engine) afterInsert(table string, tab *catalog.Table, rows []types.Row) error {
-	if len(rows) == 0 {
-		return nil
-	}
-	for _, r := range e.rec.List() {
-		if !strings.EqualFold(r.Table, table) {
-			continue
-		}
-		cache := e.cacheOf(r.Name)
-		if cache == nil {
-			continue
-		}
-		_, itemIdx, _, err := r.ResolveRatingColumns(tab.Schema)
-		if err != nil {
-			continue
-		}
-		for _, row := range rows {
-			if id, ok := row[itemIdx].AsInt(); ok {
-				cache.RecordUpdate(id)
-			}
-		}
-	}
-	return e.rec.NotifyInsert(table, len(rows))
-}
-
-func (e *Engine) execDelete(s *sql.Delete) (Result, error) {
+func (e *Engine) execDelete(s *sql.Delete) (Result, []Mutation, error) {
 	tab, err := e.cat.Get(s.Table)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	schema := tab.Schema.WithQualifier(s.Table)
 	var pred expr.Compiled
 	if s.Where != nil {
 		if pred, err = expr.Compile(s.Where, schema); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	rids, err := matchRIDs(tab, pred)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
+	var muts []Mutation
+	var affected int64
 	for _, rid := range rids {
+		// Remember the victim's content: the logical WAL record carries it
+		// (replay locates rows by content) and rollback re-inserts it.
+		row, err := tab.Heap.Get(rid)
+		if err != nil {
+			return Result{RowsAffected: affected}, muts, err
+		}
 		if err := tab.Delete(rid); err != nil {
-			return Result{}, err
+			return Result{RowsAffected: affected}, muts, err
 		}
+		muts = append(muts, Mutation{Kind: MutDelete, Table: s.Table, Old: row})
+		affected++
 	}
-	if len(rids) > 0 {
-		// Deleted ratings stale the model exactly like inserted ones; they
-		// count toward the N% rebuild threshold.
-		if err := e.rec.NotifyInsert(s.Table, len(rids)); err != nil {
-			return Result{RowsAffected: int64(len(rids))}, err
-		}
-	}
-	return Result{RowsAffected: int64(len(rids))}, nil
+	return Result{RowsAffected: affected}, muts, nil
 }
 
-func (e *Engine) execUpdate(s *sql.Update) (Result, error) {
+func (e *Engine) execUpdate(s *sql.Update) (Result, []Mutation, error) {
 	tab, err := e.cat.Get(s.Table)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	schema := tab.Schema.WithQualifier(s.Table)
 	var pred expr.Compiled
 	if s.Where != nil {
 		if pred, err = expr.Compile(s.Where, schema); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	type setter struct {
@@ -659,44 +692,40 @@ func (e *Engine) execUpdate(s *sql.Update) (Result, error) {
 	for i, a := range s.Set {
 		col, err := schema.Resolve("", a.Column)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		val, err := expr.Compile(a.Value, schema)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		setters[i] = setter{col, val}
 	}
 	rids, err := matchRIDs(tab, pred)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
+	var muts []Mutation
 	var affected int64
 	for _, rid := range rids {
 		row, err := tab.Heap.Get(rid)
 		if err != nil {
-			return Result{RowsAffected: affected}, err
+			return Result{RowsAffected: affected}, muts, err
 		}
 		updated := row.Clone()
 		for _, st := range setters {
 			v, err := st.val(row)
 			if err != nil {
-				return Result{RowsAffected: affected}, err
+				return Result{RowsAffected: affected}, muts, err
 			}
 			updated[st.col] = v
 		}
 		if _, err := tab.Update(rid, updated); err != nil {
-			return Result{RowsAffected: affected}, err
+			return Result{RowsAffected: affected}, muts, err
 		}
+		muts = append(muts, Mutation{Kind: MutUpdate, Table: s.Table, Row: updated, Old: row})
 		affected++
 	}
-	if affected > 0 {
-		// Updated ratings count toward the rebuild threshold too.
-		if err := e.rec.NotifyInsert(s.Table, int(affected)); err != nil {
-			return Result{RowsAffected: affected}, err
-		}
-	}
-	return Result{RowsAffected: affected}, nil
+	return Result{RowsAffected: affected}, muts, nil
 }
 
 func matchRIDs(tab *catalog.Table, pred expr.Compiled) ([]storage.RID, error) {

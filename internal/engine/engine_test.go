@@ -634,11 +634,15 @@ func TestInsertArityError(t *testing.T) {
 	}
 }
 
-func TestCommitHookSeesMutatingStatements(t *testing.T) {
+func TestCommitHookSeesMutations(t *testing.T) {
 	e := New(Config{})
-	var logged []string
-	e.SetCommitHook(func(text string) error {
-		logged = append(logged, text)
+	type commit struct {
+		txn  uint64
+		muts []Mutation
+	}
+	var logged []commit
+	e.SetCommitHook(func(txn uint64, muts []Mutation) error {
+		logged = append(logged, commit{txn, muts})
 		return nil
 	})
 	if _, err := e.ExecScript(`
@@ -648,21 +652,27 @@ func TestCommitHookSeesMutatingStatements(t *testing.T) {
 	`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Exec("INSERT INTO t VALUES (2)"); err != nil {
+	if _, err := e.Exec("INSERT INTO t VALUES (2), (3)"); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{
-		"CREATE TABLE t (a INT PRIMARY KEY)",
-		"INSERT INTO t VALUES (1)",
-		"INSERT INTO t VALUES (2)",
+	if len(logged) != 3 {
+		t.Fatalf("logged %d commits: %+v", len(logged), logged)
 	}
-	if len(logged) != len(want) {
-		t.Fatalf("logged %d statements: %q", len(logged), logged)
+	// DDL commits as one statement record carrying its source text.
+	if c := logged[0]; len(c.muts) != 1 || c.muts[0].Kind != MutStmt ||
+		c.muts[0].Text != "CREATE TABLE t (a INT PRIMARY KEY)" {
+		t.Fatalf("DDL commit = %+v", c)
 	}
-	for i := range want {
-		if logged[i] != want[i] {
-			t.Fatalf("logged[%d] = %q, want %q", i, logged[i], want[i])
-		}
+	// A single-row insert commits as one bare tuple record (no txn id).
+	if c := logged[1]; c.txn != 0 || len(c.muts) != 1 || c.muts[0].Kind != MutInsert ||
+		c.muts[0].Table != "t" || len(c.muts[0].Row) != 1 {
+		t.Fatalf("single-row commit = %+v", c)
+	}
+	// A multi-row insert gets a transaction id so the WAL frames its
+	// records as one atomic group.
+	if c := logged[2]; c.txn == 0 || len(c.muts) != 2 ||
+		c.muts[0].Kind != MutInsert || c.muts[1].Kind != MutInsert {
+		t.Fatalf("multi-row commit = %+v", c)
 	}
 	// A failed statement must not reach the hook.
 	logged = nil
@@ -670,7 +680,7 @@ func TestCommitHookSeesMutatingStatements(t *testing.T) {
 		t.Fatal("duplicate pk should fail")
 	}
 	if len(logged) != 0 {
-		t.Fatalf("failed statement reached the hook: %q", logged)
+		t.Fatalf("failed statement reached the hook: %+v", logged)
 	}
 }
 
@@ -680,7 +690,7 @@ func TestCommitHookErrorSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	hookErr := fmt.Errorf("wal full")
-	e.SetCommitHook(func(string) error { return hookErr })
+	e.SetCommitHook(func(uint64, []Mutation) error { return hookErr })
 	if _, err := e.Exec("INSERT INTO t VALUES (1)"); !errors.Is(err, hookErr) {
 		t.Fatalf("hook error not surfaced: %v", err)
 	}

@@ -1,0 +1,436 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"recdb/internal/catalog"
+	"recdb/internal/sql"
+	"recdb/internal/storage"
+	"recdb/internal/types"
+)
+
+// Mutation kinds, mirroring the WAL's logical record kinds: the recdb
+// layer translates a committed statement's or transaction's mutations
+// one-to-one into wal.Record entries.
+const (
+	// MutInsert records that Row was inserted into Table.
+	MutInsert byte = 'I'
+	// MutDelete records that Old was deleted from Table.
+	MutDelete byte = 'D'
+	// MutUpdate records that Old became Row in Table.
+	MutUpdate byte = 'U'
+	// MutStmt records a DDL statement by its source text. DDL is
+	// autocommit-only (refused inside explicit transactions), so it is
+	// never undone — only replayed.
+	MutStmt byte = 'S'
+)
+
+// Mutation is one applied tuple-level change (or, for DDL, the statement
+// text). Rows are carried by value, not by RID: row identity on the undo
+// and replay paths is content — RIDs are not stable across a snapshot
+// reload, which re-inserts rows compacting slots.
+type Mutation struct {
+	Kind  byte
+	Table string
+	Row   types.Row // inserted / post-update row (MutInsert, MutUpdate)
+	Old   types.Row // deleted / pre-update row (MutDelete, MutUpdate)
+	Text  string    // statement source text (MutStmt)
+}
+
+// rowsEqual compares two rows by content.
+func rowsEqual(a, b types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !types.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// findRow locates a live row by content and returns its RID. Callers
+// hold the table's write lock (recdb layer), so the location stays valid
+// until the caller acts on it.
+func findRow(tab *catalog.Table, want types.Row) (storage.RID, bool, error) {
+	it := tab.Heap.Scan()
+	defer it.Close()
+	for {
+		row, rid, ok, err := it.Next()
+		if err != nil {
+			return storage.RID{}, false, err
+		}
+		if !ok {
+			return storage.RID{}, false, nil
+		}
+		if rowsEqual(row, want) {
+			return rid, true, nil
+		}
+	}
+}
+
+// ApplyInsert applies a logical insert record directly to the heap and
+// indexes — no parse, no plan. Crash recovery replays with this.
+func (e *Engine) ApplyInsert(table string, row types.Row) error {
+	tab, err := e.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	if _, err := tab.Insert(row); err != nil {
+		return err
+	}
+	return e.maintainTable(table, tab, []types.Row{row}, 1)
+}
+
+// ApplyDelete applies a logical delete record: the victim is located by
+// content (any one of content-equal duplicates is interchangeable).
+func (e *Engine) ApplyDelete(table string, old types.Row) error {
+	tab, err := e.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	rid, ok, err := findRow(tab, old)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("engine: delete of missing row in %q", table)
+	}
+	if err := tab.Delete(rid); err != nil {
+		return err
+	}
+	return e.maintainTable(table, tab, nil, 1)
+}
+
+// ApplyUpdate applies a logical update record, locating the pre-image by
+// content.
+func (e *Engine) ApplyUpdate(table string, old, row types.Row) error {
+	tab, err := e.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	rid, ok, err := findRow(tab, old)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("engine: update of missing row in %q", table)
+	}
+	if _, err := tab.Update(rid, row); err != nil {
+		return err
+	}
+	return e.maintainTable(table, tab, nil, 1)
+}
+
+// undoMutations reverses applied mutations in reverse order: the inverse
+// of each tuple change, located by row content. It powers both statement
+// atomicity (a multi-row statement that fails mid-way is backed out) and
+// transaction ROLLBACK.
+func (e *Engine) undoMutations(muts []Mutation) error {
+	for i := len(muts) - 1; i >= 0; i-- {
+		m := muts[i]
+		tab, err := e.cat.Get(m.Table)
+		if err != nil {
+			return fmt.Errorf("engine: undo: %w", err)
+		}
+		switch m.Kind {
+		case MutInsert:
+			rid, ok, err := findRow(tab, m.Row)
+			if err != nil {
+				return fmt.Errorf("engine: undo insert in %q: %w", m.Table, err)
+			}
+			if !ok {
+				return fmt.Errorf("engine: undo insert in %q: inserted row vanished", m.Table)
+			}
+			if err := tab.Delete(rid); err != nil {
+				return fmt.Errorf("engine: undo insert in %q: %w", m.Table, err)
+			}
+		case MutDelete:
+			if _, err := tab.Insert(m.Old); err != nil {
+				return fmt.Errorf("engine: undo delete in %q: %w", m.Table, err)
+			}
+		case MutUpdate:
+			rid, ok, err := findRow(tab, m.Row)
+			if err != nil {
+				return fmt.Errorf("engine: undo update in %q: %w", m.Table, err)
+			}
+			if !ok {
+				return fmt.Errorf("engine: undo update in %q: updated row vanished", m.Table)
+			}
+			if _, err := tab.Update(rid, m.Old); err != nil {
+				return fmt.Errorf("engine: undo update in %q: %w", m.Table, err)
+			}
+		default:
+			return fmt.Errorf("engine: cannot undo %q mutation", m.Kind)
+		}
+	}
+	return nil
+}
+
+// runMaintenance feeds the recommendation layer the changes a committed
+// statement or transaction made: item-update statistics for inserted
+// ratings, then the N% rebuild policy per table. Autocommit statements
+// run it right after applying; transactions stage their mutations and
+// run it once at COMMIT, so an eventually rolled-back transaction never
+// perturbs model maintenance.
+func (e *Engine) runMaintenance(muts []Mutation) error {
+	type agg struct {
+		name  string
+		rows  []types.Row
+		count int
+	}
+	var order []string
+	per := make(map[string]*agg)
+	for _, m := range muts {
+		if m.Kind == MutStmt {
+			continue
+		}
+		key := strings.ToLower(m.Table)
+		a := per[key]
+		if a == nil {
+			a = &agg{name: m.Table}
+			per[key] = a
+			order = append(order, key)
+		}
+		if m.Kind == MutInsert {
+			a.rows = append(a.rows, m.Row)
+		}
+		a.count++
+	}
+	for _, key := range order {
+		a := per[key]
+		tab, err := e.cat.Get(a.name)
+		if err != nil {
+			continue // table dropped since; nothing to maintain
+		}
+		if err := e.maintainTable(a.name, tab, a.rows, a.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maintainTable records inserted items with every recommender cache on
+// the table and counts changed rows toward the N% rebuild threshold.
+func (e *Engine) maintainTable(table string, tab *catalog.Table, inserted []types.Row, count int) error {
+	for _, r := range e.rec.List() {
+		if !strings.EqualFold(r.Table, table) {
+			continue
+		}
+		cache := e.cacheOf(r.Name)
+		if cache == nil {
+			continue
+		}
+		_, itemIdx, _, err := r.ResolveRatingColumns(tab.Schema)
+		if err != nil {
+			continue
+		}
+		for _, row := range inserted {
+			if id, ok := row[itemIdx].AsInt(); ok {
+				cache.RecordUpdate(id)
+			}
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	return e.rec.NotifyInsert(table, count)
+}
+
+// Txn is one open multi-statement transaction. Statements apply eagerly
+// — the transaction reads its own writes — while every change is also
+// recorded as a Mutation for the commit-time WAL group append and for
+// content-based undo on rollback. The first touch of each table pins a
+// heap snapshot (the begin-state generation), so PR 7's copy-on-write
+// machinery keeps every pre-image page reachable until the transaction
+// resolves; Close/Commit/Rollback release the pins.
+//
+// A Txn is not safe for concurrent use; the recdb layer serializes
+// explicit transactions and holds each touched table's write lock from
+// first touch to resolution, which is what keeps eager apply sound:
+// nothing else can mutate a touched table while the transaction is open.
+type Txn struct {
+	e    *Engine
+	id   uint64
+	muts []Mutation
+	pins map[string]*storage.Snapshot
+	done bool
+}
+
+// BeginTxn opens a transaction. The id is unique within this engine
+// instance and tags the transaction's WAL records.
+func (e *Engine) BeginTxn() *Txn {
+	return &Txn{e: e, id: e.txnSeq.Add(1), pins: make(map[string]*storage.Snapshot)}
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Done reports whether the transaction has committed or rolled back.
+func (t *Txn) Done() bool { return t.done }
+
+// Tables returns the tables the transaction has touched (lower-cased),
+// in no particular order.
+func (t *Txn) Tables() []string {
+	out := make([]string, 0, len(t.pins))
+	for name := range t.pins {
+		out = append(out, name)
+	}
+	return out
+}
+
+// pinTable pins the heap snapshot of a table on first touch.
+func (t *Txn) pinTable(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := t.pins[key]; ok {
+		return nil
+	}
+	tab, err := t.e.cat.Get(name)
+	if err != nil {
+		return err
+	}
+	t.pins[key] = tab.Heap.Snapshot()
+	return nil
+}
+
+func (t *Txn) releasePins() {
+	for key, s := range t.pins {
+		s.Close()
+		delete(t.pins, key)
+	}
+}
+
+// ExecParsed runs one statement inside the transaction.
+func (t *Txn) ExecParsed(stmt sql.Statement, text string) (Result, error) {
+	return t.ExecParsedCtx(context.Background(), stmt, text)
+}
+
+// ExecParsedCtx runs one statement inside the transaction. DML applies
+// eagerly and is staged for the commit-time WAL append; SELECT/EXPLAIN
+// read through the current state and therefore see the transaction's own
+// writes. DDL and nested transaction control are refused. A statement
+// that fails mid-way is backed out; the transaction stays open with its
+// earlier statements intact.
+func (t *Txn) ExecParsedCtx(ctx context.Context, stmt sql.Statement, text string) (Result, error) {
+	if t.done {
+		return Result{}, fmt.Errorf("engine: transaction already resolved")
+	}
+	switch s := stmt.(type) {
+	case *sql.Select:
+		res, err := t.e.queryCtx(ctx, s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: int64(len(res.Rows))}, nil
+	case *sql.Explain:
+		res, err := t.e.explain(s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: int64(len(res.Rows))}, nil
+	case *sql.Insert, *sql.Delete, *sql.Update:
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("engine: statement not started: %w", err)
+		}
+		if err := t.pinTable(dmlTable(stmt)); err != nil {
+			return Result{}, err
+		}
+		res, muts, err := t.e.execMutation(stmt)
+		if err != nil {
+			if uerr := t.e.undoMutations(muts); uerr != nil {
+				return res, fmt.Errorf("%w (and undo failed: %w)", err, uerr)
+			}
+			return res, err
+		}
+		t.muts = append(t.muts, muts...)
+		return res, nil
+	case *sql.Begin:
+		return Result{}, fmt.Errorf("engine: BEGIN inside an open transaction")
+	default:
+		_ = s
+		return Result{}, fmt.Errorf("engine: %s is not allowed inside a transaction", stmtName(stmt))
+	}
+}
+
+// Query runs a SELECT inside the transaction (it sees the transaction's
+// own writes, since writes apply eagerly).
+func (t *Txn) QueryCtx(ctx context.Context, sel *sql.Select) (*QueryResult, error) {
+	if t.done {
+		return nil, fmt.Errorf("engine: transaction already resolved")
+	}
+	return t.e.queryCtx(ctx, sel)
+}
+
+// Commit resolves the transaction: the staged mutations go to the commit
+// hook as one group (the recdb hook appends them to the WAL as a single
+// atomic batch), then staged model maintenance runs. An empty
+// transaction commits without touching the hook. On a hook error the
+// writes remain applied in memory but are not durable — the same
+// applied-but-not-logged ambiguity an autocommit statement reports.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("engine: transaction already resolved")
+	}
+	t.done = true
+	defer t.releasePins()
+	if len(t.muts) == 0 {
+		return nil
+	}
+	if t.e.commitHook != nil {
+		if err := t.e.commitHook(t.id, t.muts); err != nil {
+			return err
+		}
+	}
+	return t.e.runMaintenance(t.muts)
+}
+
+// Rollback undoes every staged mutation in reverse order and releases
+// the snapshot pins. Rolling back an already-resolved transaction is a
+// no-op, so teardown paths can call it unconditionally.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	defer t.releasePins()
+	return t.e.undoMutations(t.muts)
+}
+
+// dmlTable names the target table of a DML statement.
+func dmlTable(stmt sql.Statement) string {
+	switch s := stmt.(type) {
+	case *sql.Insert:
+		return s.Table
+	case *sql.Delete:
+		return s.Table
+	case *sql.Update:
+		return s.Table
+	}
+	return ""
+}
+
+// stmtName renders a statement kind for error messages.
+func stmtName(stmt sql.Statement) string {
+	switch stmt.(type) {
+	case *sql.CreateTable:
+		return "CREATE TABLE"
+	case *sql.DropTable:
+		return "DROP TABLE"
+	case *sql.CreateIndex:
+		return "CREATE INDEX"
+	case *sql.CreateRecommender:
+		return "CREATE RECOMMENDER"
+	case *sql.DropRecommender:
+		return "DROP RECOMMENDER"
+	case *sql.Commit:
+		return "COMMIT"
+	case *sql.Rollback:
+		return "ROLLBACK"
+	case *sql.Begin:
+		return "BEGIN"
+	}
+	return fmt.Sprintf("%T", stmt)
+}

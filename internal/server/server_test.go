@@ -588,3 +588,228 @@ func TestRawProtocolRejections(t *testing.T) {
 		}
 	})
 }
+
+// ratingCount reads COUNT(*) for one uid straight through the embedded
+// DB, bypassing the wire protocol.
+func ratingCount(t *testing.T, db *recdb.DB, uid int) int64 {
+	t.Helper()
+	rows, err := db.Query(fmt.Sprintf("SELECT COUNT(*) FROM ratings WHERE uid = %d", uid))
+	if err != nil || !rows.Next() {
+		t.Fatalf("counting uid %d: %v", uid, err)
+	}
+	var n int64
+	if err := rows.Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// openSnapshots reports the ratings heap's open snapshot handles — the
+// pins a transaction holds while in flight and must release when done.
+func openSnapshots(t *testing.T, db *recdb.DB) int {
+	t.Helper()
+	tab, err := db.Engine().Catalog().Get("ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.Heap.OpenSnapshots()
+}
+
+// waitRollback polls until the dropped session's transaction is rolled
+// back: its rows gone, its table gate free, and its snapshot pins
+// released.
+func waitRollback(t *testing.T, db *recdb.DB, uid int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ratingCount(t, db, uid) == 0 && openSnapshots(t, db) == 0 {
+			// The table gate must be free again for the next writer.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_, err := db.ExecContext(ctx, fmt.Sprintf("DELETE FROM ratings WHERE uid = %d", uid))
+			cancel()
+			if err == nil {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("transaction for uid %d not rolled back: %d rows, %d open snapshots",
+		uid, ratingCount(t, db, uid), openSnapshots(t, db))
+}
+
+func TestTransactionOverWire(t *testing.T) {
+	db := seededDB(t)
+	addr, _ := startServer(t, db, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// COMMIT makes the transaction's writes visible and durable.
+	if _, err := c.Exec(ctx, "BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, "INSERT INTO ratings VALUES (90, 1, 5.0); INSERT INTO ratings VALUES (90, 2, 4.0)"); err != nil {
+		t.Fatal(err)
+	}
+	// The session's own reads see the uncommitted writes.
+	rows, err := c.Query(ctx, "SELECT COUNT(*) FROM ratings WHERE uid = 90")
+	if err != nil || !rows.Next() {
+		t.Fatalf("in-txn read: %v", err)
+	}
+	var n int64
+	if err := rows.Scan(&n); err != nil || n != 2 {
+		t.Fatalf("in-txn count = %d, %v (want 2)", n, err)
+	}
+	if _, err := c.Exec(ctx, "COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ratingCount(t, db, 90); got != 2 {
+		t.Fatalf("committed rows = %d, want 2", got)
+	}
+
+	// ROLLBACK undoes them.
+	if _, err := c.Exec(ctx, "BEGIN; INSERT INTO ratings VALUES (91, 1, 5.0); ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ratingCount(t, db, 91); got != 0 {
+		t.Fatalf("rolled-back rows = %d, want 0", got)
+	}
+	if got := openSnapshots(t, db); got != 0 {
+		t.Fatalf("open snapshots after wire transactions = %d, want 0", got)
+	}
+}
+
+// TestSessionDropRollsBackTransaction kills a client that is sitting in
+// an open transaction and asserts the server rolls it back: the writes
+// vanish, the table's write gate frees, and the snapshot pins release.
+func TestSessionDropRollsBackTransaction(t *testing.T) {
+	db := seededDB(t)
+	addr, _ := startServer(t, db, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, "BEGIN; INSERT INTO ratings VALUES (99, 1, 5.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ratingCount(t, db, 99); got != 1 {
+		t.Fatalf("in-flight transaction rows = %d, want 1", got)
+	}
+	// Drop the connection with the transaction still open.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitRollback(t, db, 99)
+}
+
+// TestSessionDropDuringCommit drops the connection at the moment COMMIT
+// starts executing. The commit itself must stay atomic — afterwards the
+// transaction is either fully committed or fully rolled back, with all
+// locks and pins released either way.
+func TestSessionDropDuringCommit(t *testing.T) {
+	db := seededDB(t)
+	srv := server.New(db, server.Options{})
+	var victimMu sync.Mutex
+	var victim net.Conn
+	var once sync.Once
+	server.SetExecHookForTest(srv, func(sql string) {
+		if strings.Contains(sql, "COMMIT") {
+			once.Do(func() {
+				victimMu.Lock()
+				defer victimMu.Unlock()
+				if victim != nil {
+					_ = victim.Close()
+				}
+			})
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		db.Close()
+	}()
+
+	// The client wrapper serializes each request under a mutex the hook
+	// would also need, so this test speaks the wire protocol over a bare
+	// conn it can sever at any moment.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	victimMu.Lock()
+	victim = conn
+	victimMu.Unlock()
+	if _, err := conn.Write([]byte(wire.Magic)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, _, err := wire.ReadFrame(conn, nil); err != nil || typ != wire.TypeHello {
+		t.Fatalf("handshake: type %q err %v", byte(typ), err)
+	}
+	rawExec := func(id uint32, sql string) error {
+		if err := wire.WriteFrame(conn, wire.TypeExec,
+			wire.AppendRequest(nil, wire.Request{ID: id, SQL: sql})); err != nil {
+			return err
+		}
+		for {
+			typ, payload, _, err := wire.ReadFrame(conn, nil)
+			if err != nil {
+				return err
+			}
+			switch typ {
+			case wire.TypeComplete:
+				return nil
+			case wire.TypeError:
+				e, derr := wire.DecodeError(payload)
+				if derr != nil {
+					return derr
+				}
+				return fmt.Errorf("%s: %s", e.Code, e.Message)
+			}
+		}
+	}
+	if err := rawExec(1, "BEGIN; INSERT INTO ratings VALUES (98, 1, 5.0); INSERT INTO ratings VALUES (98, 2, 4.0)"); err != nil {
+		t.Fatal(err)
+	}
+	// The connection dies as COMMIT starts executing; its answer can
+	// never arrive.
+	if err := rawExec(2, "COMMIT"); err == nil {
+		t.Fatal("COMMIT answered on a severed connection")
+	}
+
+	// Whatever raced, atomicity holds: 0 or 2 rows, never 1 — and the
+	// locks and pins must come free.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if openSnapshots(t, db) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := openSnapshots(t, db); got != 0 {
+		t.Fatalf("open snapshots after dropped commit = %d, want 0", got)
+	}
+	if got := ratingCount(t, db, 98); got != 0 && got != 2 {
+		t.Fatalf("dropped commit left a partial transaction: %d rows", got)
+	}
+	// The table accepts new writers again.
+	ctx2, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := db.ExecContext(ctx2, "DELETE FROM ratings WHERE uid = 98"); err != nil {
+		t.Fatalf("table still locked after dropped commit: %v", err)
+	}
+}

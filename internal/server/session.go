@@ -40,6 +40,11 @@ type session struct {
 	in   *countReader
 	out  *frameWriter
 	reqs chan request
+	// sess carries per-connection transaction state (BEGIN/COMMIT/
+	// ROLLBACK). Only the worker goroutine touches it while the
+	// connection lives; run closes it after the worker exits, rolling
+	// back any transaction a dropped client left open.
+	sess *recdb.Session
 
 	mu        sync.Mutex
 	pending   int                // requests enqueued but not yet answered
@@ -56,6 +61,7 @@ func newSession(srv *Server, id uint64, conn net.Conn) *session {
 		in:   &countReader{r: conn, c: srv.m.bytesIn},
 		out:  newFrameWriter(conn, srv.m.bytesOut, srv.opts.WriteTimeout),
 		reqs: make(chan request, pipelineDepth),
+		sess: srv.db.NewSession(),
 	}
 }
 
@@ -63,6 +69,11 @@ func newSession(srv *Server, id uint64, conn net.Conn) *session {
 // worker until the connection ends.
 func (s *session) run() {
 	defer s.closeConn()
+	// A client that vanished mid-transaction must not leave its table
+	// locks and snapshot pins held: closing the statement session rolls
+	// the transaction back. Runs after the worker has exited, which is
+	// the only goroutine using sess.
+	defer func() { _ = s.sess.Close() }()
 	if err := s.handshake(); err != nil {
 		s.srv.logf("session %d: %v", s.id, err)
 		return
@@ -211,7 +222,7 @@ func (s *session) serve(r request) {
 	}
 	switch r.kind {
 	case wire.TypeQuery:
-		rows, err := s.srv.db.QueryContext(ctx, r.req.SQL)
+		rows, err := s.sess.QueryContext(ctx, r.req.SQL)
 		if err != nil {
 			s.writeFailure(r.req.ID, err)
 			return
@@ -220,7 +231,7 @@ func (s *session) serve(r request) {
 			return // connection-level failure; reader will notice too
 		}
 	case wire.TypeExec:
-		res, err := s.srv.db.ExecScriptContext(ctx, r.req.SQL)
+		res, err := s.sess.ExecContext(ctx, r.req.SQL)
 		if err != nil {
 			s.writeFailure(r.req.ID, err)
 			return

@@ -88,6 +88,19 @@ type DropRecommender struct {
 	IfExists bool
 }
 
+// Begin is BEGIN [TRANSACTION] / START TRANSACTION: it opens an explicit
+// multi-statement transaction whose writes become durable and visible to
+// recovery only at COMMIT.
+type Begin struct{}
+
+// Commit is COMMIT [TRANSACTION]: it atomically makes every write of the
+// open transaction durable.
+type Commit struct{}
+
+// Rollback is ROLLBACK [TRANSACTION]: it undoes every write of the open
+// transaction.
+type Rollback struct{}
+
 // Select is a SELECT query, optionally carrying the RECOMMEND clause.
 type Select struct {
 	Distinct  bool
@@ -157,6 +170,9 @@ func (*Update) stmt()            {}
 func (*CreateRecommender) stmt() {}
 func (*DropRecommender) stmt()   {}
 func (*Select) stmt()            {}
+func (*Begin) stmt()             {}
+func (*Commit) stmt()            {}
+func (*Rollback) stmt()          {}
 
 // ---- Expressions ----
 

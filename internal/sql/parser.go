@@ -176,6 +176,20 @@ func (p *parser) parseStatement() (Statement, error) {
 		default:
 			return nil, p.errorf("expected TABLE or RECOMMENDER after DROP")
 		}
+	case p.accept("BEGIN"):
+		p.accept("TRANSACTION")
+		return &Begin{}, nil
+	case p.accept("START"):
+		if err := p.expect("TRANSACTION"); err != nil {
+			return nil, err
+		}
+		return &Begin{}, nil
+	case p.accept("COMMIT"):
+		p.accept("TRANSACTION")
+		return &Commit{}, nil
+	case p.accept("ROLLBACK"):
+		p.accept("TRANSACTION")
+		return &Rollback{}, nil
 	case p.accept("INSERT"):
 		return p.parseInsert()
 	case p.accept("DELETE"):

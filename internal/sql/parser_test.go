@@ -118,6 +118,28 @@ func TestParseDeleteUpdate(t *testing.T) {
 	}
 }
 
+func TestParseTransactionControl(t *testing.T) {
+	for _, q := range []string{"BEGIN", "BEGIN TRANSACTION", "START TRANSACTION"} {
+		if _, ok := mustParse(t, q).(*Begin); !ok {
+			t.Fatalf("%q did not parse as Begin", q)
+		}
+	}
+	for _, q := range []string{"COMMIT", "COMMIT TRANSACTION"} {
+		if _, ok := mustParse(t, q).(*Commit); !ok {
+			t.Fatalf("%q did not parse as Commit", q)
+		}
+	}
+	for _, q := range []string{"ROLLBACK", "ROLLBACK TRANSACTION"} {
+		if _, ok := mustParse(t, q).(*Rollback); !ok {
+			t.Fatalf("%q did not parse as Rollback", q)
+		}
+	}
+	// START alone is not a statement.
+	if _, err := Parse("START"); err == nil {
+		t.Fatal("bare START should not parse")
+	}
+}
+
 func TestParseCreateRecommenderPaperExample(t *testing.T) {
 	// Recommender 1 from the paper (note "Item From", singular).
 	cr := mustParse(t, `Create Recommender GeneralRec On Ratings

@@ -75,6 +75,19 @@ func (h *HeapFile) Snapshot() *Snapshot {
 	return &Snapshot{h: h, seq: st.seq, numPages: st.numPages, rowCount: st.rowCount}
 }
 
+// OpenSnapshots reports how many snapshot handles are currently held
+// open on the heap. Tests use it to assert that transactions release
+// their pins.
+func (h *HeapFile) OpenSnapshots() int {
+	h.verMu.Lock()
+	defer h.verMu.Unlock()
+	n := 0
+	for _, c := range h.live {
+		n += c
+	}
+	return n
+}
+
 // Seq returns the snapshot's generation number.
 func (s *Snapshot) Seq() uint64 { return s.seq }
 

@@ -1,12 +1,17 @@
 // Package wal implements the write-ahead log that makes DML durable
-// between snapshots: an append-only, segmented log of SQL statement
-// payloads with length + CRC32-C framing. The engine appends every
-// successful mutating statement; recdb.OpenDir replays the records whose
-// sequence numbers exceed the loaded snapshot's high-water mark.
+// between snapshots: an append-only, segmented log of logical tuple
+// records (see logical.go) with length + CRC32-C framing. The engine
+// appends every successful mutating statement's records — one per
+// changed tuple, a whole transaction as one atomic batch — and
+// recdb.OpenDir replays the records whose sequence numbers exceed the
+// loaded snapshot's high-water mark.
 //
-// On-disk format (DESIGN.md §8): each segment file is named
-// wal-<first-seq 16 digits>.log and starts with the 6-byte header
-// "RDBW1\n", followed by records:
+// On-disk format (DESIGN.md §8, §12): each segment file is named
+// wal-<first-seq 16 digits>.log and starts with a 6-byte header naming
+// its payload format — "RDBW2\n" for logical tuple records, "RDBW1\n"
+// for the legacy SQL-statement-text payloads (still replayable, so a
+// database whose log predates the logical format recovers and is then
+// rewritten at the post-recovery checkpoint) — followed by records:
 //
 //	len   uint32 LE   payload length
 //	crc   uint32 LE   CRC32-C over seq + payload
@@ -41,9 +46,12 @@ import (
 )
 
 const (
-	segmentPrefix = "wal-"
-	segmentSuffix = ".log"
-	segmentMagic  = "RDBW1\n"
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".log"
+	segmentMagicV1 = "RDBW1\n" // payloads are SQL statement text
+	segmentMagicV2 = "RDBW2\n" // payloads are logical records (logical.go)
+	segmentMagic   = segmentMagicV2
+	magicLen       = len(segmentMagic)
 	// recordHeaderSize is len + crc + seq.
 	recordHeaderSize = 4 + 4 + 8
 	// maxRecordSize bounds a declared payload length so a corrupt header
@@ -289,6 +297,82 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	return seq, nil
 }
 
+// AppendBatch writes a group of records — a transaction's begin, tuple,
+// and commit records — with consecutive sequence numbers in a single
+// write under one mutex hold, so no other append can interleave inside
+// the group and the group occupies a contiguous byte range of one
+// segment. A crash mid-write tears the group's suffix (the framing
+// catches it exactly like a torn single record), which leaves the
+// transaction without its commit record — recovery then discards it
+// wholesale, never applying a partial transaction.
+//
+// The batch counts as one commit for the group-commit sync policy, and
+// it returns the sequence number assigned to the last record; when it
+// returns without error under SyncEvery <= 1, the whole group is
+// durable.
+func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.poisoned != nil {
+		return 0, fmt.Errorf("wal: log poisoned by an earlier append failure (reopen to recover): %w", l.poisoned)
+	}
+	if len(payloads) == 0 {
+		return l.seq, nil
+	}
+	total := 0
+	for _, p := range payloads {
+		if int64(len(p)) > maxRecordSize {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(p), maxRecordSize)
+		}
+		total += recordHeaderSize + len(p)
+	}
+	// Roll before the batch, never inside it: the group stays contiguous
+	// in one segment (an oversized batch simply makes an oversized
+	// segment).
+	if l.fSize >= l.opts.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	buf := make([]byte, 0, total)
+	seq := l.seq
+	var bytes int64
+	for _, p := range payloads {
+		seq++
+		rec := make([]byte, recordHeaderSize+len(p))
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint64(rec[8:16], seq)
+		copy(rec[16:], p)
+		binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], castagnoli))
+		buf = append(buf, rec...)
+		bytes += int64(len(p))
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		// The segment may hold a prefix of the group: poison the log so
+		// the ambiguous bytes are never flushed or appended after.
+		l.poisoned = err
+		return 0, fmt.Errorf("wal: append batch at seq %d: %w", l.seq+1, err)
+	}
+	// Sequences are burned even if the sync below fails (see Append).
+	l.seq = seq
+	l.fSize += int64(len(buf))
+	l.unsynced++ // the group is one commit unit
+	l.opts.Metrics.Appends.Add(int64(len(payloads)))
+	l.opts.Metrics.AppendBytes.Add(bytes)
+	if l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery {
+		if err := l.syncLocked(); err != nil {
+			l.poisoned = err
+			return seq, err
+		}
+	} else if l.opts.SyncInterval > 0 && l.opts.SyncEvery > 1 && l.unsynced == 1 {
+		l.armTimerLocked()
+	}
+	return seq, nil
+}
+
 // armTimerLocked schedules a flush of the current unsynced batch
 // SyncInterval from now. The captured generation makes the callback a
 // no-op if the batch reaches disk first.
@@ -450,10 +534,12 @@ func (l *Log) Close() error {
 // record with sequence number > afterSeq, returning the highest sequence
 // seen (afterSeq when the log is empty). Records at or below afterSeq are
 // skipped — they are already in the snapshot — which is what makes
-// replay idempotent. A validation failure at the tail of the final
-// segment is treated as a torn write and truncates replay; anywhere else
-// it returns a *CorruptError.
-func Replay(fs fault.FS, dir string, afterSeq uint64, fn func(seq uint64, payload []byte) error) (uint64, error) {
+// replay idempotent. version is the payload format of the record's
+// segment: 2 for logical records (DecodeRecord), 1 for legacy SQL
+// statement text. A validation failure at the tail of the final segment
+// is treated as a torn write and truncates replay; anywhere else it
+// returns a *CorruptError.
+func Replay(fs fault.FS, dir string, afterSeq uint64, fn func(seq uint64, version int, payload []byte) error) (uint64, error) {
 	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return afterSeq, err
@@ -479,23 +565,29 @@ func Replay(fs fault.FS, dir string, afterSeq uint64, fn func(seq uint64, payloa
 
 // replaySegment walks one segment's records. It returns stop = true when
 // it hit a torn tail (only allowed in the final segment).
-func replaySegment(p string, blob []byte, final bool, afterSeq uint64, last *uint64, fn func(uint64, []byte) error) (bool, error) {
+func replaySegment(p string, blob []byte, final bool, afterSeq uint64, last *uint64, fn func(uint64, int, []byte) error) (bool, error) {
 	torn := func(off int64, reason string) (bool, error) {
 		if final {
 			return true, nil // torn tail: everything before it is intact
 		}
 		return false, &CorruptError{Path: p, Offset: off, Reason: reason}
 	}
-	if len(blob) < len(segmentMagic) {
+	if len(blob) < magicLen {
 		return torn(0, "segment shorter than its header")
 	}
-	if string(blob[:len(segmentMagic)]) != segmentMagic {
+	version := 0
+	switch string(blob[:magicLen]) {
+	case segmentMagicV2:
+		version = 2
+	case segmentMagicV1:
+		version = 1
+	default:
 		// A wrong magic is corruption even in the final segment: the
 		// header is written and synced before any record.
 		return false, &CorruptError{Path: p, Offset: 0, Reason: "not a WAL segment"}
 	}
-	off := int64(len(segmentMagic))
-	rest := blob[len(segmentMagic):]
+	off := int64(magicLen)
+	rest := blob[magicLen:]
 	for len(rest) > 0 {
 		if len(rest) < recordHeaderSize {
 			return torn(off, "truncated record header")
@@ -517,7 +609,7 @@ func replaySegment(p string, blob []byte, final bool, afterSeq uint64, last *uin
 			return false, &CorruptError{Path: p, Offset: off, Reason: fmt.Sprintf("sequence %d out of order after %d", seq, *last)}
 		}
 		if seq > afterSeq {
-			if err := fn(seq, rest[16:total]); err != nil {
+			if err := fn(seq, version, rest[16:total]); err != nil {
 				return false, fmt.Errorf("wal: replaying seq %d: %w", seq, err)
 			}
 			*last = seq

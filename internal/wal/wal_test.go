@@ -21,7 +21,7 @@ func appendN(t *testing.T, l *Log, n int, prefix string) {
 func collect(t *testing.T, fs fault.FS, dir string, afterSeq uint64) (map[uint64]string, uint64) {
 	t.Helper()
 	got := map[uint64]string{}
-	last, err := Replay(fs, dir, afterSeq, func(seq uint64, payload []byte) error {
+	last, err := Replay(fs, dir, afterSeq, func(seq uint64, _ int, payload []byte) error {
 		got[seq] = string(payload)
 		return nil
 	})
@@ -213,7 +213,7 @@ func TestMidSegmentCorruptionFailsReplay(t *testing.T) {
 	if err := fs.Corrupt("wal/"+segs[0], int64(len(segmentMagic)+recordHeaderSize+2), 0x10); err != nil {
 		t.Fatal(err)
 	}
-	_, err = Replay(fs, "wal", 0, func(uint64, []byte) error { return nil })
+	_, err = Replay(fs, "wal", 0, func(uint64, int, []byte) error { return nil })
 	var ce *CorruptError
 	if !errors.As(err, &ce) {
 		t.Fatalf("mid-segment corruption: err = %v, want *CorruptError", err)
@@ -262,7 +262,7 @@ func TestBadSegmentMagicIsCorruption(t *testing.T) {
 	if err := fs.Corrupt("wal/"+segName(1), 0, 0xFF); err != nil {
 		t.Fatal(err)
 	}
-	_, err = Replay(fs, "wal", 0, func(uint64, []byte) error { return nil })
+	_, err = Replay(fs, "wal", 0, func(uint64, int, []byte) error { return nil })
 	var ce *CorruptError
 	if !errors.As(err, &ce) {
 		t.Fatalf("bad magic: err = %v, want *CorruptError", err)
@@ -304,14 +304,14 @@ func TestOversizeRecordRejected(t *testing.T) {
 
 func TestReplayEmptyAndMissingDir(t *testing.T) {
 	fs := fault.NewMemFS()
-	last, err := Replay(fs, "nope", 7, func(uint64, []byte) error { return nil })
+	last, err := Replay(fs, "nope", 7, func(uint64, int, []byte) error { return nil })
 	if err != nil || last != 7 {
 		t.Fatalf("missing dir: last = %d, err = %v", last, err)
 	}
 	if err := fs.MkdirAll("empty"); err != nil {
 		t.Fatal(err)
 	}
-	last, err = Replay(fs, "empty", 7, func(uint64, []byte) error { return nil })
+	last, err = Replay(fs, "empty", 7, func(uint64, int, []byte) error { return nil })
 	if err != nil || last != 7 {
 		t.Fatalf("empty dir: last = %d, err = %v", last, err)
 	}

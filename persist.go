@@ -8,6 +8,7 @@ import (
 	"recdb/internal/fault"
 	"recdb/internal/metrics"
 	"recdb/internal/persist"
+	"recdb/internal/types"
 	"recdb/internal/wal"
 )
 
@@ -98,17 +99,91 @@ func samePath(a, b string) bool {
 	return errA == nil && errB == nil && aa == bb
 }
 
-// logCommitLocked is the engine commit hook: it appends the statement's
-// source text to the write-ahead log; the suffix records that it only
-// runs inside mutating Exec/ExecScript calls, which hold db.mu
-// exclusively — so the append order always matches the apply order the
-// lock imposed. Its error fails the statement, telling the caller the
+// logCommitLocked is the engine commit hook: it encodes a commit's logical
+// mutations as tuple-level WAL records and appends them in one atomic
+// group. A single bare mutation becomes one record; a group (an explicit
+// transaction's write set, or a multi-row statement) is framed
+// TxnBegin..TxnCommit and written with AppendBatch, whose single
+// contiguous write guarantees a crash can only ever tear the suffix —
+// losing the commit record and making recovery discard the whole
+// transaction rather than replay part of it.
+//
+// The hook only runs from commit paths that hold db.mu (shared for DML
+// plus the table's write gate, exclusive for DDL), so same-table append
+// order always matches apply order, and db.wal cannot be detached
+// concurrently. Its error fails the commit, telling the caller the
 // change is applied in memory but not durable.
-func (db *DB) logCommitLocked(stmtText string) error {
-	if _, err := db.wal.Append([]byte(stmtText)); err != nil {
-		return fmt.Errorf("recdb: statement applied but not logged: %w", err)
+func (db *DB) logCommitLocked(txn uint64, muts []engine.Mutation) error {
+	payloads := make([][]byte, 0, len(muts)+2)
+	if txn != 0 {
+		payloads = append(payloads, wal.EncodeRecord(nil, wal.Record{Kind: wal.RecTxnBegin, Txn: txn}))
+	}
+	for _, m := range muts {
+		// engine.Mut* kinds are defined as the matching wal.Rec* bytes.
+		rec := wal.Record{Kind: m.Kind, Txn: txn, Table: m.Table, Text: m.Text}
+		if m.Row != nil {
+			rec.Row = types.EncodeRow(nil, m.Row)
+		}
+		if m.Old != nil {
+			rec.Old = types.EncodeRow(nil, m.Old)
+		}
+		payloads = append(payloads, wal.EncodeRecord(nil, rec))
+	}
+	if txn != 0 {
+		payloads = append(payloads, wal.EncodeRecord(nil, wal.Record{Kind: wal.RecTxnCommit, Txn: txn}))
+	}
+	var err error
+	if len(payloads) == 1 {
+		_, err = db.wal.Append(payloads[0])
+	} else {
+		_, err = db.wal.AppendBatch(payloads)
+	}
+	if err != nil {
+		return fmt.Errorf("recdb: commit applied but not logged: %w", err)
 	}
 	return nil
+}
+
+// replayRecord applies one logical WAL record to the recovering engine.
+// Tuple records go straight to the heap (maintaining primary and
+// secondary indexes and recommender counters); statement records (DDL)
+// re-execute their SQL text.
+func replayRecord(eng *engine.Engine, rec wal.Record) error {
+	decode := func(buf []byte) (types.Row, error) {
+		if buf == nil {
+			return nil, nil
+		}
+		row, _, err := types.DecodeRow(buf)
+		return row, err
+	}
+	switch rec.Kind {
+	case wal.RecInsert:
+		row, err := decode(rec.Row)
+		if err != nil {
+			return err
+		}
+		return eng.ApplyInsert(rec.Table, row)
+	case wal.RecDelete:
+		old, err := decode(rec.Old)
+		if err != nil {
+			return err
+		}
+		return eng.ApplyDelete(rec.Table, old)
+	case wal.RecUpdate:
+		old, err := decode(rec.Old)
+		if err != nil {
+			return err
+		}
+		row, err := decode(rec.Row)
+		if err != nil {
+			return err
+		}
+		return eng.ApplyUpdate(rec.Table, old, row)
+	case wal.RecStmt:
+		_, err := eng.Exec(rec.Text)
+		return err
+	}
+	return fmt.Errorf("unexpected record kind %q", rec.Kind)
 }
 
 // OpenDir recovers a database from a directory produced by SaveTo: it
@@ -141,11 +216,12 @@ func openDirFS(fs fault.FS, dir string, cfg engine.Config) (*DB, error) {
 	walDir := filepath.Join(dir, walSubdir)
 	type record struct {
 		seq     uint64
-		payload string
+		version int
+		payload []byte
 	}
 	var records []record
-	last, err := wal.Replay(fs, walDir, info.WALSeq, func(seq uint64, payload []byte) error {
-		records = append(records, record{seq, string(payload)})
+	last, err := wal.Replay(fs, walDir, info.WALSeq, func(seq uint64, version int, payload []byte) error {
+		records = append(records, record{seq, version, append([]byte(nil), payload...)})
 		return nil
 	})
 	if err != nil {
@@ -154,13 +230,51 @@ func openDirFS(fs fault.FS, dir string, cfg engine.Config) (*DB, error) {
 	if len(records) > 0 && records[0].seq != info.WALSeq+1 {
 		records, last = nil, info.WALSeq
 	}
-	// Replay before installing the commit hook, so replayed statements
-	// are not re-logged.
+	// Replay before installing the commit hook, so replayed changes are
+	// not re-logged. Version-1 segments carry legacy statement text and
+	// are re-executed through the SQL front end; version-2 segments carry
+	// logical tuple records applied directly to the heap — no re-parse,
+	// no re-plan. Records tagged with a transaction id are buffered and
+	// applied only when their TxnCommit record arrives: a transaction
+	// whose commit record is missing (crash mid-commit tore the group's
+	// suffix) or that aborted is discarded whole, never half-replayed.
+	pending := make(map[uint64][]wal.Record)
 	for _, r := range records {
-		if _, err := eng.Exec(r.payload); err != nil {
-			return nil, fmt.Errorf("recdb: recovering %s: replaying statement %d: %w", dir, r.seq, err)
+		if r.version == 1 {
+			if _, err := eng.Exec(string(r.payload)); err != nil {
+				return nil, fmt.Errorf("recdb: recovering %s: replaying statement %d: %w", dir, r.seq, err)
+			}
+			continue
+		}
+		rec, err := wal.DecodeRecord(r.payload)
+		if err != nil {
+			return nil, fmt.Errorf("recdb: recovering %s: record %d: %w", dir, r.seq, err)
+		}
+		switch rec.Kind {
+		case wal.RecTxnBegin:
+			pending[rec.Txn] = nil
+		case wal.RecTxnCommit:
+			for _, m := range pending[rec.Txn] {
+				if err := replayRecord(eng, m); err != nil {
+					return nil, fmt.Errorf("recdb: recovering %s: transaction %d: %w", dir, rec.Txn, err)
+				}
+			}
+			delete(pending, rec.Txn)
+		case wal.RecTxnAbort:
+			delete(pending, rec.Txn)
+		default:
+			if rec.Txn != 0 {
+				pending[rec.Txn] = append(pending[rec.Txn], rec)
+				continue
+			}
+			if err := replayRecord(eng, rec); err != nil {
+				return nil, fmt.Errorf("recdb: recovering %s: record %d: %w", dir, r.seq, err)
+			}
 		}
 	}
+	// Anything still pending lacks a commit record: the transaction was
+	// open (or its group append was torn) at the crash. Atomicity says it
+	// never happened.
 	l, err := wal.Open(fs, walDir, last,
 		wal.Options{SyncEvery: cfg.WALSyncEvery, SyncInterval: cfg.WALSyncInterval,
 			Metrics: walMetrics(eng.Metrics())})

@@ -157,8 +157,11 @@ func TestWALRecoversCommitsAfterCheckpoint(t *testing.T) {
 	db.MustExec("INSERT INTO ratings VALUES (1, 3, 5.0), (4, 1, 2.5)")
 	db.MustExec("CREATE TABLE extras (id INT PRIMARY KEY, note TEXT)")
 	db.MustExec("INSERT INTO extras VALUES (1, 'logged')")
+	// The multi-row insert logs as an atomic group of four records
+	// (TxnBegin, two inserts, TxnCommit); the DDL and single-row insert
+	// log one record each.
 	info := db.Durability()
-	if !info.Attached || info.Dir != dir || info.WALSeq != 3 {
+	if !info.Attached || info.Dir != dir || info.WALSeq != 6 {
 		t.Fatalf("durability = %+v", info)
 	}
 	db.Close()
@@ -182,10 +185,10 @@ func TestWALRecoversCommitsAfterCheckpoint(t *testing.T) {
 		t.Fatalf("extras after WAL replay: %v, %v", rows, err)
 	}
 
-	// Replay resumed the sequence: the next commit gets seq 4.
+	// Replay resumed the sequence: the next commit gets seq 7.
 	db2.MustExec("INSERT INTO extras VALUES (2, 'post-recovery')")
-	if got := db2.Durability().WALSeq; got != 4 {
-		t.Fatalf("WALSeq after recovery commit = %d, want 4", got)
+	if got := db2.Durability().WALSeq; got != 7 {
+		t.Fatalf("WALSeq after recovery commit = %d, want 7", got)
 	}
 
 	// A checkpoint resets the log but keeps the sequence monotonic.

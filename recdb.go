@@ -127,19 +127,22 @@ func WithSnapshotRetain(n int) Option {
 }
 
 // DB is an embedded RecDB instance. It is safe for concurrent readers;
-// writes are serialized per table.
+// writes are serialized per table, so writers to different tables
+// proceed concurrently. Multi-statement transactions are opened with
+// Begin (or BEGIN through a Session) — see Tx.
 type DB struct {
 	eng *engine.Engine
 
-	// mu orders durability: mutating statements hold it exclusively, so
-	// the in-memory apply and the WAL append happen as one atomic step
-	// (log order = apply order, which crash recovery replays), and SaveTo
-	// checkpoints under the same lock capture the snapshot and the WAL
-	// high-water mark atomically. Read-only statements never take it:
-	// they read through page-level snapshots (storage.Snapshot) and the
-	// catalog's atomically published generation, so a reader observes each
-	// statement either fully applied or not at all without blocking on a
-	// writer stalled in a WAL fsync.
+	// mu frames durability and DDL: DML statements hold it shared (plus
+	// their table's write gate, which serializes same-table appliers so
+	// WAL order equals apply order per table), while DDL, SaveTo, and
+	// Close hold it exclusively. An open transaction holds the shared
+	// side for its whole lifetime, so a checkpoint can never capture
+	// eagerly-applied uncommitted writes. Read-only statements never take
+	// it: they read through page-level snapshots (storage.Snapshot) and
+	// the catalog's atomically published generation, so a reader observes
+	// each statement either fully applied or not at all without blocking
+	// on a writer stalled in a WAL fsync.
 	mu           sync.RWMutex
 	fs           fault.FS // filesystem for durability (nil until attached)
 	dir          string   // durable home ("" while purely in-memory)
@@ -149,6 +152,16 @@ type DB struct {
 	walSyncEvery int           // WAL group-commit factor from WithWALSyncEvery
 	walSyncIvl   time.Duration // latency bound from WithWALSyncInterval
 	retain       int           // snapshot generations kept, from WithSnapshotRetain
+
+	// gateMu guards the lazily-created write gates below. txnGate admits
+	// one explicit transaction at a time (autocommit statements take only
+	// one table gate each, so with a single multi-gate holder the lock
+	// graph is acyclic — no deadlocks); tableGates serialize writers per
+	// table. Gates are context-aware channel semaphores, so a writer
+	// blocked behind a long transaction honors its deadline.
+	gateMu     sync.Mutex
+	txnSem     chan struct{}
+	tableGates map[string]chan struct{}
 }
 
 // Open creates a new in-memory database. Call SaveTo to checkpoint it to
@@ -185,19 +198,74 @@ type Result struct {
 }
 
 // Exec runs one SQL statement. When the database is durable, the
-// statement is appended to the write-ahead log before Exec returns.
-// Mutating statements are serialized against each other (and against
-// SaveTo) so the log records them in the order they were applied.
+// statement's tuple-level changes are appended to the write-ahead log
+// before Exec returns. DML is serialized per table (writers to distinct
+// tables proceed concurrently); DDL is exclusive. Transaction control
+// (BEGIN/COMMIT/ROLLBACK) needs statement-spanning state — use Begin, a
+// Session, or ExecScript for that.
 func (db *DB) Exec(query string) (Result, error) {
+	return db.ExecContext(context.Background(), query)
+}
+
+// ExecContext is Exec under a context: cancellation is observed before
+// the statement starts and between rows of read-only statements, never
+// mid-mutation.
+func (db *DB) ExecContext(ctx context.Context, query string) (Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return Result{}, err
 	}
-	if engine.Mutates(stmt) {
+	switch stmt.(type) {
+	case *sql.Begin, *sql.Commit, *sql.Rollback:
+		return Result{}, fmt.Errorf("recdb: %s requires transaction state that outlives the statement; use DB.Begin, a Session, or ExecScript", stmtKeyword(stmt))
+	}
+	return db.execStmt(ctx, stmt, query)
+}
+
+// stmtKeyword names a transaction-control statement for error messages.
+func stmtKeyword(stmt sql.Statement) string {
+	switch stmt.(type) {
+	case *sql.Begin:
+		return "BEGIN"
+	case *sql.Commit:
+		return "COMMIT"
+	case *sql.Rollback:
+		return "ROLLBACK"
+	}
+	return "statement"
+}
+
+// dmlTarget returns the table a DML statement writes. It is only called
+// for statements engine.IsDML accepts.
+func dmlTarget(stmt sql.Statement) string {
+	switch s := stmt.(type) {
+	case *sql.Insert:
+		return s.Table
+	case *sql.Delete:
+		return s.Table
+	case *sql.Update:
+		return s.Table
+	}
+	return ""
+}
+
+// execStmt runs one autocommit statement under the locking scheme: DML
+// takes db.mu shared plus its table's write gate, DDL takes db.mu
+// exclusively, and read-only statements run lock-free against snapshots.
+func (db *DB) execStmt(ctx context.Context, stmt sql.Statement, text string) (Result, error) {
+	if engine.IsDML(stmt) {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		gate := db.tableGate(dmlTarget(stmt))
+		if err := acquireGate(ctx, gate); err != nil {
+			return Result{}, err
+		}
+		defer releaseGate(gate)
+	} else if engine.Mutates(stmt) {
 		db.mu.Lock()
 		defer db.mu.Unlock()
 	}
-	r, err := db.eng.ExecParsed(stmt, query)
+	r, err := db.eng.ExecParsedCtx(ctx, stmt, text)
 	return Result{RowsAffected: r.RowsAffected}, err
 }
 
@@ -213,52 +281,42 @@ func (db *DB) MustExec(query string) Result {
 }
 
 // ExecScript runs a semicolon-separated script, stopping at the first
-// error. A script containing any mutating statement is serialized like
-// a mutating Exec.
+// error. Scripts may open transactions: BEGIN ... COMMIT spans inside
+// the script commit atomically, and a script that ends with a
+// transaction still open has that transaction rolled back and reports
+// an error.
 func (db *DB) ExecScript(script string) (Result, error) {
-	stmts, err := sql.ParseScript(script)
-	if err != nil {
-		return Result{}, err
-	}
-	exclusive := false
-	for _, s := range stmts {
-		if engine.Mutates(s.Stmt) {
-			exclusive = true
-			break
-		}
-	}
-	if exclusive {
-		db.mu.Lock()
-		defer db.mu.Unlock()
-	}
-	r, err := db.eng.ExecScriptParsed(stmts)
-	return Result{RowsAffected: r.RowsAffected}, err
+	return db.ExecScriptContext(context.Background(), script)
 }
 
-// ExecScript runs a semicolon-separated script, stopping at the first
-// error — see ExecScript. Cancellation is observed between statements and
-// between rows of read-only statements, never mid-mutation: every
-// statement is either fully applied (and logged, when durable) or not
-// started, so a timeout cannot tear a half-applied write. This is the
-// statement entry point recdb-server executes Exec frames through.
+// ExecScriptContext runs a semicolon-separated script, stopping at the
+// first error — see ExecScript. Cancellation is observed between
+// statements and between rows of read-only statements, never
+// mid-mutation: every statement is either fully applied (and logged,
+// when durable) or not started, so a timeout cannot tear a half-applied
+// write. The script runs through an ephemeral Session, so transaction
+// control statements work and an unfinished transaction is rolled back
+// on exit.
 func (db *DB) ExecScriptContext(ctx context.Context, script string) (Result, error) {
 	stmts, err := sql.ParseScript(script)
 	if err != nil {
 		return Result{}, err
 	}
-	exclusive := false
+	sess := db.NewSession()
+	defer sess.Close()
+	var total Result
 	for _, s := range stmts {
-		if engine.Mutates(s.Stmt) {
-			exclusive = true
-			break
+		r, err := sess.execParsed(ctx, s.Stmt, s.Text)
+		if err != nil {
+			return total, err
 		}
+		total.RowsAffected += r.RowsAffected
 	}
-	if exclusive {
-		db.mu.Lock()
-		defer db.mu.Unlock()
+	if sess.InTransaction() {
+		_ = sess.Close()
+		return total, fmt.Errorf("recdb: script ended inside an open transaction (rolled back)")
 	}
-	r, err := db.eng.ExecScriptParsedCtx(ctx, stmts)
-	return Result{RowsAffected: r.RowsAffected}, err
+	return total, nil
 }
 
 // Query runs a SELECT (optionally with a RECOMMEND clause) and returns its

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-serve bench-concurrency bench-paper fault-sweep vet lint fmt examples clean
+.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-serve bench-concurrency bench-ann bench-paper fault-sweep vet lint fmt examples clean
 
 all: vet lint test build
 
@@ -12,7 +12,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu=1,4 ./internal/metrics/... ./internal/rec/... ./internal/reccache/... ./internal/exec/... ./internal/server/... ./internal/wire/... ./client/...
+	$(GO) test -race -cpu=1,4 ./internal/ann/... ./internal/metrics/... ./internal/rec/... ./internal/reccache/... ./internal/exec/... ./internal/server/... ./internal/wire/... ./client/...
 
 cover:
 	$(GO) test -cover ./...
@@ -50,6 +50,12 @@ bench-serve:
 # BENCH_concurrency.json.
 bench-concurrency:
 	$(GO) run ./cmd/recdb-bench -exp serve -scale 0.25 -conns 1,8,64 -mix 100/0,90/10 -json BENCH_concurrency.json
+
+# IVF vector index frontier: recall@10 vs throughput speedup over the
+# exact scan, swept across nprobe and dataset scales. Writes
+# BENCH_ann.json.
+bench-ann:
+	$(GO) run ./cmd/recdb-bench -exp ann -ann-scales 0.25,1.0 -json BENCH_ann.json
 
 # Exhaustive crash simulation: every fault point x every fault mode, and
 # every byte of a snapshot flipped (the default test run samples both),

@@ -11,7 +11,7 @@
 //
 // Experiment ids: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 // ablations (or individual a1..a6), scaling, durability, metrics, serve,
-// all.
+// ann, all.
 package main
 
 import (
@@ -39,6 +39,7 @@ func main() {
 	connCounts := flag.String("conns", "1,8,64", "connection counts for the serve experiment")
 	mix := flag.String("mix", "100/0", "read/write percent mixes for the serve experiment (e.g. 100/0,90/10)")
 	commits := flag.Int("commits", 2000, "statements per phase of the durability experiment")
+	annScaleList := flag.String("ann-scales", "0.25,1.0", "dataset scale factors for the ann experiment's size axis")
 	jsonPath := flag.String("json", "", "also write the result tables as JSON to this file")
 	flag.Parse()
 
@@ -55,6 +56,11 @@ func main() {
 	mixes, err := serve.ParseMixes(*mix)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recdb-bench: -mix: %v\n", err)
+		os.Exit(2)
+	}
+	annScales, err := parseScales(*annScaleList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recdb-bench: -ann-scales: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -123,6 +129,9 @@ func main() {
 		{"serve", func() (bench.Table, error) {
 			return serve.Run(*scale, conns, mixes)
 		}},
+		{"ann", func() (bench.Table, error) {
+			return bench.RunANN(dataset.MovieLens, annScales, 10)
+		}},
 	}
 
 	wanted := map[string]bool{}
@@ -171,6 +180,25 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+}
+
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("scales must be positive numbers, got %q", part)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scales given")
+	}
+	return out, nil
 }
 
 func parseWorkers(s string) ([]int, error) {

@@ -1,0 +1,272 @@
+package ann
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// synthFactors builds a synthetic latent-factor set the shape SVD training
+// produces: n items, dim dimensions, clustered around a few archetypes so
+// the IVF structure has something to find.
+func synthFactors(n, dim int, seed int64) ([]int64, map[int64][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	const archetypes = 6
+	centers := make([][]float64, archetypes)
+	for a := range centers {
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = rng.NormFloat64()
+		}
+		centers[a] = c
+	}
+	items := make([]int64, n)
+	vecs := make(map[int64][]float64, n)
+	for i := 0; i < n; i++ {
+		id := int64(i + 1)
+		items[i] = id
+		c := centers[rng.Intn(archetypes)]
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = c[d] + 0.3*rng.NormFloat64()
+		}
+		vecs[id] = v
+	}
+	return items, vecs
+}
+
+// exactTopK is the reference scorer: every item, exact dot product,
+// descending score with ascending-id tie-break.
+func exactTopK(items []int64, vecs map[int64][]float64, q []float64, k int) []int64 {
+	type scored struct {
+		id    int64
+		score float64
+	}
+	all := make([]scored, 0, len(items))
+	for _, id := range items {
+		all = append(all, scored{id, dot(q, vecs[id])})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int64, k)
+	for i := range out {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+// annTopK serves top-k through the index: probe nprobe lists, re-rank
+// candidates with exact dot products.
+func annTopK(ix *Index, q []float64, nprobe, k int) []int64 {
+	order := ix.ProbeOrder(q)
+	cands := ix.Candidates(order, nprobe)
+	type scored struct {
+		id    int64
+		score float64
+	}
+	all := make([]scored, 0, len(cands))
+	for _, p := range cands {
+		id, v := ix.At(p)
+		all = append(all, scored{id, dot(q, v)})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int64, k)
+	for i := range out {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+// TestFullProbeEquivalence is the backbone invariant: at nprobe = K the
+// candidate set is exactly the item universe and the re-ranked top-k is
+// byte-identical to the exact scan, for every seeded model shape.
+func TestFullProbeEquivalence(t *testing.T) {
+	cases := []struct {
+		n, dim    int
+		centroids int
+		seed      int64
+	}{
+		{40, 8, 0, 1},
+		{200, 10, 0, 2},
+		{500, 10, 16, 3},
+		{500, 16, 40, 4},
+		{999, 10, 0, 5},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("n%d_dim%d_seed%d", tc.n, tc.dim, tc.seed), func(t *testing.T) {
+			items, vecs := synthFactors(tc.n, tc.dim, tc.seed)
+			ix := Build(items, vecs, Options{Centroids: tc.centroids, Seed: tc.seed})
+			k := ix.NumCentroids()
+
+			// Every item in exactly one posting list.
+			total := 0
+			for c := 0; c < k; c++ {
+				total += len(ix.lists[c])
+			}
+			if total != tc.n {
+				t.Fatalf("posting lists cover %d items, want %d", total, tc.n)
+			}
+
+			rng := rand.New(rand.NewSource(tc.seed + 100))
+			for trial := 0; trial < 20; trial++ {
+				q := make([]float64, tc.dim)
+				for d := range q {
+					q[d] = rng.NormFloat64()
+				}
+				order := ix.ProbeOrder(q)
+				cands := ix.Candidates(order, k)
+				if len(cands) != tc.n {
+					t.Fatalf("full probe gathered %d candidates, want %d", len(cands), tc.n)
+				}
+				for p, c := range cands {
+					if int(c) != p {
+						t.Fatalf("full-probe candidates not the ascending universe at %d: %d", p, c)
+					}
+				}
+				got := annTopK(ix, q, k, 10)
+				want := exactTopK(items, vecs, q, 10)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("full-probe top-10 diverges at %d: got %v want %v", i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDefaultProbeRecall measures recall@10 at the default nprobe across
+// 3 seeds: the approximate path must find at least 90% of the exact
+// top-10, averaged over query vectors.
+func TestDefaultProbeRecall(t *testing.T) {
+	for _, seed := range []int64{11, 22, 33} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const n, dim, queries = 800, 10, 50
+			items, vecs := synthFactors(n, dim, seed)
+			ix := Build(items, vecs, Options{Seed: seed})
+			if ix.DefaultNProbe() >= ix.NumCentroids() {
+				t.Fatalf("default nprobe %d does not prune (K=%d)", ix.DefaultNProbe(), ix.NumCentroids())
+			}
+			rng := rand.New(rand.NewSource(seed + 7))
+			hits, want := 0, 0
+			for trial := 0; trial < queries; trial++ {
+				q := make([]float64, dim)
+				for d := range q {
+					q[d] = rng.NormFloat64()
+				}
+				exact := exactTopK(items, vecs, q, 10)
+				approx := annTopK(ix, q, ix.DefaultNProbe(), 10)
+				in := make(map[int64]bool, len(approx))
+				for _, id := range approx {
+					in[id] = true
+				}
+				for _, id := range exact {
+					want++
+					if in[id] {
+						hits++
+					}
+				}
+			}
+			recall := float64(hits) / float64(want)
+			t.Logf("recall@10 = %.3f (nprobe %d of %d centroids)", recall, ix.DefaultNProbe(), ix.NumCentroids())
+			if recall < 0.9 {
+				t.Fatalf("recall@10 = %.3f < 0.9 at default nprobe", recall)
+			}
+		})
+	}
+}
+
+// TestBuildWorkerDeterminism: the serialized index must be byte-identical
+// at any worker count under one seed.
+func TestBuildWorkerDeterminism(t *testing.T) {
+	items, vecs := synthFactors(600, 12, 99)
+	base := Build(items, vecs, Options{Workers: 1, Seed: 99}).Encode()
+	for _, w := range []int{2, 3, 4, 8} {
+		got := Build(items, vecs, Options{Workers: w, Seed: 99}).Encode()
+		if !bytes.Equal(base, got) {
+			t.Fatalf("index built with %d workers differs from serial build", w)
+		}
+	}
+	// And a different seed must (overwhelmingly) differ.
+	other := Build(items, vecs, Options{Workers: 1, Seed: 100}).Encode()
+	if bytes.Equal(base, other) {
+		t.Fatalf("different seeds produced identical indexes")
+	}
+}
+
+// TestCodecRoundTrip: Encode→Decode is lossless, and decoded indexes
+// serve identical probes.
+func TestCodecRoundTrip(t *testing.T) {
+	items, vecs := synthFactors(300, 10, 5)
+	ix := Build(items, vecs, Options{Seed: 5})
+	blob := ix.Encode()
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(blob, back.Encode()) {
+		t.Fatalf("re-encode differs from original blob")
+	}
+	q := vecs[items[7]]
+	a := annTopK(ix, q, ix.DefaultNProbe(), 10)
+	b := annTopK(back, q, back.DefaultNProbe(), 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decoded index serves different top-k: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestCodecCorruption: any single bit flip, truncation, or garbage must
+// fail closed.
+func TestCodecCorruption(t *testing.T) {
+	items, vecs := synthFactors(100, 8, 6)
+	blob := Build(items, vecs, Options{Seed: 6}).Encode()
+	if _, err := Decode(nil); err == nil {
+		t.Fatalf("decoded empty blob")
+	}
+	if _, err := Decode(blob[:len(blob)/2]); err == nil {
+		t.Fatalf("decoded truncated blob")
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 32; trial++ {
+		c := append([]byte(nil), blob...)
+		c[rng.Intn(len(c))] ^= 1 << uint(rng.Intn(8))
+		if _, err := Decode(c); err == nil {
+			t.Fatalf("decoded bit-flipped blob (trial %d)", trial)
+		}
+	}
+}
+
+// TestEmptyAndTiny: degenerate inputs must not panic and stay consistent.
+func TestEmptyAndTiny(t *testing.T) {
+	ix := Build(nil, nil, Options{Seed: 1})
+	if ix.NumCentroids() != 0 || ix.NumItems() != 0 {
+		t.Fatalf("empty build: %d centroids %d items", ix.NumCentroids(), ix.NumItems())
+	}
+	one := Build([]int64{7}, map[int64][]float64{7: {1, 2}}, Options{Seed: 1})
+	if one.NumCentroids() != 1 || one.DefaultNProbe() != 1 {
+		t.Fatalf("single-item build: K=%d nprobe=%d", one.NumCentroids(), one.DefaultNProbe())
+	}
+	got := annTopK(one, []float64{1, 0}, 1, 10)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single-item probe: %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+package ann
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The same bounded-pool discipline as the model-build kernels in
+// internal/rec: fn(0) runs on the calling goroutine when workers == 1, so
+// the serial path spawns nothing, and chunk boundaries depend only on
+// (n, workers), so chunked writes are conflict-free.
+
+// resolveWorkers maps the Workers knob to an effective pool size:
+// 0 selects runtime.NumCPU(), anything below 1 is clamped to 1.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runWorkers runs fn(w) for every w in [0, workers).
+func runWorkers(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runChunks splits [0, n) into one contiguous chunk per worker and runs
+// fn(w, lo, hi) on each; every index belongs to exactly one chunk.
+func runChunks(workers, n int, fn func(w, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	runWorkers(workers, func(w int) {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo < hi {
+			fn(w, lo, hi)
+		}
+	})
+}
+
+// mixSeed derives an independent RNG seed from a base seed and schedule
+// positions via splitmix64 finalization.
+func mixSeed(seed int64, parts ...int64) int64 {
+	z := uint64(seed)
+	for _, p := range parts {
+		z += 0x9e3779b97f4a7c15 + uint64(p)
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}

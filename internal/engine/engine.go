@@ -82,6 +82,7 @@ type engineMetrics struct {
 	filterRec      *metrics.Counter
 	joinRec        *metrics.Counter
 	indexRec       *metrics.Counter // RecScoreIndex probe plans
+	vectorRec      *metrics.Counter // IVF probe plans
 	cache          reccache.Metrics // shared by every recommender's cache
 	analyzeQueries *metrics.Counter
 }
@@ -172,6 +173,7 @@ func New(cfg Config) *Engine {
 		filterRec:      reg.Counter("plan.filter_recommend"),
 		joinRec:        reg.Counter("plan.join_recommend"),
 		indexRec:       reg.Counter("plan.index_recommend"),
+		vectorRec:      reg.Counter("plan.vector_recommend"),
 		analyzeQueries: reg.Counter("exec.analyze_queries"),
 		cache: reccache.Metrics{
 			Queries:           reg.Counter("reccache.queries"),
@@ -198,6 +200,13 @@ func New(cfg Config) *Engine {
 					c.RecordQuery(u)
 				}
 			}
+		},
+		VecMetrics: &exec.VectorMetrics{
+			ProbedCentroids: reg.Counter("ann.probed_centroids"),
+			Candidates:      reg.Counter("ann.candidates"),
+			ExactFallbacks:  reg.Counter("ann.exact_fallbacks"),
+			Widenings:       reg.Counter("ann.widenings"),
+			DecodeFailures:  reg.Counter("ann.decode_failures"),
 		},
 	}
 	mgr.OnRebuild(func(r *rec.Recommender) {
@@ -260,6 +269,8 @@ func (e *Engine) countStrategy(strategy string) {
 		e.em.joinRec.Inc()
 	case "IndexRecommend":
 		e.em.indexRec.Inc()
+	case "VectorRecommend":
+		e.em.vectorRec.Inc()
 	}
 }
 

@@ -76,6 +76,7 @@ func TestExplainGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	poi := newPOIDB(t, true)
+	vec := newVectorDB(t, 1)
 
 	cases := []struct {
 		name string
@@ -97,6 +98,10 @@ func TestExplainGolden(t *testing.T) {
 			 WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 2`},
 		{"spatial", poi,
 			`SELECT name FROM pois WHERE ST_DWithin(geom, ST_Point(50, 50), 10)`},
+		{"recommend_vector", vec,
+			`SELECT R.uid, R.iid, R.ratingval FROM ratings R
+			 RECOMMEND R.iid TO R.uid ON R.ratingval USING SVD
+			 WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 10`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

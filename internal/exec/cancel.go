@@ -33,6 +33,10 @@ func wrapChildren(op Operator, w func(Operator) Operator) {
 		v.Child = w(v.Child)
 	case *JoinRecommend:
 		v.Outer = w(v.Outer)
+	case *VectorRecommend:
+		if v.Outer != nil {
+			v.Outer = w(v.Outer)
+		}
 	}
 }
 

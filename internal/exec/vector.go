@@ -1,0 +1,396 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"recdb/internal/ann"
+	"recdb/internal/expr"
+	"recdb/internal/metrics"
+	"recdb/internal/rec"
+	"recdb/internal/types"
+)
+
+// VectorMetrics is the nil-safe instrument set the VECTORRECOMMEND path
+// records into (all fields optional, per the internal/metrics contract).
+type VectorMetrics struct {
+	// ProbedCentroids counts posting lists probed across all users/queries.
+	ProbedCentroids *metrics.Counter
+	// Candidates counts candidate items gathered and exactly re-ranked.
+	Candidates *metrics.Counter
+	// ExactFallbacks counts queries whose filtered candidate universe was
+	// below the exact threshold, served by a direct scan of that universe.
+	ExactFallbacks *metrics.Counter
+	// Widenings counts probe-width doublings forced by predicates eating
+	// the candidate set (over-fetch + recheck).
+	Widenings *metrics.Counter
+	// DecodeFailures counts queries that wanted the vector path but fell
+	// back because the persisted index failed to decode.
+	DecodeFailures *metrics.Counter
+}
+
+// DefaultVectorExactThreshold is the candidate-count floor below which
+// probing is pointless: a universe this small is scored exactly (the
+// "exact-fallback" recall mode).
+const DefaultVectorExactThreshold = 64
+
+// VectorRecommend serves SVD top-k through the IVF index: rank centroids
+// by dot product with the user vector, probe the nprobe nearest posting
+// lists, re-rank the candidates with exact dot products, and widen the
+// probe (doubling nprobe) until at least K rows per user survive the
+// pushed-down predicates — the over-fetch + recheck recipe for
+// non-selective filters. A selective predicate that shrinks the universe
+// to ExactThreshold or fewer items skips probing entirely, and a probe
+// widened to every centroid degenerates to the exact scan, which is the
+// package's backbone invariant: at full probe width the operator's output
+// is byte-identical to FilterRecommend's.
+//
+// With Outer set the operator composes with an item-joined relation (the
+// spatial/polygon path): the outer side is materialized once, its item ids
+// become the candidate filter, and survivors emit as 〈uid, iid, ratingval〉
+// ++ outer tuple, mirroring JoinRecommend's schema.
+type VectorRecommend struct {
+	Store *rec.ModelStore
+	Index *ann.Index
+	// Users is the user-id predicate; the planner only chooses this
+	// operator for explicit user filters, in predicate order.
+	Users []int64
+	// K is the per-user row target (LIMIT + OFFSET). Probing stops once K
+	// rows per user survive the predicates.
+	K int64
+	// NProbe is the initial probe width; 0 uses the index default.
+	NProbe int
+	// Exact forces a full probe of every centroid (the equivalence-test
+	// mode: byte-identical to the exact scan).
+	Exact bool
+	// ExactThreshold overrides DefaultVectorExactThreshold (0 = default).
+	ExactThreshold int
+	// Allowed, when non-nil, is the pushed-down item-id list (IN-list
+	// pre-filter), in predicate order.
+	Allowed []int64
+	// RatingPred, when set, filters rows by predicted value (evaluated on
+	// the bare rec row).
+	RatingPred expr.Compiled
+	// Outer, when set, is the materialized item-joined relation;
+	// OuterItemCol is the join column's position in its schema.
+	Outer        Operator
+	OuterItemCol int
+	// Metrics receives probe instrumentation; nil records nothing.
+	Metrics *VectorMetrics
+
+	// Run stats, populated by Open and rendered by EXPLAIN ANALYZE.
+	ProbedCentroids int
+	Candidates      int
+	Widened         int
+	Mode            string // "probe", "exact", or "exact-fallback"
+
+	schema *types.Schema
+	buf    []types.Row
+	pos    int
+}
+
+// NewVectorRecommend creates a VECTORRECOMMEND operator over the bare rec
+// schema; attach Outer before Open to compose with a joined relation.
+func NewVectorRecommend(store *rec.ModelStore, index *ann.Index, users []int64, k int64, recSchema *types.Schema) *VectorRecommend {
+	return &VectorRecommend{Store: store, Index: index, Users: users, K: k, schema: recSchema}
+}
+
+// Schema implements Operator.
+func (v *VectorRecommend) Schema() *types.Schema {
+	if v.Outer != nil {
+		return v.schema.Concat(v.Outer.Schema())
+	}
+	return v.schema
+}
+
+// Open implements Operator: the whole result is computed here (like
+// IndexRecommend) so the probe loop can count survivors per user.
+func (v *VectorRecommend) Open() error {
+	v.buf, v.pos = v.buf[:0], 0
+	v.ProbedCentroids, v.Candidates, v.Widened = 0, 0, 0
+	if len(v.Users) == 0 {
+		return fmt.Errorf("exec: VECTORRECOMMEND requires a user predicate")
+	}
+	if v.K <= 0 {
+		return fmt.Errorf("exec: VECTORRECOMMEND requires a positive row target")
+	}
+
+	var outerByItem map[int64][]types.Row
+	if v.Outer != nil {
+		var err error
+		if outerByItem, err = v.materializeOuter(); err != nil {
+			return err
+		}
+		if v.Allowed != nil {
+			// Both restrictions at once: the IN-list intersects the
+			// joined item set.
+			in := make(map[int64]bool, len(v.Allowed))
+			for _, i := range v.Allowed {
+				in[i] = true
+			}
+			for i := range outerByItem {
+				if !in[i] {
+					delete(outerByItem, i)
+				}
+			}
+		}
+	}
+
+	// The candidate universe: the pushed-down item list, the outer side's
+	// item ids, or every model item. For predicate-restricted universes
+	// keep the predicate's order (FilterRecommend iterates IN-lists
+	// verbatim, and exact-mode equivalence must too).
+	universe := v.Store.ItemIDs()
+	restricted := false
+	switch {
+	case v.Outer != nil:
+		restricted = true
+		universe = make([]int64, 0, len(outerByItem))
+		for i := range outerByItem {
+			universe = append(universe, i)
+		}
+		sort.Slice(universe, func(a, b int) bool { return universe[a] < universe[b] })
+	case v.Allowed != nil:
+		restricted = true
+		universe = v.Allowed
+	}
+
+	threshold := v.ExactThreshold
+	if threshold <= 0 {
+		threshold = DefaultVectorExactThreshold
+	}
+	switch {
+	case v.Exact:
+		v.Mode = "exact"
+	case len(universe) <= threshold:
+		v.Mode = "exact-fallback"
+		v.Metrics.exactFallbacks().Inc()
+	default:
+		v.Mode = "probe"
+	}
+
+	var allowedSet map[int64]bool
+	if restricted && v.Mode == "probe" {
+		allowedSet = make(map[int64]bool, len(universe))
+		for _, i := range universe {
+			allowedSet[i] = true
+		}
+	}
+
+	for _, u := range v.Users {
+		seen, err := v.Store.UserItems(u)
+		if err != nil {
+			return err
+		}
+		p, err := v.Store.UserFactors(u)
+		if err != nil {
+			return err
+		}
+		if v.Mode != "probe" || p == nil {
+			// Exact semantics: score the whole universe the way
+			// FilterRecommend does (unknown user or item → 0). A user the
+			// model cannot rank gains nothing from probing, so the probe
+			// mode drops to the exact path for that user too.
+			if err := v.scoreExact(u, p, universe, seen, outerByItem); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := v.probeUser(u, p, seen, allowedSet, outerByItem); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scoreExact mirrors FilterRecommend's inner loop over a fixed item list:
+// skip rated pairs, dot-product score (0 when either side is unknown),
+// rating predicate last. Emitting users in predicate order and items in
+// list order — with bit-equal scores, since the stored vectors round-trip
+// losslessly — is what makes the full output byte-identical to the exact
+// plan.
+func (v *VectorRecommend) scoreExact(u int64, p []float64, items []int64, seen map[int64]float64, outerByItem map[int64][]types.Row) error {
+	for _, i := range items {
+		if _, rated := seen[i]; rated {
+			continue
+		}
+		var score float64
+		if q := v.Index.Vector(i); p != nil && q != nil {
+			score = rec.Dot(p, q)
+		}
+		if err := v.emit(u, i, score, outerByItem); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeUser runs the probe / re-rank / widen loop for one user.
+func (v *VectorRecommend) probeUser(u int64, p []float64, seen map[int64]float64, allowedSet map[int64]bool, outerByItem map[int64][]types.Row) error {
+	order := v.Index.ProbeOrder(p)
+	k := v.Index.NumCentroids()
+	nprobe := v.NProbe
+	if nprobe <= 0 {
+		nprobe = v.Index.DefaultNProbe()
+	}
+	if nprobe > k {
+		nprobe = k
+	}
+	mark := len(v.buf)
+	for {
+		v.buf = v.buf[:mark]
+		cands := v.Index.Candidates(order, nprobe)
+		survivors := 0
+		for _, pos := range cands {
+			i, q := v.Index.At(pos)
+			if allowedSet != nil && !allowedSet[i] {
+				continue
+			}
+			if _, rated := seen[i]; rated {
+				continue
+			}
+			before := len(v.buf)
+			if err := v.emit(u, i, rec.Dot(p, q), outerByItem); err != nil {
+				return err
+			}
+			if len(v.buf) > before {
+				survivors++
+			}
+		}
+		if int64(survivors) >= v.K || nprobe >= k {
+			v.ProbedCentroids += nprobe
+			v.Candidates += len(cands)
+			v.Metrics.probedCentroids().Add(int64(nprobe))
+			v.Metrics.candidates().Add(int64(len(cands)))
+			return nil
+		}
+		// Over-fetch + recheck: the predicates ate too much of the
+		// candidate set; double the probe width and rescore.
+		nprobe *= 2
+		if nprobe > k {
+			nprobe = k
+		}
+		v.Widened++
+		v.Metrics.widenings().Inc()
+	}
+}
+
+// emit appends the scored row — joined against the outer side when
+// composed — unless the rating predicate rejects it.
+func (v *VectorRecommend) emit(u, i int64, score float64, outerByItem map[int64][]types.Row) error {
+	row := types.Row{types.NewInt(u), types.NewInt(i), types.NewFloat(score)}
+	if v.RatingPred != nil {
+		val, err := v.RatingPred(row)
+		if err != nil {
+			return err
+		}
+		if !expr.Truthy(val) {
+			return nil
+		}
+	}
+	if outerByItem == nil {
+		v.buf = append(v.buf, row)
+		return nil
+	}
+	for _, outer := range outerByItem[i] {
+		v.buf = append(v.buf, row.Concat(outer))
+	}
+	return nil
+}
+
+// materializeOuter drains the outer relation once, grouping its rows by
+// item id. Items unknown to the model are dropped, matching JoinRecommend
+// (models never emit items they have no ratings for).
+func (v *VectorRecommend) materializeOuter() (map[int64][]types.Row, error) {
+	if err := v.Outer.Open(); err != nil {
+		return nil, err
+	}
+	out := make(map[int64][]types.Row)
+	for {
+		row, ok, err := v.Outer.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		item, isInt := row[v.OuterItemCol].AsInt()
+		if !isInt || !v.Store.HasItem(item) {
+			continue
+		}
+		out[item] = append(out[item], row)
+	}
+}
+
+// EffectiveNProbe reports the probe width the operator starts from, for
+// EXPLAIN.
+func (v *VectorRecommend) EffectiveNProbe() int {
+	k := v.Index.NumCentroids()
+	if v.Exact {
+		return k
+	}
+	n := v.NProbe
+	if n <= 0 {
+		n = v.Index.DefaultNProbe()
+	}
+	if n > k {
+		n = k
+	}
+	return n
+}
+
+// Next implements Operator.
+func (v *VectorRecommend) Next() (types.Row, bool, error) {
+	if v.pos >= len(v.buf) {
+		return nil, false, nil
+	}
+	row := v.buf[v.pos]
+	v.pos++
+	return row, true, nil
+}
+
+// Close implements Operator. Run stats survive Close so EXPLAIN ANALYZE
+// can render them after execution.
+func (v *VectorRecommend) Close() error {
+	v.buf = nil
+	if v.Outer != nil {
+		return v.Outer.Close()
+	}
+	return nil
+}
+
+// Nil-safe metric accessors: a nil *VectorMetrics (or nil field) records
+// nothing, per the internal/metrics contract.
+func (m *VectorMetrics) probedCentroids() *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ProbedCentroids
+}
+func (m *VectorMetrics) candidates() *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Candidates
+}
+func (m *VectorMetrics) exactFallbacks() *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ExactFallbacks
+}
+func (m *VectorMetrics) widenings() *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Widenings
+}
+
+// DecodeFailuresCounter is the planner's nil-safe handle on the
+// decode-failure instrument.
+func (m *VectorMetrics) DecodeFailuresCounter() *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.DecodeFailures
+}

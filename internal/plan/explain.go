@@ -78,6 +78,10 @@ func children(op exec.Operator) []exec.Operator {
 		return []exec.Operator{v.Child}
 	case *exec.JoinRecommend:
 		return []exec.Operator{v.Outer}
+	case *exec.VectorRecommend:
+		if v.Outer != nil {
+			return []exec.Operator{v.Outer}
+		}
 	}
 	return nil
 }
@@ -141,6 +145,15 @@ func nodeLine(op exec.Operator) string {
 			extra = fmt.Sprintf(", limit %d pushed down", v.Limit)
 		}
 		return fmt.Sprintf("IndexRecommend on RecScoreIndex (%d users%s)", len(v.Users), extra)
+	case *exec.VectorRecommend:
+		line := fmt.Sprintf("VectorRecommend on IVF (%d users, %d centroids, nprobe %d, k %d)",
+			len(v.Users), v.Index.NumCentroids(), v.EffectiveNProbe(), v.K)
+		if v.Mode != "" {
+			// Run stats: rendered by EXPLAIN ANALYZE once Open has probed.
+			line += fmt.Sprintf(" (probed %d, candidates %d, mode %s)",
+				v.ProbedCentroids, v.Candidates, v.Mode)
+		}
+		return line
 	default:
 		return fmt.Sprintf("%T", op)
 	}

@@ -43,11 +43,26 @@ type Planner struct {
 	// DisableFilterPushdown turns off uid/iid/ratingval pushdown into the
 	// RECOMMEND operator.
 	DisableFilterPushdown bool
+	// DisableVectorRecommend turns off the IVF VECTORRECOMMEND path
+	// (ablation benchmarks and exact-baseline comparisons).
+	DisableVectorRecommend bool
+	// VectorExact forces VECTORRECOMMEND to probe every centroid — the
+	// equivalence-test mode whose output is byte-identical to the exact
+	// scan.
+	VectorExact bool
+	// VectorProbe overrides the index's default probe width (0 = default).
+	VectorProbe int
+	// VectorExactThreshold overrides the candidate-count floor below which
+	// VECTORRECOMMEND scores the universe exactly (0 = exec default).
+	VectorExactThreshold int
+	// VecMetrics receives VECTORRECOMMEND instrumentation; nil records
+	// nothing.
+	VecMetrics *exec.VectorMetrics
 }
 
 // Explain describes the chosen plan for observability and tests.
 type Explain struct {
-	Strategy    string // "Recommend", "FilterRecommend", "JoinRecommend", "IndexRecommend", or "" for plain queries
+	Strategy    string // "Recommend", "FilterRecommend", "JoinRecommend", "IndexRecommend", "VectorRecommend", or "" for plain queries
 	SortSkipped bool
 }
 
@@ -411,7 +426,14 @@ func (p *Planner) planRecommend(stmt *sql.Select, conjuncts []sql.Expr, applied 
 		}
 	}
 
-	// Strategy 2: JOINRECOMMEND when an equi conjunct joins the item column
+	// Strategy 2: VECTORRECOMMEND — for SVD top-k queries, probe the IVF
+	// index over item latent factors and re-rank exactly instead of
+	// scoring every item.
+	if op := p.tryVectorRecommend(stmt, alias, recommender, store, pd, ratingPred, others, conjuncts, applied, recSchema, ex); op != nil {
+		return op, nil
+	}
+
+	// Strategy 3: JOINRECOMMEND when an equi conjunct joins the item column
 	// to another table.
 	if !p.DisableJoinRecommend && len(others) > 0 {
 		for oi, other := range others {
@@ -446,7 +468,7 @@ func (p *Planner) planRecommend(stmt *sql.Select, conjuncts []sql.Expr, applied 
 		}
 	}
 
-	// Strategy 3: RECOMMEND / FILTERRECOMMEND.
+	// Strategy 4: RECOMMEND / FILTERRECOMMEND.
 	op := exec.NewRecommend(store, recSchema)
 	op.IncludeSeen = false
 	if pd.usersSet {
@@ -462,6 +484,94 @@ func (p *Planner) planRecommend(stmt *sql.Select, conjuncts []sql.Expr, applied 
 		ex.Strategy = "Recommend"
 	}
 	return p.joinOthers(op, others, conjuncts, applied)
+}
+
+// tryVectorRecommend plans the VECTORRECOMMEND strategy, or returns nil
+// when the query shape disqualifies it. The operator over-fetches K =
+// LIMIT + OFFSET rows per user and the predicates it cannot absorb stay
+// disqualifying: any conjunct that would land as a filter above it could
+// eat past the per-user row target, so the strategy only fires when every
+// conjunct is pushed down (uid/iid lists, rating predicates, and — for the
+// joined/spatial shape — a single item equi-join whose outer side carries
+// its own filters).
+func (p *Planner) tryVectorRecommend(stmt *sql.Select, alias string, recommender *rec.Recommender, store *rec.ModelStore, pd recPreds, ratingPred expr.Compiled, others []tableOp, conjuncts []sql.Expr, applied map[sql.Expr]bool, recSchema *types.Schema, ex *Explain) exec.Operator {
+	if p.DisableVectorRecommend || store.Algo != rec.SVD {
+		return nil
+	}
+	if !pd.usersSet || len(pd.users) == 0 {
+		return nil
+	}
+	if pd.itemsSet && len(pd.items) == 0 {
+		return nil // contradictory IN-lists: the exact plan is already O(0)
+	}
+	// Top-k shape only: ORDER BY ratingval DESC LIMIT k, no aggregation or
+	// dedup between the operator and the limit.
+	if needsAggregate(stmt) || stmt.Distinct || stmt.Limit == nil || !orderIsRatingDesc(stmt, alias, recommender) {
+		return nil
+	}
+	k, err := constInt(stmt.Limit)
+	if err != nil {
+		return nil
+	}
+	if stmt.Offset != nil {
+		skip, err := constInt(stmt.Offset)
+		if err != nil {
+			return nil
+		}
+		k += skip
+	}
+	if k <= 0 {
+		return nil
+	}
+	index, err := store.ANN()
+	if err != nil {
+		// Corrupt persisted index: count it and serve exact.
+		p.VecMetrics.DecodeFailuresCounter().Inc()
+		return nil
+	}
+	if index == nil || index.NumCentroids() == 0 {
+		return nil
+	}
+
+	// Shape: the rec table alone, or composed with exactly one
+	// item-joined relation (the spatial/polygon case).
+	var outer exec.Operator
+	outerCol := -1
+	var joinConj sql.Expr
+	switch len(others) {
+	case 0:
+	case 1:
+		outerCol, joinConj = findItemJoin(conjuncts, applied, alias, recommender, others[0].op.Schema())
+		if joinConj == nil {
+			return nil
+		}
+		outer = others[0].op
+	default:
+		return nil
+	}
+	for _, c := range conjuncts {
+		if !applied[c] && c != joinConj {
+			return nil
+		}
+	}
+	if joinConj != nil {
+		applied[joinConj] = true
+	}
+
+	op := exec.NewVectorRecommend(store, index, pd.users, k, recSchema)
+	op.RatingPred = ratingPred
+	if pd.itemsSet {
+		op.Allowed = pd.items
+	}
+	op.NProbe = p.VectorProbe
+	op.Exact = p.VectorExact
+	op.ExactThreshold = p.VectorExactThreshold
+	op.Metrics = p.VecMetrics
+	if outer != nil {
+		op.Outer, op.OuterItemCol = outer, outerCol
+	}
+	ex.Strategy = "VectorRecommend"
+	return op
 }
 
 // tableOp pairs a FROM entry with its (possibly filtered) scan.

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync/atomic"
+
+	"recdb/internal/ann"
 )
 
 // Neighbor is one entry of a similarity list: a neighboring entity (item or
@@ -37,6 +39,12 @@ type BuildOptions struct {
 	// Faster on high-core machines, but the trained factors depend on the
 	// goroutine interleaving and are NOT reproducible run to run.
 	SVDHogwild bool
+	// ANNCentroids and ANNProbe tune the IVF index built over the trained
+	// item factors (vector-native top-k). 0 selects the internal/ann
+	// defaults (√n centroids, K/4 probe width); the index build shares
+	// Workers and is deterministic under SVDSeed for a given factor set.
+	ANNCentroids int
+	ANNProbe     int
 }
 
 func (o BuildOptions) withDefaults() BuildOptions {
@@ -383,11 +391,14 @@ func PredictWeighted(neighbors []Neighbor, known map[int64]float64) (float64, bo
 
 // FactorModel is the matrix-factorization model of §IV-A3: one latent
 // factor vector per user and per item; prediction is their dot product.
+// IVF is the inverted-file ANN index over the item factors, built after
+// training so RECOMMEND top-k can probe instead of scanning every item.
 type FactorModel struct {
 	ix          *ratingsIndex
 	UserFactors map[int64][]float64
 	ItemFactors map[int64][]float64
 	K           int
+	IVF         *ann.Index
 }
 
 // TrainSVD learns the factor model by stochastic gradient descent on the
@@ -430,6 +441,17 @@ func TrainSVD(ratings []Rating, opts BuildOptions) (*FactorModel, error) {
 	} else {
 		trainStratified(m, ix, opts)
 	}
+	// The IVF index over the trained item factors. The build is a
+	// deterministic function of (factors, seed) at any worker count, so the
+	// stratified path yields a bit-identical index run to run; Hogwild
+	// inherits that mode's documented non-reproducibility through the
+	// factors themselves.
+	m.IVF = ann.Build(ix.items, m.ItemFactors, ann.Options{
+		Centroids: opts.ANNCentroids,
+		NProbe:    opts.ANNProbe,
+		Workers:   opts.Workers,
+		Seed:      opts.SVDSeed,
+	})
 	return m, nil
 }
 

@@ -403,19 +403,14 @@ func (m *Manager) NotifyInsert(table string, count int) error {
 		}
 		r.mu.Unlock()
 	}
-	onRebuild := m.onRebuild
 	m.mu.RUnlock()
 
 	for _, r := range due {
-		if err := m.Rebuild(r.Name); err != nil {
-			// Graceful degradation: the failure is recorded in the
-			// recommender's Health and retried with backoff; the insert
-			// that triggered maintenance must not fail.
-			continue
-		}
-		if onRebuild != nil {
-			onRebuild(r)
-		}
+		// Rebuild fires the onRebuild cache invalidation itself on
+		// success. Graceful degradation on error: the failure is recorded
+		// in the recommender's Health and retried with backoff; the
+		// insert that triggered maintenance must not fail.
+		_ = m.Rebuild(r.Name)
 	}
 	return nil
 }
@@ -452,6 +447,17 @@ func (m *Manager) Rebuild(name string) error {
 	}
 	if wasHealthy != nowHealthy {
 		m.opts.Metrics.HealthTransitions.Inc()
+	}
+	if err == nil {
+		// Every successful rebuild — maintenance-driven or explicit — must
+		// advance dependent caches to the new model generation; a stale
+		// RecScoreIndex would keep serving the pre-swap scores.
+		m.mu.RLock()
+		onRebuild := m.onRebuild
+		m.mu.RUnlock()
+		if onRebuild != nil {
+			onRebuild(r)
+		}
 	}
 	return err
 }

@@ -1,11 +1,14 @@
 package rec
 
 import (
+	"encoding/base64"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
+	"recdb/internal/ann"
 	"recdb/internal/catalog"
 	"recdb/internal/storage"
 	"recdb/internal/types"
@@ -24,6 +27,7 @@ import (
 //	UserCF:   itemvector        (iid, uid, ratingval)  sorted by iid, indexed on iid
 //	SVD:      userfactor        (uid pk, features)
 //	SVD:      itemfactor        (iid pk, features)
+//	SVD:      annivf            (seq pk, chunk)  serialized IVF index
 //	Popularity: itemscore       (iid pk, score)
 type ModelStore struct {
 	Algo             Algorithm
@@ -34,12 +38,23 @@ type ModelStore struct {
 	UserFactor       *catalog.Table
 	ItemFactor       *catalog.Table
 	ItemScore        *catalog.Table
+	AnnIVF           *catalog.Table
 	K                int // SVD factor count
 
 	userIDs []int64
 	itemIDs []int64
 	itemSet map[int64]bool
 	names   []string // owned table names, for Drop
+
+	// Lazily decoded IVF index; decoding from the annivf table on first
+	// use (rather than carrying the in-memory build product) means every
+	// fresh store — including one rebuilt by crash recovery — exercises
+	// the persisted bytes, and a corrupt blob is detected here and served
+	// as "no index" so the planner falls back to the exact scan.
+	annMu   sync.Mutex
+	ann     *ann.Index
+	annErr  error
+	annDone bool
 }
 
 // prefixFor builds the reserved table-name prefix for a recommender.
@@ -187,6 +202,28 @@ func Materialize(cat *catalog.Catalog, recommender string, m Model) (*ModelStore
 			}
 		}
 		s.ItemFactor = itf
+		if model.IVF != nil && model.IVF.NumCentroids() > 0 {
+			at, err := create("annivf", types.NewSchema(
+				types.Column{Name: "seq", Kind: types.KindInt},
+				types.Column{Name: "chunk", Kind: types.KindText},
+			), 0)
+			if err != nil {
+				return nil, err
+			}
+			enc := base64.StdEncoding.EncodeToString(model.IVF.Encode())
+			const chunkLen = 4096
+			for seq := 0; len(enc) > 0; seq++ {
+				n := chunkLen
+				if n > len(enc) {
+					n = len(enc)
+				}
+				if _, err := at.Insert(types.Row{types.NewInt(int64(seq)), types.NewText(enc[:n])}); err != nil {
+					return nil, err
+				}
+				enc = enc[n:]
+			}
+			s.AnnIVF = at
+		}
 	case *PopularityModel:
 		isc, err := create("itemscore", types.NewSchema(
 			types.Column{Name: "iid", Kind: types.KindInt},
@@ -214,7 +251,7 @@ func DropTables(cat *catalog.Catalog, recommender string) {
 	prefix := prefixFor(recommender)
 	for _, suffix := range []string{
 		"uservector", "itemneighborhood", "userneighborhood",
-		"itemvector", "userfactor", "itemfactor", "itemscore",
+		"itemvector", "userfactor", "itemfactor", "itemscore", "annivf",
 	} {
 		if cat.Has(prefix + suffix) {
 			_ = cat.DropTable(prefix + suffix)
@@ -374,6 +411,61 @@ func (s *ModelStore) factorsFrom(t *catalog.Table, id int64) ([]float64, error) 
 		return nil, nil
 	}
 	return decodeVec(row[1].Text())
+}
+
+// ANN returns the model's IVF index over item latent factors, decoding
+// the annivf table on first use. It returns (nil, nil) when the model has
+// no index (non-SVD algorithms) and (nil, err) when the persisted blob is
+// corrupt; callers treat nil as "use the exact scan". The decode result is
+// cached, so a corrupt index reports its error once per store and then
+// keeps falling back.
+func (s *ModelStore) ANN() (*ann.Index, error) {
+	if s.AnnIVF == nil {
+		return nil, nil
+	}
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	if s.annDone {
+		return s.ann, s.annErr
+	}
+	s.annDone = true
+	s.ann, s.annErr = s.decodeANN()
+	return s.ann, s.annErr
+}
+
+// decodeANN reassembles the base64 chunks of the annivf table in seq order
+// and decodes the CRC-framed index.
+func (s *ModelStore) decodeANN() (*ann.Index, error) {
+	type chunk struct {
+		seq  int64
+		text string
+	}
+	var chunks []chunk
+	it := s.AnnIVF.Heap.Scan()
+	defer it.Close()
+	for {
+		row, _, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		chunks = append(chunks, chunk{row[0].Int(), row[1].Text()})
+	}
+	sort.Slice(chunks, func(a, b int) bool { return chunks[a].seq < chunks[b].seq })
+	var enc strings.Builder
+	for i, c := range chunks {
+		if c.seq != int64(i) {
+			return nil, fmt.Errorf("rec: ann index chunk sequence broken at %d (seq %d)", i, c.seq)
+		}
+		enc.WriteString(c.text)
+	}
+	blob, err := base64.StdEncoding.DecodeString(enc.String())
+	if err != nil {
+		return nil, fmt.Errorf("rec: ann index chunks undecodable: %w", err)
+	}
+	return ann.Decode(blob)
 }
 
 // ItemScoreOf fetches an item's non-personalized score (Popularity).

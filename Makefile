@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-serve bench-concurrency bench-ann bench-paper fault-sweep vet lint fmt examples clean
+.PHONY: all build test race cover bench bench-build bench-durability bench-metrics bench-serve bench-concurrency bench-ann bench-sharded bench-paper fault-sweep vet lint fmt examples clean
 
 all: vet lint test build
 
@@ -12,7 +12,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu=1,4 ./internal/ann/... ./internal/metrics/... ./internal/rec/... ./internal/reccache/... ./internal/exec/... ./internal/server/... ./internal/wire/... ./client/...
+	$(GO) test -race -cpu=1,4 ./internal/ann/... ./internal/metrics/... ./internal/rec/... ./internal/reccache/... ./internal/exec/... ./internal/server/... ./internal/shard/... ./internal/wire/... ./client/...
 
 cover:
 	$(GO) test -cover ./...
@@ -56,6 +56,14 @@ bench-concurrency:
 # BENCH_ann.json.
 bench-ann:
 	$(GO) run ./cmd/recdb-bench -exp ann -ann-scales 0.25,1.0 -json BENCH_ann.json
+
+# Horizontal-scale experiment: real recdb-server shard processes fronted
+# by a real recdb-router on loopback; aggregate point-lookup and
+# durable-insert throughput at 1, 2, and 4 shards, plus a router-less
+# direct baseline for the routing-overhead check. Writes
+# BENCH_sharded.json.
+bench-sharded:
+	$(GO) run ./cmd/recdb-bench -exp sharded -shard-counts 1,2,4 -json BENCH_sharded.json
 
 # Exhaustive crash simulation: every fault point x every fault mode, and
 # every byte of a snapshot flipped (the default test run samples both),

@@ -4,12 +4,16 @@
 // against recdb.Rows ports to the network client by swapping the
 // constructor.
 //
-// A Conn is one session and is safe for concurrent use; requests are
-// single-flight (one in flight at a time, serialized internally). A
-// context with a deadline propagates to the server as the request's
-// timeout; cancelling the context sends a Cancel frame so the server
-// stops executing, and the call returns once the server acknowledges
-// with its terminal answer.
+// A Conn is one session and is safe for concurrent use. Requests are
+// pipelined: up to 16 may be in flight on the wire at once (the server's
+// own pipeline bound), so concurrent callers share one connection's
+// round trips instead of queueing behind each other. Every request
+// carries a client-assigned id and a dedicated reader goroutine demuxes
+// response frames back to their callers, so answers may interleave
+// freely. A context with a deadline propagates to the server as the
+// request's timeout; cancelling the context sends a Cancel frame so the
+// server stops executing, and the call returns once the server
+// acknowledges with its terminal answer.
 package client
 
 import (
@@ -24,13 +28,29 @@ import (
 	"recdb/internal/wire"
 )
 
+// pipelineDepth bounds how many requests a Conn keeps in flight. The
+// server permits 16 but retires a request from its pipeline accounting
+// only after writing its response, so a client that refills the instant
+// an answer arrives can transiently look 17 deep to the server and draw
+// a spurious "busy". Its worker is single-threaded — at most one
+// answered request can be in that window — so one slot of headroom
+// makes the overrun impossible.
+const pipelineDepth = 15
+
+// cancelGrace bounds how long a cancelled call waits for the server's
+// terminal answer before giving up on the connection. A cancelled
+// request that is still queued behind others on the server is not
+// interrupted until it starts executing, so this is a backstop against
+// a hung server, not the normal cancel path.
+const cancelGrace = 5 * time.Second
+
 // Row is one result tuple, identical to the embedded API's recdb.Row.
 type Row = types.Row
 
 // ServerError is a typed failure the server answered with.
 type ServerError struct {
 	// Code is one of the wire.Code* constants ("busy", "timeout",
-	// "canceled", "query", ...).
+	// "canceled", "query", "shard_down", ...).
 	Code string
 	// Message is the server's human-readable detail.
 	Message string
@@ -49,17 +69,39 @@ type Result struct {
 	RowsAffected int64
 }
 
-// Conn is one client session. Methods serialize internally: a second
-// request waits for the first to finish rather than interleaving.
+// call is one in-flight request: the reader goroutine fills it in and
+// closes done when the terminal answer arrives (or the connection dies).
+type call struct {
+	rows     *Rows
+	complete wire.Complete
+	err      error
+	done     chan struct{}
+}
+
+// Conn is one client session. It is safe for concurrent use: callers
+// share the connection's pipeline, each blocking only on its own answer.
 type Conn struct {
 	sessionID uint64
 	server    string
+	conn      net.Conn
 
-	mu     sync.Mutex
-	conn   net.Conn
-	buf    []byte
-	nextID uint32
-	closed bool
+	// slots holds pipelineDepth tokens; acquiring one admits a request
+	// into the pipeline.
+	slots chan struct{}
+
+	// wmu serializes frame writes onto the connection.
+	wmu sync.Mutex
+
+	// mu guards the demux state below.
+	mu      sync.Mutex
+	pending map[uint32]*call
+	nextID  uint32
+	closed  bool
+	cause   error // the transport failure that poisoned the conn
+
+	// dead closes when the connection is poisoned or closed, unblocking
+	// callers waiting for a pipeline slot.
+	dead chan struct{}
 }
 
 // Dial connects to a recdb-server at addr and performs the handshake.
@@ -82,7 +124,7 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 		_ = nc.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
-	t, payload, buf, err := wire.ReadFrame(nc, make([]byte, 512))
+	t, payload, _, err := wire.ReadFrame(nc, make([]byte, 512))
 	if err != nil {
 		_ = nc.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
@@ -95,7 +137,19 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 			return nil, fmt.Errorf("client: handshake: %w", err)
 		}
 		_ = nc.SetDeadline(time.Time{})
-		return &Conn{sessionID: h.SessionID, server: h.Server, conn: nc, buf: buf}, nil
+		c := &Conn{
+			sessionID: h.SessionID,
+			server:    h.Server,
+			conn:      nc,
+			slots:     make(chan struct{}, pipelineDepth),
+			pending:   make(map[uint32]*call),
+			dead:      make(chan struct{}),
+		}
+		for i := 0; i < pipelineDepth; i++ {
+			c.slots <- struct{}{}
+		}
+		go c.readLoop()
+		return c, nil
 	case wire.TypeError:
 		e, derr := wire.DecodeError(payload)
 		_ = nc.Close()
@@ -115,15 +169,19 @@ func (c *Conn) SessionID() uint64 { return c.sessionID }
 // Server is the server string from the handshake.
 func (c *Conn) Server() string { return c.server }
 
-// Close closes the connection. Safe to call repeatedly.
+// Close closes the connection; in-flight calls fail with ErrClosed.
+// Safe to call repeatedly.
 func (c *Conn) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+// Closed reports whether the connection is closed or has been poisoned
+// by a transport failure; a closed Conn never recovers (dial a new one).
+func (c *Conn) Closed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	return c.conn.Close()
+	return c.closed
 }
 
 // Ping checks server liveness end to end.
@@ -151,26 +209,40 @@ func (c *Conn) Query(ctx context.Context, sql string) (*Rows, error) {
 	return rows, nil
 }
 
-// roundTrip performs one single-flight request cycle: send the frame,
-// then read response frames until the request's terminal answer. When
-// ctx carries a deadline it is forwarded as the server-side timeout;
-// when ctx is cancelled a Cancel frame asks the server to interrupt,
-// and the cycle still ends on the server's terminal answer (an
-// unresponsive server is cut off by a short read-deadline backstop).
+// roundTrip performs one pipelined request cycle: acquire a pipeline
+// slot, send the frame, then wait for the reader goroutine to deliver
+// the request's terminal answer. When ctx carries a deadline it is
+// forwarded as the server-side timeout; when ctx is cancelled a Cancel
+// frame asks the server to interrupt, and the cycle still ends on the
+// server's terminal answer (an unresponsive server is cut off by the
+// cancelGrace backstop, which poisons the connection).
 func (c *Conn) roundTrip(ctx context.Context, kind wire.Type, sql string) (wire.Complete, *Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return wire.Complete{}, nil, ErrClosed
-	}
 	if err := ctx.Err(); err != nil {
+		return wire.Complete{}, nil, err
+	}
+	select {
+	case <-c.slots:
+	case <-c.dead:
+		return wire.Complete{}, nil, c.closedErr()
+	case <-ctx.Done():
+		return wire.Complete{}, nil, ctx.Err()
+	}
+	defer func() { c.slots <- struct{}{} }()
+
+	cl := &call{rows: &Rows{pos: -1}, done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed {
+		err := c.cause
+		c.mu.Unlock()
 		return wire.Complete{}, nil, err
 	}
 	id := c.nextID
 	c.nextID++
+	c.pending[id] = cl
+	c.mu.Unlock()
 
 	var payload []byte
 	if kind == wire.TypePing {
@@ -186,110 +258,177 @@ func (c *Conn) roundTrip(ctx context.Context, kind wire.Type, sql string) (wire.
 		}
 		payload = wire.AppendRequest(nil, wire.Request{ID: id, TimeoutMillis: timeoutMillis, SQL: sql})
 	}
-	if err := wire.WriteFrame(c.conn, kind, payload); err != nil {
-		return wire.Complete{}, nil, c.poisonLocked(fmt.Errorf("client: send: %w", err))
+	if err := c.writeFrame(kind, payload); err != nil {
+		err = fmt.Errorf("client: send: %w", err)
+		c.fail(err)
+		c.forget(id)
+		return wire.Complete{}, nil, err
 	}
 
-	if ctx.Done() != nil {
-		stop := make(chan struct{})
-		watcherDone := make(chan struct{})
-		go func() {
-			defer close(watcherDone)
-			select {
-			case <-ctx.Done():
-				// Ask the server to interrupt; the terminal answer (code
-				// "canceled" or a result that beat the cancel) still
-				// arrives on the normal path. The read deadline is a
-				// backstop against a hung server only.
-				_ = wire.WriteFrame(c.conn, wire.TypeCancel, wire.AppendID(nil, id))
-				_ = c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-			case <-stop:
-			}
-		}()
-		// Join the watcher before returning so a late deadline write
-		// cannot leak into the next request's read loop.
-		defer func() {
-			close(stop)
-			<-watcherDone
-			c.clearReadDeadlineLocked()
-		}()
+	select {
+	case <-cl.done:
+	case <-ctx.Done():
+		// Ask the server to interrupt; the terminal answer (code
+		// "canceled" or a result that beat the cancel) still arrives on
+		// the normal path and is what ends the wait.
+		_ = c.writeFrame(wire.TypeCancel, wire.AppendID(nil, id))
+		backstop := time.NewTimer(cancelGrace)
+		defer backstop.Stop()
+		select {
+		case <-cl.done:
+		case <-backstop.C:
+			c.fail(fmt.Errorf("client: no answer %v after cancel: %w", cancelGrace, ctx.Err()))
+			<-cl.done
+		}
 	}
+	if cl.err != nil {
+		return wire.Complete{}, nil, cl.err
+	}
+	return cl.complete, cl.rows, nil
+}
 
-	rows := &Rows{pos: -1}
+// writeFrame serializes one frame onto the connection.
+func (c *Conn) writeFrame(t wire.Type, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.conn, t, payload)
+}
+
+// readLoop is the demux goroutine: it decodes response frames and routes
+// each to its pending call by request id until the connection ends.
+func (c *Conn) readLoop() {
+	buf := make([]byte, 4096)
 	for {
-		t, p, buf, err := wire.ReadFrame(c.conn, c.buf)
-		c.buf = buf
+		t, p, nbuf, err := wire.ReadFrame(c.conn, buf)
+		buf = nbuf
 		if err != nil {
-			return wire.Complete{}, nil, c.poisonLocked(fmt.Errorf("client: receive: %w", err))
+			c.fail(fmt.Errorf("client: receive: %w", err))
+			return
 		}
 		switch t {
 		case wire.TypePong:
-			got, err := wire.DecodeID(p)
+			id, err := wire.DecodeID(p)
 			if err != nil {
-				return wire.Complete{}, nil, c.poisonLocked(err)
+				c.fail(err)
+				return
 			}
-			if got == id {
-				return wire.Complete{}, nil, nil
-			}
+			c.finish(id, nil)
 		case wire.TypeRowDesc:
 			d, err := wire.DecodeRowDesc(p)
 			if err != nil {
-				return wire.Complete{}, nil, c.poisonLocked(err)
+				c.fail(err)
+				return
 			}
-			if d.ID == id {
-				rows.cols, rows.strategy = d.Columns, d.Strategy
+			if cl := c.lookup(d.ID); cl != nil {
+				cl.rows.cols, cl.rows.strategy = d.Columns, d.Strategy
 			}
 		case wire.TypeDataRow:
-			got, row, err := wire.DecodeDataRow(p)
+			id, row, err := wire.DecodeDataRow(p)
 			if err != nil {
-				return wire.Complete{}, nil, c.poisonLocked(err)
+				c.fail(err)
+				return
 			}
-			if got == id {
-				rows.rows = append(rows.rows, row)
+			if cl := c.lookup(id); cl != nil {
+				cl.rows.rows = append(cl.rows.rows, row)
 			}
 		case wire.TypeRowBatch:
-			got, batch, err := wire.DecodeRowBatch(p)
+			id, batch, err := wire.DecodeRowBatch(p)
 			if err != nil {
-				return wire.Complete{}, nil, c.poisonLocked(err)
+				c.fail(err)
+				return
 			}
-			if got == id {
-				rows.rows = append(rows.rows, batch...)
+			if cl := c.lookup(id); cl != nil {
+				cl.rows.rows = append(cl.rows.rows, batch...)
 			}
 		case wire.TypeComplete:
 			done, err := wire.DecodeComplete(p)
 			if err != nil {
-				return wire.Complete{}, nil, c.poisonLocked(err)
+				c.fail(err)
+				return
 			}
-			if done.ID == id {
-				return done, rows, nil
+			if cl := c.lookup(done.ID); cl != nil {
+				cl.complete = done
 			}
+			c.finish(done.ID, nil)
 		case wire.TypeError:
 			e, err := wire.DecodeError(p)
 			if err != nil {
-				return wire.Complete{}, nil, c.poisonLocked(err)
+				c.fail(err)
+				return
 			}
-			if e.ID == id || e.Code == wire.CodeProtocol || e.Code == wire.CodeInternal {
-				return wire.Complete{}, nil, &ServerError{Code: e.Code, Message: e.Message}
+			serr := &ServerError{Code: e.Code, Message: e.Message}
+			if c.lookup(e.ID) != nil {
+				c.finish(e.ID, serr)
+			} else if e.Code == wire.CodeProtocol || e.Code == wire.CodeInternal {
+				// A session-level failure: the server is about to drop the
+				// connection, so every in-flight call fails with it.
+				c.fail(serr)
+				return
 			}
 		default:
-			return wire.Complete{}, nil, c.poisonLocked(fmt.Errorf("client: unexpected frame type %q", byte(t)))
+			c.fail(fmt.Errorf("client: unexpected frame type %q", byte(t)))
+			return
 		}
 	}
 }
 
-// poisonLocked marks the connection unusable after a transport-level
-// failure — framing state is unknown, so no further request can trust
-// the stream.
-func (c *Conn) poisonLocked(err error) error {
-	if !c.closed {
-		c.closed = true
-		_ = c.conn.Close()
-	}
-	return err
+// lookup returns the pending call for id, nil when unknown.
+func (c *Conn) lookup(id uint32) *call {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending[id]
 }
 
-func (c *Conn) clearReadDeadlineLocked() {
-	_ = c.conn.SetReadDeadline(time.Time{})
+// finish retires a pending call with its terminal answer.
+func (c *Conn) finish(id uint32, err error) {
+	c.mu.Lock()
+	cl := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if cl != nil {
+		cl.err = err
+		close(cl.done)
+	}
+}
+
+// forget drops a call that never made it onto the wire.
+func (c *Conn) forget(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// fail poisons the connection after a transport-level failure — framing
+// state is unknown, so no further request can trust the stream — and
+// fails every in-flight call with the cause. Idempotent: the first
+// failure wins.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cause = err
+	stranded := c.pending
+	c.pending = make(map[uint32]*call)
+	close(c.dead)
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	for _, cl := range stranded {
+		cl.err = err
+		close(cl.done)
+	}
+}
+
+// closedErr reports why the connection is unusable.
+func (c *Conn) closedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cause != nil {
+		return c.cause
+	}
+	return ErrClosed
 }
 
 // Rows is a materialized query result, mirroring recdb.Rows: iterate
@@ -299,6 +438,13 @@ type Rows struct {
 	strategy string
 	rows     []Row
 	pos      int
+}
+
+// NewRows builds a Rows from already-materialized tuples — for code
+// that produces results client-side (the sharding router's merges, test
+// fixtures) in the same shape the wire delivers them.
+func NewRows(cols []string, strategy string, rows []Row) *Rows {
+	return &Rows{cols: cols, strategy: strategy, rows: rows, pos: -1}
 }
 
 // Columns returns the result column names.

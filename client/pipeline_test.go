@@ -1,0 +1,246 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recdb"
+	"recdb/client"
+	"recdb/internal/server"
+)
+
+func startServer(t *testing.T, opts server.Options) (*server.Server, string) {
+	t.Helper()
+	db := recdb.Open()
+	if _, err := db.Exec(`CREATE TABLE kv (uid INT, v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", i, i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := server.New(db, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		db.Close()
+	})
+	return srv, ln.Addr().String()
+}
+
+// One connection, many concurrent callers: every caller must get its
+// own answer back even though requests interleave on the wire.
+func TestPipelineConcurrentCallersShareOneConn(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const callers = 48 // 3x the pipeline depth: excess callers queue on slots
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			uid := i % 64
+			rows, err := c.Query(context.Background(),
+				fmt.Sprintf("SELECT v FROM kv WHERE uid = %d", uid))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if rows.Len() != 1 {
+				errs[i] = fmt.Errorf("uid %d: %d rows", uid, rows.Len())
+				return
+			}
+			var v int64
+			rows.Next()
+			if err := rows.Scan(&v); err != nil {
+				errs[i] = err
+				return
+			}
+			if v != int64(uid*uid) {
+				// The demux delivered someone else's answer — the exact bug
+				// pipelining must not introduce.
+				errs[i] = fmt.Errorf("uid %d got v=%d, want %d", uid, v, uid*uid)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+}
+
+// Exceeding the server's pipeline depth from one Conn must never draw a
+// "busy" answer: the client's slot bound matches the server's.
+func TestPipelineNeverTripsServerBusy(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	var busy atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Query(context.Background(), "SELECT v FROM kv WHERE uid = 3")
+			var se *client.ServerError
+			if errors.As(err, &se) && se.Code == "busy" {
+				busy.Add(1)
+			} else if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := busy.Load(); n != 0 {
+		t.Fatalf("%d of 200 pipelined requests answered busy", n)
+	}
+}
+
+// Mixed kinds pipeline together: pings, reads, and writes on one Conn.
+func TestPipelineMixedKinds(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				if err := c.Ping(context.Background()); err != nil {
+					t.Error(err)
+				}
+			case 1:
+				if _, err := c.Query(context.Background(), "SELECT v FROM kv WHERE uid = 1"); err != nil {
+					t.Error(err)
+				}
+			case 2:
+				res, err := c.Exec(context.Background(),
+					fmt.Sprintf("INSERT INTO kv VALUES (%d, 0)", 100+i))
+				if err != nil {
+					t.Error(err)
+				} else if res.RowsAffected != 1 {
+					t.Errorf("insert affected %d", res.RowsAffected)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Close with calls in flight: everyone unblocks with ErrClosed, nobody
+// hangs on a dead demux.
+func TestPipelineCloseFailsInFlight(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	results := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Query(context.Background(), "SELECT v FROM kv")
+			results <- err
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	_ = c.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("calls hung after Close")
+	}
+	if !c.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// Late calls fail immediately, not hang.
+	if _, err := c.Query(context.Background(), "SELECT 1"); err == nil {
+		t.Fatal("query on closed conn succeeded")
+	}
+}
+
+// A server that disappears poisons the Conn: in-flight calls fail with
+// the transport error and the Conn reports Closed.
+func TestPipelinePoisonOnServerDeath(t *testing.T) {
+	srv, addr := startServer(t, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx) // closes the session from the server side
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Closed() {
+		if time.Now().After(deadline) {
+			t.Fatal("conn never noticed the server dying")
+		}
+		_ = c.Ping(context.Background())
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Ping(context.Background()); err == nil {
+		t.Fatal("ping succeeded on a poisoned conn")
+	}
+}
+
+// A context cancelled before the call starts never touches the wire.
+func TestPipelinePreCancelledContext(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Query(ctx, "SELECT v FROM kv"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The conn is still healthy for the next caller.
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

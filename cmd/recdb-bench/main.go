@@ -11,7 +11,7 @@
 //
 // Experiment ids: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 // ablations (or individual a1..a6), scaling, durability, metrics, serve,
-// ann, all.
+// ann, sharded, all.
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 
 	"recdb/internal/bench"
 	"recdb/internal/bench/serve"
+	"recdb/internal/bench/sharded"
 	"recdb/internal/dataset"
 )
 
@@ -40,6 +41,7 @@ func main() {
 	mix := flag.String("mix", "100/0", "read/write percent mixes for the serve experiment (e.g. 100/0,90/10)")
 	commits := flag.Int("commits", 2000, "statements per phase of the durability experiment")
 	annScaleList := flag.String("ann-scales", "0.25,1.0", "dataset scale factors for the ann experiment's size axis")
+	shardList := flag.String("shard-counts", "1,2,4", "shard counts for the sharded experiment")
 	jsonPath := flag.String("json", "", "also write the result tables as JSON to this file")
 	flag.Parse()
 
@@ -61,6 +63,11 @@ func main() {
 	annScales, err := parseScales(*annScaleList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "recdb-bench: -ann-scales: %v\n", err)
+		os.Exit(2)
+	}
+	shardCounts, err := parseWorkers(*shardList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recdb-bench: -shard-counts: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -131,6 +138,9 @@ func main() {
 		}},
 		{"ann", func() (bench.Table, error) {
 			return bench.RunANN(dataset.MovieLens, annScales, 10)
+		}},
+		{"sharded", func() (bench.Table, error) {
+			return sharded.Run(shardCounts)
 		}},
 	}
 

@@ -1,0 +1,380 @@
+// Package sharded benchmarks the horizontal-scale serving tier end to
+// end: it builds the real recdb-server and recdb-router binaries,
+// launches 1/2/4 shard processes plus a router on loopback, seeds
+// through the router, and measures aggregate throughput as the shard
+// count grows.
+//
+// Real processes — not in-process servers — are the point: each shard
+// owns its own WAL and fsyncs independently, so the durable-insert
+// workload measures the parallelism a sharded tier actually buys
+// (disjoint logs), and the router pays its true process-hop cost. A
+// "direct" row drives one recdb-server without the router, so the
+// router's overhead on a single shard is measurable against it.
+//
+// It lives under internal/bench but, like bench/serve, is linked only
+// by cmd/recdb-bench.
+package sharded
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"recdb/client"
+	"recdb/internal/bench"
+)
+
+// conns is how many client connections drive each cell; ops is the
+// per-cell operation budget split across them.
+const (
+	conns = 8
+	ops   = 480
+)
+
+// seedUsers/seedItems size the synthetic ratings table; small enough
+// for CI, large enough that every shard owns a real partition and that
+// scoring a user against the item-cosine model is real per-op work
+// (so the routing hop is measured against a workload that does
+// something, not against an empty round trip).
+const (
+	seedUsers      = 200
+	seedItems      = 200
+	ratingsPerUser = 20
+)
+
+// proc is one launched binary and the address it reported.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// launch starts bin with args, waits for its "listening on ADDR" line,
+// and keeps draining its stdout so the child never blocks on a full
+// pipe.
+func launch(bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(out)
+	addr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("%s: exited before reporting its address", filepath.Base(bin))
+	}
+	go func() { _, _ = io.Copy(io.Discard, out) }()
+	return &proc{cmd: cmd, addr: addr}, nil
+}
+
+// stop drains the process with SIGTERM, escalating to SIGKILL after a
+// grace period.
+func (p *proc) stop() {
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		_ = p.cmd.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		_ = p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// buildBinaries compiles recdb-server and recdb-router into dir.
+func buildBinaries(dir string) (server, router string, err error) {
+	server = filepath.Join(dir, "recdb-server")
+	router = filepath.Join(dir, "recdb-router")
+	for bin, pkg := range map[string]string{server: "recdb/cmd/recdb-server", router: "recdb/cmd/recdb-router"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return "", "", fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+	return server, router, nil
+}
+
+// cluster is n shard processes fronted by a router process.
+type cluster struct {
+	shards []*proc
+	router *proc
+}
+
+func (c *cluster) stop() {
+	if c.router != nil {
+		c.router.stop()
+	}
+	for _, s := range c.shards {
+		s.stop()
+	}
+}
+
+// startCluster launches n durable shards and a router over them.
+func startCluster(serverBin, routerBin, dir string, n int) (*cluster, error) {
+	c := &cluster{}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := launch(serverBin,
+			"-addr", "127.0.0.1:0",
+			"-dir", filepath.Join(dir, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			c.stop()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, p)
+		addrs = append(addrs, p.addr)
+	}
+	p, err := launch(routerBin,
+		"-addr", "127.0.0.1:0",
+		"-shards", strings.Join(addrs, ","))
+	if err != nil {
+		c.stop()
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	c.router = p
+	return c, nil
+}
+
+// seed creates the schema and ratings through addr (the router, so
+// seeding itself exercises DDL broadcast and split inserts).
+func seed(addr string) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+	ctx := context.Background()
+	ddl := `CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+		CREATE INDEX ratings_uid ON ratings (uid)`
+	if _, err := c.Exec(ctx, ddl); err != nil {
+		return err
+	}
+	const batch = 40
+	row := 0
+	for row < seedUsers*ratingsPerUser {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO ratings VALUES ")
+		for j := 0; j < batch; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			u := row % seedUsers
+			fmt.Fprintf(&sb, "(%d, %d, %d.5)", u, (row*7)%seedItems, 1+row%4)
+			row++
+		}
+		if _, err := c.Exec(ctx, sb.String()); err != nil {
+			return err
+		}
+	}
+	// Built after the data lands; the router broadcasts the build so
+	// every shard trains its own replica of the model.
+	_, err = c.Exec(ctx, `CREATE RECOMMENDER Rec ON ratings USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`)
+	return err
+}
+
+// workload is one op shape driven through the tier.
+type workload struct {
+	name  string
+	write bool
+	sql   func(op int) string
+}
+
+func workloads() []workload {
+	return []workload{
+		{"point lookup", false, func(op int) string {
+			return fmt.Sprintf(`SELECT iid, ratingval FROM ratings WHERE uid = %d`, op%seedUsers)
+		}},
+		{"recommend", false, func(op int) string {
+			// Per-user top-10: the owner shard scores the user against its
+			// item-cosine model, so per-op engine work dominates the hop.
+			return fmt.Sprintf(`SELECT R.iid, R.ratingval FROM ratings R RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF WHERE R.uid = %d ORDER BY R.ratingval DESC LIMIT 10`, op%seedUsers)
+		}},
+		{"durable insert", true, func(op int) string {
+			// Owner-routed single-user writes; fresh item ids avoid
+			// colliding with the seeded ratings. Each shard fsyncs its own
+			// WAL, which is the parallelism sharding buys on any core count.
+			return fmt.Sprintf(`INSERT INTO ratings VALUES (%d, %d, 3.0)`, op%seedUsers, 1_000_000+op)
+		}},
+	}
+}
+
+// drive runs one workload cell against addr: conns connections
+// concurrently issuing their share of ops, after an untimed warmup
+// that faults caches, pools, and scheduler state in. Returns the wall
+// time of the timed pass.
+func drive(addr string, w workload) (time.Duration, int, error) {
+	per := ops / conns
+	warm := 8 // untimed ops per connection
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	var barrier sync.WaitGroup
+	barrier.Add(conns)
+	walls := make([]time.Duration, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				barrier.Done()
+				errs[n] = err
+				return
+			}
+			defer func() { _ = c.Close() }()
+			ctx := context.Background()
+			one := func(op int) error {
+				if w.write {
+					_, err := c.Exec(ctx, w.sql(op))
+					return err
+				}
+				_, err := c.Query(ctx, w.sql(op))
+				return err
+			}
+			for j := 0; j < warm; j++ {
+				if err := one(ops + n*warm + j); err != nil {
+					barrier.Done()
+					errs[n] = fmt.Errorf("warmup op: %w", err)
+					return
+				}
+			}
+			// Start the clock only once every connection finished warming,
+			// so a straggler's warmup doesn't count against the others.
+			barrier.Done()
+			barrier.Wait()
+			start := time.Now()
+			for j := 0; j < per; j++ {
+				op := n*per + j
+				if err := one(op); err != nil {
+					errs[n] = fmt.Errorf("op %d: %w", op, err)
+					return
+				}
+			}
+			walls[n] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	var wall time.Duration
+	for _, d := range walls {
+		if d > wall {
+			wall = d
+		}
+	}
+	return wall, per * conns, nil
+}
+
+// Run measures aggregate throughput at each shard count, plus a
+// router-less "direct" baseline on one shard.
+func Run(shardCounts []int) (bench.Table, error) {
+	t := bench.Table{
+		ID:     "Sharded",
+		Title:  "Sharded serving tier: aggregate throughput vs shard count (real processes over loopback)",
+		Header: []string{"Workload", "Tier", "Shards", "Conns", "Ops", "Wall", "Ops/s"},
+	}
+	work, err := os.MkdirTemp("", "recdb-bench-sharded")
+	if err != nil {
+		return t, err
+	}
+	defer func() { _ = os.RemoveAll(work) }()
+	serverBin, routerBin, err := buildBinaries(work)
+	if err != nil {
+		return t, err
+	}
+
+	type cell struct {
+		workload, tier string
+		shards, n      int
+		wall           time.Duration
+	}
+	var cells []cell
+
+	// Direct baseline: clients straight at one durable shard.
+	direct, err := launch(serverBin, "-addr", "127.0.0.1:0", "-dir", filepath.Join(work, "direct"))
+	if err != nil {
+		return t, err
+	}
+	if err := seed(direct.addr); err != nil {
+		direct.stop()
+		return t, fmt.Errorf("seeding direct baseline: %w", err)
+	}
+	for _, w := range workloads() {
+		wall, n, err := drive(direct.addr, w)
+		if err != nil {
+			direct.stop()
+			return t, fmt.Errorf("direct %s: %w", w.name, err)
+		}
+		cells = append(cells, cell{w.name, "direct", 1, n, wall})
+	}
+	direct.stop()
+
+	for _, sc := range shardCounts {
+		cl, err := startCluster(serverBin, routerBin, filepath.Join(work, fmt.Sprintf("n%d", sc)), sc)
+		if err != nil {
+			return t, err
+		}
+		if err := seed(cl.router.addr); err != nil {
+			cl.stop()
+			return t, fmt.Errorf("seeding %d-shard cluster: %w", sc, err)
+		}
+		for _, w := range workloads() {
+			wall, n, err := drive(cl.router.addr, w)
+			if err != nil {
+				cl.stop()
+				return t, fmt.Errorf("%d shards, %s: %w", sc, w.name, err)
+			}
+			cells = append(cells, cell{w.name, "routed", sc, n, wall})
+		}
+		cl.stop()
+	}
+
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			c.workload, c.tier,
+			fmt.Sprintf("%d", c.shards),
+			fmt.Sprintf("%d", conns),
+			fmt.Sprintf("%d", c.n),
+			fmtDur(c.wall),
+			fmt.Sprintf("%.0f", float64(c.n)/c.wall.Seconds()),
+		})
+	}
+	return t, nil
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}

@@ -1,0 +1,334 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"recdb/client"
+	"recdb/internal/shard"
+)
+
+// flakyProxy sits between the router and one shard so tests can kill
+// the shard's network mid-query: stall() holds responses in flight,
+// kill() severs every connection and refuses new ones, revive() heals.
+type flakyProxy struct {
+	ln      net.Listener
+	backend string
+
+	mu      sync.Mutex
+	down    bool
+	stalled bool
+	release chan struct{} // closed to lift a stall
+	conns   map[net.Conn]struct{}
+}
+
+func newFlakyProxy(t *testing.T, backend string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, backend: backend,
+		release: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	t.Cleanup(func() { _ = ln.Close() })
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) acceptLoop() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.down {
+			p.mu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		p.mu.Unlock()
+		go p.pipe(c)
+	}
+}
+
+func (p *flakyProxy) pipe(c net.Conn) {
+	b, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		_ = c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		_ = c.Close()
+		_ = b.Close()
+		return
+	}
+	p.conns[c] = struct{}{}
+	p.conns[b] = struct{}{}
+	p.mu.Unlock()
+	go func() {
+		_, _ = io.Copy(b, c) // requests flow freely
+		_ = b.Close()
+	}()
+	// Responses honor the stall gate, so a test can guarantee a query is
+	// in flight when the kill lands.
+	buf := make([]byte, 4096)
+	for {
+		n, err := b.Read(buf)
+		if n > 0 {
+			p.gate()
+			if _, werr := c.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	_ = c.Close()
+	p.mu.Lock()
+	delete(p.conns, c)
+	delete(p.conns, b)
+	p.mu.Unlock()
+}
+
+// gate blocks while the proxy is stalled.
+func (p *flakyProxy) gate() {
+	for {
+		p.mu.Lock()
+		if !p.stalled {
+			p.mu.Unlock()
+			return
+		}
+		ch := p.release
+		p.mu.Unlock()
+		<-ch
+	}
+}
+
+// stall holds all responses in flight until kill or revive.
+func (p *flakyProxy) stall() {
+	p.mu.Lock()
+	p.stalled = true
+	p.mu.Unlock()
+}
+
+// kill severs every live connection and refuses new ones: the shard is
+// down as far as the router can tell.
+func (p *flakyProxy) kill() {
+	p.mu.Lock()
+	p.down = true
+	p.stalled = false
+	close(p.release)
+	p.release = make(chan struct{})
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+// revive lets connections through again.
+func (p *flakyProxy) revive() {
+	p.mu.Lock()
+	p.down = false
+	if p.stalled {
+		p.stalled = false
+		close(p.release)
+		p.release = make(chan struct{})
+	}
+	p.mu.Unlock()
+}
+
+// proxiedCluster is two healthy shards with the second reachable only
+// through a flaky proxy, plus a router over them with fast retries.
+func proxiedCluster(t *testing.T) (*shard.Router, *client.Conn, *flakyProxy) {
+	t.Helper()
+	direct := startShard(t)
+	backend := startShard(t)
+	proxy := newFlakyProxy(t, backend)
+	r, c := startRouterWith(t, shard.Options{
+		Shards:         []string{direct, proxy.addr()},
+		Retries:        2,
+		RetryBackoff:   5 * time.Millisecond,
+		HealthInterval: 25 * time.Millisecond,
+	})
+	return r, c, proxy
+}
+
+func startRouterWith(t *testing.T, opts shard.Options) (*shard.Router, *client.Conn) {
+	t.Helper()
+	return startRouter(t, opts)
+}
+
+// shardUser finds a user id owned by the given shard by watching the
+// per-shard routed counter move.
+func shardUser(t *testing.T, r *shard.Router, c *client.Conn, shardIdx int) int64 {
+	t.Helper()
+	name := fmt.Sprintf("shard.%d.routed", shardIdx)
+	for u := int64(0); u < 64; u++ {
+		before := counter(r.Metrics(), name)
+		if _, err := c.Query(context.Background(),
+			fmt.Sprintf("SELECT uid FROM ratings WHERE uid = %d", u)); err != nil {
+			t.Fatal(err)
+		}
+		if counter(r.Metrics(), name) > before {
+			return u
+		}
+	}
+	t.Fatalf("no user in [0,64) routed to shard %d", shardIdx)
+	return 0
+}
+
+func isShardDown(err error) bool {
+	var se *client.ServerError
+	return errors.As(err, &se) && se.Code == "shard_down"
+}
+
+func TestShardDeathMidQuery(t *testing.T) {
+	r, c, proxy := proxiedCluster(t)
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	victim := shardUser(t, r, c, 1)
+	survivor := shardUser(t, r, c, 0)
+
+	// Hold the victim's response in flight, then sever the shard under
+	// the running query.
+	proxy.stall()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Query(ctx, fmt.Sprintf("SELECT uid FROM ratings WHERE uid = %d", victim))
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // the query is now stalled in the proxy
+	proxy.kill()
+
+	if err := <-errc; !isShardDown(err) {
+		t.Fatalf("mid-query kill: got %v, want a typed shard_down error", err)
+	}
+	// The healthy shard keeps serving the same session.
+	if _, err := c.Query(ctx, fmt.Sprintf("SELECT uid FROM ratings WHERE uid = %d", survivor)); err != nil {
+		t.Fatalf("healthy shard stopped serving: %v", err)
+	}
+	if g := gauge(r.Metrics(), "shard.1.up"); g != 0 {
+		t.Fatalf("shard.1.up = %d after kill, want 0", g)
+	}
+	if g := gauge(r.Metrics(), "shard.0.up"); g != 1 {
+		t.Fatalf("shard.0.up = %d, want 1", g)
+	}
+}
+
+func TestShardDeathMidFanout(t *testing.T) {
+	r, c, proxy := proxiedCluster(t)
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		if _, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO ratings VALUES (%d, 1, 2.0)", u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sever the shard with a scatter-gather in flight: the stalled leg
+	// dies mid-fan-out while the healthy leg has already answered.
+	proxy.stall()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Query(ctx, "SELECT uid, ratingval FROM ratings ORDER BY ratingval DESC LIMIT 5")
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	proxy.kill()
+	if err := <-errc; !isShardDown(err) {
+		t.Fatalf("mid-fan-out kill: got %v, want shard_down", err)
+	}
+	if n := counter(r.Metrics(), "shard.down_errors"); n == 0 {
+		t.Fatal("down_errors did not move")
+	}
+	if n := counter(r.Metrics(), "shard.retries"); n == 0 {
+		t.Fatal("retries did not move — the fan-out gave up without retrying")
+	}
+
+	// Statements that never need the dead shard keep working: writes to
+	// users owned by the healthy shard, and replicated-only reads.
+	survivor := shardUser(t, r, c, 0)
+	if _, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO ratings VALUES (%d, 9, 1.0)", survivor)); err != nil {
+		t.Fatalf("owner write to the healthy shard failed: %v", err)
+	}
+}
+
+func TestShardRevivalHealthTransitions(t *testing.T) {
+	r, c, proxy := proxiedCluster(t)
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	victim := shardUser(t, r, c, 1)
+
+	proxy.kill()
+	_, err := c.Query(ctx, fmt.Sprintf("SELECT uid FROM ratings WHERE uid = %d", victim))
+	if !isShardDown(err) {
+		t.Fatalf("got %v, want shard_down", err)
+	}
+	transAfterKill := counter(r.Metrics(), "shard.1.health_transitions")
+	if transAfterKill == 0 {
+		t.Fatal("no health transition recorded on kill")
+	}
+
+	// Revive and wait for the prober to flip the shard back up.
+	proxy.revive()
+	deadline := time.Now().Add(3 * time.Second)
+	for gauge(r.Metrics(), "shard.1.up") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("shard.1.up never returned to 1 after revival")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := counter(r.Metrics(), "shard.1.health_transitions"); n <= transAfterKill {
+		t.Fatalf("health_transitions stuck at %d after revival", n)
+	}
+	// Traffic flows again without touching the router or client.
+	if _, err := c.Query(ctx, fmt.Sprintf("SELECT uid FROM ratings WHERE uid = %d", victim)); err != nil {
+		t.Fatalf("revived shard still failing: %v", err)
+	}
+}
+
+func TestWriteToDeadShardDoesNotBlindlyRetry(t *testing.T) {
+	r, c, proxy := proxiedCluster(t)
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	victim := shardUser(t, r, c, 1)
+
+	// Stall, then kill with the write in flight: the router cannot know
+	// whether it landed, so it must fail shard_down rather than resend.
+	proxy.stall()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO ratings VALUES (%d, 1, 3.0)", victim))
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	proxy.kill()
+	retriesBefore := counter(r.Metrics(), "shard.1.retries")
+	if err := <-errc; !isShardDown(err) {
+		t.Fatalf("in-flight write on killed shard: got %v, want shard_down", err)
+	}
+	if n := counter(r.Metrics(), "shard.1.retries"); n != retriesBefore {
+		t.Fatalf("an in-flight write was retried (%d -> %d) — it may have double-applied", retriesBefore, n)
+	}
+}

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"testing"
+)
+
+func TestRingRejectsZeroShards(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("NewRing(0) should fail")
+	}
+	if _, err := NewRing(-3); err == nil {
+		t.Fatal("NewRing(-3) should fail")
+	}
+}
+
+// The layout must be a pure function of the shard count: two routers
+// built over the same shard list route every user identically.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int64(-500); u < 500; u++ {
+		if a.Owner(u) != b.Owner(u) {
+			t.Fatalf("user %d: ring A says shard %d, ring B says %d", u, a.Owner(u), b.Owner(u))
+		}
+	}
+}
+
+// Real user ids are small consecutive integers; the ring must spread
+// them evenly, not stride them into clusters.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		r, err := NewRing(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const users = 50000
+		counts := make([]int, n)
+		for u := int64(0); u < users; u++ {
+			counts[r.Owner(u)]++
+		}
+		want := users / n
+		for s, c := range counts {
+			if c < want/2 || c > want*2 {
+				t.Errorf("n=%d: shard %d owns %d of %d users (want within 2x of %d): %v",
+					n, s, c, users, want, counts)
+			}
+		}
+	}
+}
+
+// Adding a shard must move only the keys falling into the new shard's
+// arcs — consistent hashing's point. Every user that moves must move TO
+// the new shard, never between old ones.
+func TestRingGrowthMovesOnlyToNewShard(t *testing.T) {
+	small, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const users = 20000
+	for u := int64(0); u < users; u++ {
+		was, now := small.Owner(u), big.Owner(u)
+		if was == now {
+			continue
+		}
+		moved++
+		if now != 4 {
+			t.Fatalf("user %d moved from shard %d to old shard %d when shard 4 joined", u, was, now)
+		}
+	}
+	// Expect about 1/5 of the keys to move; far more means the layout
+	// reshuffled, far fewer means the new shard is starved.
+	if moved < users/10 || moved > users/2 {
+		t.Errorf("%d of %d users moved when growing 4->5 shards (expected about %d)", moved, users, users/5)
+	}
+}
+
+func TestRingOwnersDistinctSorted(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []int64{10, 11, 12, 13, 10, 11, 500, 501}
+	owners := r.Owners(users)
+	if len(owners) == 0 || len(owners) > 4 {
+		t.Fatalf("Owners returned %v", owners)
+	}
+	seen := map[int]bool{}
+	for i, s := range owners {
+		if s < 0 || s >= 4 {
+			t.Fatalf("owner %d out of range in %v", s, owners)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate owner %d in %v", s, owners)
+		}
+		seen[s] = true
+		if i > 0 && owners[i-1] >= s {
+			t.Fatalf("owners not ascending: %v", owners)
+		}
+	}
+	// Every user's owner must appear.
+	for _, u := range users {
+		if !seen[r.Owner(u)] {
+			t.Fatalf("user %d's owner %d missing from %v", u, r.Owner(u), owners)
+		}
+	}
+}

@@ -1,0 +1,607 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"recdb/client"
+	"recdb/internal/metrics"
+	"recdb/internal/sql"
+	"recdb/internal/wire"
+)
+
+// Options tunes a Router. The zero value of every field but Shards
+// serves with the defaults noted on each.
+type Options struct {
+	// Shards are the backend recdb-server addresses, in ring order. The
+	// list (and its order) must match across routers for them to route
+	// users identically.
+	Shards []string
+	// UserCol is the user-key column statements are partitioned on
+	// (default "uid"). A RECOMMEND clause's own user column overrides it
+	// per statement.
+	UserCol string
+	// UserTables pre-seeds tables known to carry the user column, for
+	// deployments whose schema was not created through the router.
+	// CREATE TABLE statements routed through the router supersede it.
+	UserTables []string
+	// PoolSize is the number of pipelined connections kept per shard
+	// (default 2; each carries 16 in-flight requests).
+	PoolSize int
+	// Retries is how many times a failed attempt is retried against a
+	// shard before the statement fails shard_down (default 2). Only
+	// attempts that are safe to repeat retry: reads, and writes whose
+	// request never reached the wire.
+	Retries int
+	// RetryBackoff is the first retry's delay; each further retry doubles
+	// it (default 25ms).
+	RetryBackoff time.Duration
+	// HealthInterval is the probe cadence per shard (default 1s); probing
+	// is how a downed shard comes back without live traffic risking it.
+	HealthInterval time.Duration
+	// MaxConns caps live client sessions on the front end; further
+	// connections are rejected with a "busy" Error frame (0 = 64).
+	MaxConns int
+	// QueryTimeout bounds each statement end to end, fan-out included. A
+	// request's own TimeoutMillis tightens but never loosens it (0 = no
+	// router bound).
+	QueryTimeout time.Duration
+	// IdleTimeout closes a front-end session with no request in flight
+	// and no bytes arriving (0 = 5 minutes).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response flush (0 = 30 seconds).
+	WriteTimeout time.Duration
+	// Name is the server string sent in the Hello frame (default
+	// "recdb-router").
+	Name string
+	// Logf receives connection-level diagnostics (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.UserCol == "" {
+		o.UserCol = "uid"
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = time.Second
+	}
+	if o.MaxConns <= 0 {
+		o.MaxConns = 64
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.Name == "" {
+		o.Name = "recdb-router"
+	}
+	return o
+}
+
+// tableInfo is what the router has learned about one table from the DDL
+// it replicated.
+type tableInfo struct {
+	cols        []string // lowercased; nil when only partitioned-ness is known
+	partitioned bool     // carries the user column
+}
+
+// denyError is a statement the router refused to route; it surfaces as
+// a wire "query" error, since the statement itself is at fault.
+type denyError struct{ reason string }
+
+func (e *denyError) Error() string { return e.reason }
+
+// Router is the sharded serving tier's front door: it speaks the wire
+// protocol to clients exactly as recdb-server does, and fans statements
+// out to backend shards over pooled, pipelined client connections.
+type Router struct {
+	opts Options
+	ring *Ring
+	reg  *metrics.Registry
+	m    routerMetrics
+
+	states []*shardState
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*rsession
+	nextSID  uint64
+	draining bool
+	schema   map[string]tableInfo
+	rrAny    int // round-robin cursor for RouteAny
+
+	stopProbe chan struct{}
+	wg        sync.WaitGroup // front-end sessions
+	probeWG   sync.WaitGroup
+}
+
+// New builds a Router over the given shards and starts its health
+// prober. Call Shutdown to release it.
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(len(opts.Shards))
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	r := &Router{
+		opts:      opts,
+		ring:      ring,
+		reg:       reg,
+		m:         newRouterMetrics(reg),
+		sessions:  make(map[uint64]*rsession),
+		schema:    make(map[string]tableInfo),
+		stopProbe: make(chan struct{}),
+	}
+	for i, addr := range opts.Shards {
+		r.states = append(r.states, newShardState(i, addr, opts.PoolSize, newShardMetrics(reg, i)))
+	}
+	for _, t := range opts.UserTables {
+		r.schema[strings.ToLower(t)] = tableInfo{partitioned: true}
+	}
+	r.probeWG.Add(1)
+	go r.probeLoop()
+	return r, nil
+}
+
+// probeLoop pings every shard each HealthInterval until Shutdown.
+func (r *Router) probeLoop() {
+	defer r.probeWG.Done()
+	t := time.NewTicker(r.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopProbe:
+			return
+		case <-t.C:
+		}
+		for _, s := range r.states {
+			s.probe(context.Background(), r.opts.HealthInterval)
+		}
+	}
+}
+
+// Metrics snapshots the router's registry.
+func (r *Router) Metrics() metrics.Snapshot { return r.reg.Snapshot() }
+
+// Shards returns the backend addresses in ring order.
+func (r *Router) Shards() []string { return append([]string(nil), r.opts.Shards...) }
+
+// Healthy reports each shard's current health flag, in ring order.
+func (r *Router) Healthy() []bool {
+	out := make([]bool, len(r.states))
+	for i, s := range r.states {
+		out[i] = s.healthy()
+	}
+	return out
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (r *Router) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("shard: listen %s: %w", addr, err)
+	}
+	return r.Serve(ln)
+}
+
+// Serve accepts client connections on ln until it fails or Shutdown
+// closes it. It returns nil after a Shutdown, the accept error
+// otherwise.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		_ = ln.Close()
+		return errors.New("shard: router already shut down")
+	}
+	r.ln = ln
+	r.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			draining := r.draining
+			r.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return fmt.Errorf("shard: accept: %w", err)
+		}
+		r.dispatch(conn)
+	}
+}
+
+// Addr returns the listening address ("" before Serve).
+func (r *Router) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// dispatch admits conn as a session or rejects it with a typed error
+// frame when the router is at capacity or draining.
+func (r *Router) dispatch(conn net.Conn) {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		r.rejectConn(conn, wire.CodeShutdown, "router is shutting down")
+		return
+	}
+	if len(r.sessions) >= r.opts.MaxConns {
+		r.mu.Unlock()
+		r.m.rejectedBusy.Inc()
+		r.rejectConn(conn, wire.CodeBusy,
+			fmt.Sprintf("router at its %d-connection limit", r.opts.MaxConns))
+		return
+	}
+	r.nextSID++
+	sess := newRSession(r, r.nextSID, conn)
+	r.sessions[sess.id] = sess
+	r.mu.Unlock()
+
+	r.m.connsActive.Add(1)
+	r.m.sessionsOpened.Inc()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		sess.run()
+		r.mu.Lock()
+		delete(r.sessions, sess.id)
+		r.mu.Unlock()
+		r.m.connsActive.Add(-1)
+		r.m.sessionsClosed.Inc()
+	}()
+}
+
+// rejectConn answers a connection the router will not admit, off the
+// accept loop so a slow or dead peer cannot stall other accepts.
+func (r *Router) rejectConn(conn net.Conn, code, msg string) {
+	go func() {
+		_ = conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
+		_ = wire.WriteFrame(conn, wire.TypeError,
+			wire.AppendError(nil, wire.ErrorMsg{Code: code, Message: msg}))
+		_ = conn.Close()
+	}()
+}
+
+// Shutdown drains the router: stop accepting, let in-flight statements
+// finish, answer queued-but-unstarted requests "shutdown", stop the
+// health prober, then close every shard pool. If ctx expires first,
+// remaining client connections are closed hard and ctx's error is
+// returned.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	already := r.draining
+	r.draining = true
+	ln := r.ln
+	live := make([]*rsession, 0, len(r.sessions))
+	for _, sess := range r.sessions {
+		live = append(live, sess)
+	}
+	r.mu.Unlock()
+	if already {
+		return errors.New("shard: router already shut down")
+	}
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, sess := range live {
+		sess.beginDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("shard: drain interrupted: %w", ctx.Err())
+		for _, sess := range live {
+			sess.closeConn()
+		}
+		<-done
+	}
+
+	close(r.stopProbe)
+	r.probeWG.Wait()
+	for _, s := range r.states {
+		s.close()
+	}
+	return drainErr
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// routerCatalog adapts the router's learned schema to route
+// classification. Methods take r.mu.
+type routerCatalog struct{ r *Router }
+
+func (c routerCatalog) columns(table string) ([]string, bool) {
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	info, ok := c.r.schema[strings.ToLower(table)]
+	if !ok || info.cols == nil {
+		return nil, false
+	}
+	return info.cols, true
+}
+
+func (c routerCatalog) partitioned(table string) (bool, bool) {
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	info, ok := c.r.schema[strings.ToLower(table)]
+	if !ok {
+		return false, false
+	}
+	return info.partitioned, true
+}
+
+// learnTable records a CREATE TABLE the router replicated, so later
+// positional INSERTs into it can locate the user column.
+func (r *Router) learnTable(ct *sql.CreateTable) {
+	cols := make([]string, len(ct.Cols))
+	part := false
+	for i, c := range ct.Cols {
+		cols[i] = strings.ToLower(c.Name)
+		if strings.EqualFold(c.Name, r.opts.UserCol) {
+			part = true
+		}
+	}
+	r.mu.Lock()
+	r.schema[strings.ToLower(ct.Name)] = tableInfo{cols: cols, partitioned: part}
+	r.mu.Unlock()
+}
+
+// forgetTable drops a replicated DROP TABLE's schema entry.
+func (r *Router) forgetTable(name string) {
+	r.mu.Lock()
+	delete(r.schema, strings.ToLower(name))
+	r.mu.Unlock()
+}
+
+// anyShard picks a healthy shard round-robin for RouteAny reads; when
+// every shard looks down it still picks one, letting the retry path —
+// and its typed shard_down verdict — decide.
+func (r *Router) anyShard() int {
+	r.mu.Lock()
+	start := r.rrAny
+	r.rrAny++
+	r.mu.Unlock()
+	n := len(r.states)
+	for i := 0; i < n; i++ {
+		s := (start + i) % n
+		if r.states[s].healthy() {
+			return s
+		}
+	}
+	return start % n
+}
+
+// allShards is the broadcast/scatter target list: every ring index.
+func (r *Router) allShards() []int {
+	out := make([]int, len(r.states))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// execute runs one classified statement and returns its combined
+// answer. kind distinguishes Query (rows) from Exec (count) requests.
+func (r *Router) execute(ctx context.Context, kind wire.Type, text string, stmt sql.Statement) (result, error) {
+	rt := classify(stmt, strings.ToLower(r.opts.UserCol), routerCatalog{r})
+	switch rt.Action {
+	case RouteDeny:
+		r.m.denied.Inc()
+		return result{}, &denyError{reason: rt.Reason}
+
+	case RouteOwner:
+		owner := r.ring.Owner(rt.User)
+		r.m.routedUser.Inc()
+		r.states[owner].m.routed.Inc()
+		return r.one(ctx, owner, kind, text)
+
+	case RouteAny:
+		s := r.anyShard()
+		r.states[s].m.routed.Inc()
+		return r.one(ctx, s, kind, text)
+
+	case RouteOwners:
+		targets := r.ring.Owners(rt.Users)
+		if kind == wire.TypeQuery {
+			r.m.scatters.Inc()
+			return r.fanQuery(ctx, targets, text, rt.Merge)
+		}
+		r.m.fanouts.Inc()
+		return r.fanExec(ctx, targets, text, rt.Sum)
+
+	case RouteScatter:
+		if kind != wire.TypeQuery {
+			// An Exec'd SELECT: run it like a query but report the count.
+			r.m.scatters.Inc()
+			res, err := r.fanQuery(ctx, r.allShards(), text, rt.Merge)
+			if err != nil {
+				return result{}, err
+			}
+			return result{affected: int64(len(res.rows))}, nil
+		}
+		r.m.scatters.Inc()
+		return r.fanQuery(ctx, r.allShards(), text, rt.Merge)
+
+	case RouteBroadcast:
+		r.m.fanouts.Inc()
+		res, err := r.fanExec(ctx, r.allShards(), text, rt.Sum)
+		if err != nil {
+			return result{}, err
+		}
+		// Schema changes the whole fleet accepted teach the catalog.
+		switch s := stmt.(type) {
+		case *sql.CreateTable:
+			r.learnTable(s)
+		case *sql.DropTable:
+			r.forgetTable(s.Name)
+		}
+		return res, nil
+
+	case RouteSplit:
+		r.m.splits.Inc()
+		return r.splitInsert(ctx, rt.Insert)
+
+	default:
+		return result{}, &denyError{reason: fmt.Sprintf("unhandled route action %d", rt.Action)}
+	}
+}
+
+// one runs a single-shard statement.
+func (r *Router) one(ctx context.Context, shard int, kind wire.Type, text string) (result, error) {
+	complete, rows, err := r.do(ctx, shard, kind, text)
+	if err != nil {
+		return result{}, err
+	}
+	if kind == wire.TypeQuery {
+		return result{cols: rows.Columns(), strategy: rows.Strategy(), rows: rows.All(), isRows: true}, nil
+	}
+	return result{affected: complete.Rows}, nil
+}
+
+// fanQuery scatters a read to targets concurrently and merges the parts
+// (ordered when spec has keys). Any leg's failure fails the statement;
+// server-answered errors win over transport ones so the client sees the
+// most specific verdict.
+func (r *Router) fanQuery(ctx context.Context, targets []int, text string, spec *MergeSpec) (result, error) {
+	parts := make([]*client.Rows, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, shard := range targets {
+		r.states[shard].m.fanout.Inc()
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			_, rows, err := r.do(ctx, shard, wire.TypeQuery, text)
+			parts[i], errs[i] = rows, err
+		}(i, shard)
+	}
+	wg.Wait()
+	if err := pickError(errs); err != nil {
+		return result{}, err
+	}
+	return mergeParts(parts, spec), nil
+}
+
+// fanExec broadcasts a write to targets concurrently. sum adds the
+// shards' counts (disjoint partitions); otherwise the first shard's
+// count stands for the fleet (replicated copies all report the same).
+func (r *Router) fanExec(ctx context.Context, targets []int, text string, sum bool) (result, error) {
+	counts := make([]int64, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, shard := range targets {
+		r.states[shard].m.fanout.Inc()
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			complete, _, err := r.do(ctx, shard, wire.TypeExec, text)
+			counts[i], errs[i] = complete.Rows, err
+		}(i, shard)
+	}
+	wg.Wait()
+	if err := pickError(errs); err != nil {
+		return result{}, err
+	}
+	if sum {
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		return result{affected: total}, nil
+	}
+	return result{affected: counts[0]}, nil
+}
+
+// splitInsert partitions a multi-user INSERT's rows among their owning
+// shards and runs the sub-INSERTs concurrently, summing the counts.
+func (r *Router) splitInsert(ctx context.Context, plan *InsertPlan) (result, error) {
+	groups := make(map[int][]int)
+	for i, u := range plan.RowUsers {
+		owner := r.ring.Owner(u)
+		groups[owner] = append(groups[owner], i)
+	}
+	targets := make([]int, 0, len(groups))
+	for s := range groups {
+		targets = append(targets, s)
+	}
+	sort.Ints(targets)
+
+	counts := make([]int64, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, shard := range targets {
+		r.states[shard].m.fanout.Inc()
+		sub := renderInsert(plan.Stmt, groups[shard])
+		wg.Add(1)
+		go func(i, shard int, sub string) {
+			defer wg.Done()
+			complete, _, err := r.do(ctx, shard, wire.TypeExec, sub)
+			counts[i], errs[i] = complete.Rows, err
+		}(i, shard, sub)
+	}
+	wg.Wait()
+	if err := pickError(errs); err != nil {
+		return result{}, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return result{affected: total}, nil
+}
+
+// pickError selects the error a fan-out answers with: a server-answered
+// error first (the statement itself is at fault everywhere it ran),
+// then the first failure in target order.
+func pickError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,395 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"recdb"
+	"recdb/client"
+	"recdb/internal/metrics"
+	"recdb/internal/server"
+	"recdb/internal/shard"
+)
+
+// startShard serves an in-memory engine on loopback and returns its
+// address.
+func startShard(t *testing.T) string {
+	t.Helper()
+	db := recdb.Open()
+	srv := server.New(db, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		db.Close()
+	})
+	return ln.Addr().String()
+}
+
+// startRouter builds a router over the given shard addresses, serves it
+// on loopback, and returns it with a connected client.
+func startRouter(t *testing.T, opts shard.Options) (*shard.Router, *client.Conn) {
+	t.Helper()
+	r, err := shard.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = r.Shutdown(ctx)
+	})
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return r, c
+}
+
+func cluster(t *testing.T, n int) (*shard.Router, *client.Conn) {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = startShard(t)
+	}
+	return startRouter(t, shard.Options{Shards: addrs})
+}
+
+func counter(snap metrics.Snapshot, name string) int64 {
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func gauge(snap metrics.Snapshot, name string) int64 {
+	for _, g := range snap.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+const seedDDL = `CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT);
+	CREATE TABLE items (iid INT, name TEXT)`
+
+func TestRouterPartitionsByUser(t *testing.T) {
+	r, c := cluster(t, 2)
+	ctx := context.Background()
+
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	// 40 users, one rating each, inserted one statement at a time so
+	// every row takes the owner route.
+	for u := 0; u < 40; u++ {
+		if _, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO ratings VALUES (%d, 1, 4.0)", u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := r.Metrics()
+	s0, s1 := counter(snap, "shard.0.routed"), counter(snap, "shard.1.routed")
+	if s0+s1 < 40 {
+		t.Fatalf("routed %d+%d statements, want >= 40", s0, s1)
+	}
+	if s0 == 0 || s1 == 0 {
+		t.Fatalf("partitioning is degenerate: shard0=%d shard1=%d", s0, s1)
+	}
+
+	// Each user's read answers its own row, wherever it lives.
+	for u := 0; u < 40; u++ {
+		rows, err := c.Query(ctx, fmt.Sprintf("SELECT uid FROM ratings WHERE uid = %d", u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Len() != 1 {
+			t.Fatalf("user %d: %d rows, want 1", u, rows.Len())
+		}
+	}
+
+	// The shards hold disjoint partitions: per-shard totals sum to 40.
+	var total int64
+	for _, addr := range r.Shards() {
+		sc, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := sc.Query(ctx, "SELECT uid FROM ratings")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Len() == 0 || rows.Len() == 40 {
+			t.Fatalf("shard %s holds %d of 40 rows — not partitioned", addr, rows.Len())
+		}
+		total += int64(rows.Len())
+		_ = sc.Close()
+	}
+	if total != 40 {
+		t.Fatalf("shards hold %d rows total, want 40", total)
+	}
+}
+
+func TestRouterSplitInsertAndScatterMerge(t *testing.T) {
+	r, c := cluster(t, 3)
+	ctx := context.Background()
+
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ratings VALUES ")
+	for u := 0; u < 30; u++ {
+		if u > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d.5)", u, u%7, u%5)
+	}
+	res, err := c.Exec(ctx, sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 30 {
+		t.Fatalf("split insert affected %d rows, want 30", res.RowsAffected)
+	}
+	if n := counter(r.Metrics(), "shard.split_inserts"); n != 1 {
+		t.Fatalf("split_inserts = %d, want 1", n)
+	}
+
+	// Cross-shard top-k: the merged stream must be globally ordered and
+	// exactly k long.
+	rows, err := c.Query(ctx, "SELECT uid, ratingval FROM ratings ORDER BY ratingval DESC, uid LIMIT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 7 {
+		t.Fatalf("top-7 returned %d rows", rows.Len())
+	}
+	prev := 1e18
+	prevUID := int64(-1)
+	for rows.Next() {
+		var uid int64
+		var score float64
+		if err := rows.Scan(&uid, &score); err != nil {
+			t.Fatal(err)
+		}
+		if score > prev || (score == prev && uid < prevUID) {
+			t.Fatalf("merge out of order: (%d, %v) after (%d, %v)", uid, score, prevUID, prev)
+		}
+		prev, prevUID = score, uid
+	}
+	if n := counter(r.Metrics(), "shard.scatter"); n == 0 {
+		t.Fatal("scatter counter did not move")
+	}
+
+	// An unordered scatter concatenates every shard's rows.
+	rows, err = c.Query(ctx, "SELECT uid FROM ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 30 {
+		t.Fatalf("full scatter returned %d rows, want 30", rows.Len())
+	}
+}
+
+func TestRouterReplicatesDDLAndBroadcastTables(t *testing.T) {
+	r, c := cluster(t, 2)
+	ctx := context.Background()
+
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	// items has no user column: its rows replicate to every shard.
+	if _, err := c.Exec(ctx, "INSERT INTO items VALUES (1, 'a'), (2, 'b')"); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range r.Shards() {
+		sc, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := sc.Query(ctx, "SELECT iid FROM items")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Len() != 2 {
+			t.Fatalf("shard %s holds %d items rows, want the full copy (2)", addr, rows.Len())
+		}
+		_ = sc.Close()
+	}
+
+	// A replicated-only read is answered by one shard, not a fan-out.
+	before := counter(r.Metrics(), "shard.fanout")
+	rows, err := c.Query(ctx, "SELECT name FROM items WHERE iid = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Fatalf("replicated read returned %d rows", rows.Len())
+	}
+	if after := counter(r.Metrics(), "shard.fanout"); after != before {
+		t.Fatal("replicated-only read fanned out")
+	}
+
+	// Replicated DELETE reports one copy's count, not the sum.
+	res, err := c.Exec(ctx, "DELETE FROM items WHERE iid = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 {
+		t.Fatalf("replicated delete affected %d, want 1 (not the per-shard sum)", res.RowsAffected)
+	}
+}
+
+func TestRouterBuildsModelsOnEveryShard(t *testing.T) {
+	r, c := cluster(t, 2)
+	ctx := context.Background()
+
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 24; u++ {
+		stmt := fmt.Sprintf("INSERT INTO ratings VALUES (%d, %d, %d.0), (%d, %d, %d.0)",
+			u, u%6, 1+u%5, u, (u+1)%6, 1+(u+2)%5)
+		if _, err := c.Exec(ctx, stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Exec(ctx, `CREATE RECOMMENDER rec ON ratings
+		USERS FROM uid ITEMS FROM iid RATINGS FROM ratingval USING ItemCosCF`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every shard must own a model artifact over its local partition: a
+	// RECOMMEND against each shard directly answers with a plan.
+	for _, addr := range r.Shards() {
+		sc, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := sc.Query(ctx, `SELECT R.iid, R.ratingval FROM ratings R
+			RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+			WHERE R.uid = 1 ORDER BY R.ratingval DESC LIMIT 3`)
+		if err != nil {
+			t.Fatalf("shard %s: %v", addr, err)
+		}
+		if rows.Strategy() == "" {
+			t.Fatalf("shard %s answered without a recommender plan", addr)
+		}
+		_ = sc.Close()
+	}
+
+	// And through the router the per-user RECOMMEND routes to one owner.
+	before := counter(r.Metrics(), "shard.routed_user")
+	rows, err := c.Query(ctx, `SELECT R.iid, R.ratingval FROM ratings R
+		RECOMMEND R.iid TO R.uid ON R.ratingval USING ItemCosCF
+		WHERE R.uid = 3 ORDER BY R.ratingval DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Strategy() == "" {
+		t.Fatal("routed RECOMMEND lost its plan strategy")
+	}
+	if after := counter(r.Metrics(), "shard.routed_user"); after != before+1 {
+		t.Fatalf("RECOMMEND did not take the owner route (%d -> %d)", before, after)
+	}
+}
+
+func TestRouterDeniesWithTypedErrors(t *testing.T) {
+	r, c := cluster(t, 2)
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stmt := range []string{
+		"SELECT uid, COUNT(*) FROM ratings GROUP BY uid",
+		"BEGIN",
+	} {
+		_, err := c.Query(ctx, stmt)
+		if stmt == "BEGIN" {
+			_, err = c.Exec(ctx, stmt)
+		}
+		var se *client.ServerError
+		if !errors.As(err, &se) || se.Code != "query" {
+			t.Fatalf("%s: got %v, want a typed query error", stmt, err)
+		}
+	}
+	if n := counter(r.Metrics(), "shard.denied"); n < 2 {
+		t.Fatalf("denied = %d, want >= 2", n)
+	}
+
+	// A query error from the shard itself passes through untouched.
+	_, err := c.Query(ctx, "SELECT nope FROM ratings WHERE uid = 1")
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != "query" {
+		t.Fatalf("shard query error: got %v", err)
+	}
+}
+
+func TestRouterUserTablesOptionSeedsCatalog(t *testing.T) {
+	addrs := []string{startShard(t), startShard(t)}
+	_, c := startRouter(t, shard.Options{Shards: addrs, UserTables: []string{"ratings"}})
+	ctx := context.Background()
+
+	// Create the schema directly on the shards, bypassing the router's
+	// DDL learning; UserTables must still mark ratings partitioned.
+	for _, addr := range addrs {
+		sc, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.Exec(ctx, "CREATE TABLE ratings (uid INT, iid INT, ratingval FLOAT)"); err != nil {
+			t.Fatal(err)
+		}
+		_ = sc.Close()
+	}
+	// Partitioned-table write without a user predicate: counts must sum.
+	if _, err := c.Exec(ctx, "INSERT INTO ratings (uid, iid, ratingval) VALUES (1, 1, 1.0)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(ctx, "DELETE FROM ratings WHERE ratingval > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 {
+		t.Fatalf("partitioned delete affected %d, want the summed 1", res.RowsAffected)
+	}
+}
+
+func TestRouterPoolGaugeAndPing(t *testing.T) {
+	r, c := cluster(t, 2)
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(ctx, seedDDL); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Metrics()
+	if g := gauge(snap, "shard.0.pool_conns"); g < 1 {
+		t.Fatalf("shard.0.pool_conns = %d, want >= 1 after traffic", g)
+	}
+	if g := gauge(snap, "shard.0.up"); g != 1 {
+		t.Fatalf("shard.0.up = %d, want 1", g)
+	}
+}

@@ -1,0 +1,462 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"recdb/client"
+	"recdb/internal/sql"
+	"recdb/internal/types"
+	"recdb/internal/wire"
+)
+
+// pipelineDepth bounds how many decoded requests may sit between a
+// front-end session's reader and worker, matching recdb-server's bound
+// so clients see identical backpressure behind the router.
+const pipelineDepth = 16
+
+// request is one decoded Query or Exec frame awaiting routing.
+type request struct {
+	kind wire.Type
+	req  wire.Request
+}
+
+// rsession is one client connection on the router's front end. It runs
+// the same two-goroutine shape as a recdb-server session — a reader
+// that answers Ping and Cancel immediately and a worker that executes
+// requests one at a time in arrival order — but the worker routes each
+// statement to backend shards instead of an embedded engine.
+type rsession struct {
+	r    *Router
+	id   uint64
+	conn net.Conn
+	in   *trackReader
+	out  *frameWriter
+	reqs chan request
+
+	mu        sync.Mutex
+	pending   int
+	curID     uint32
+	curCancel context.CancelFunc
+	draining  bool
+}
+
+func newRSession(r *Router, id uint64, conn net.Conn) *rsession {
+	return &rsession{
+		r:    r,
+		id:   id,
+		conn: conn,
+		in:   &trackReader{r: conn},
+		out:  newFrameWriter(conn, r.opts.WriteTimeout),
+		reqs: make(chan request, pipelineDepth),
+	}
+}
+
+// run drives the session to completion: handshake, then reader and
+// worker until the connection ends.
+func (s *rsession) run() {
+	defer s.closeConn()
+	if err := s.handshake(); err != nil {
+		s.r.logf("session %d: %v", s.id, err)
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		s.worker()
+		close(done)
+	}()
+	s.reader()
+	s.cancelCurrent()
+	close(s.reqs)
+	<-done
+}
+
+// handshake consumes the client's magic preamble and answers Hello.
+func (s *rsession) handshake() error {
+	_ = s.conn.SetReadDeadline(time.Now().Add(s.r.opts.IdleTimeout))
+	var magic [len(wire.Magic)]byte
+	if _, err := io.ReadFull(s.in, magic[:]); err != nil {
+		return fmt.Errorf("reading magic: %w", err)
+	}
+	if string(magic[:]) != wire.Magic {
+		_ = s.out.writeError(wire.ErrorMsg{Code: wire.CodeProtocol, Message: "bad protocol magic"})
+		return errors.New("bad protocol magic")
+	}
+	return s.out.write(wire.TypeHello,
+		wire.AppendHello(nil, wire.Hello{SessionID: s.id, Server: s.r.opts.Name}), true)
+}
+
+// reader decodes frames until the connection ends or breaks protocol,
+// re-arming the idle deadline while a routed statement runs.
+func (s *rsession) reader() {
+	buf := make([]byte, 512)
+	for {
+		_ = s.conn.SetReadDeadline(time.Now().Add(s.r.opts.IdleTimeout))
+		before := s.in.n
+		t, payload, nbuf, err := wire.ReadFrame(s.in, buf)
+		buf = nbuf
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && s.in.n == before && s.hasPending() {
+				continue
+			}
+			var fe *wire.FrameError
+			if errors.As(err, &fe) {
+				_ = s.out.writeError(wire.ErrorMsg{Code: wire.CodeProtocol, Message: fe.Error()})
+			}
+			return
+		}
+		switch t {
+		case wire.TypePing:
+			id, err := wire.DecodeID(payload)
+			if err != nil {
+				s.protocolFault(err)
+				return
+			}
+			// The router answers liveness itself; shard health is the
+			// prober's job and is visible in the metrics.
+			_ = s.out.write(wire.TypePong, wire.AppendID(nil, id), true)
+		case wire.TypeCancel:
+			id, err := wire.DecodeID(payload)
+			if err != nil {
+				s.protocolFault(err)
+				return
+			}
+			s.cancelRequest(id)
+		case wire.TypeQuery, wire.TypeExec:
+			req, err := wire.DecodeRequest(payload)
+			if err != nil {
+				s.protocolFault(err)
+				return
+			}
+			s.enqueue(request{kind: t, req: req})
+		default:
+			s.protocolFault(fmt.Errorf("unexpected frame type %q", byte(t)))
+			return
+		}
+	}
+}
+
+// protocolFault answers a malformed frame; the caller then drops the
+// connection, since framing state can no longer be trusted.
+func (s *rsession) protocolFault(err error) {
+	_ = s.out.writeError(wire.ErrorMsg{Code: wire.CodeProtocol, Message: err.Error()})
+}
+
+// enqueue hands a request to the worker, or answers it directly when
+// the session is draining or the pipeline is full.
+func (s *rsession) enqueue(r request) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeShutdown,
+			Message: "router is shutting down"})
+		return
+	}
+	if s.pending >= pipelineDepth {
+		s.mu.Unlock()
+		_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeBusy,
+			Message: fmt.Sprintf("pipeline limit of %d requests reached", pipelineDepth)})
+		return
+	}
+	s.pending++
+	s.mu.Unlock()
+	// Never blocks: pending (bounded above by pipelineDepth) counts every
+	// request between enqueue and its finishRequest.
+	s.reqs <- r
+}
+
+// worker executes requests in arrival order.
+func (s *rsession) worker() {
+	for r := range s.reqs {
+		s.serve(r)
+	}
+}
+
+// serve routes one request and writes its response frames. A panic is
+// confined to this session, exactly as on recdb-server.
+func (s *rsession) serve(r request) {
+	defer s.finishRequest()
+	defer func() {
+		if p := recover(); p != nil {
+			s.r.m.panics.Inc()
+			s.r.logf("session %d: panic serving %q: %v", s.id, r.req.SQL, p)
+			_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeInternal,
+				Message: fmt.Sprintf("internal error: %v", p)})
+			s.closeConn()
+		}
+	}()
+	if s.isDraining() {
+		_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeShutdown,
+			Message: "router is shutting down"})
+		return
+	}
+	ctx, cancel := s.beginRequest(r.req)
+	defer s.endRequest(cancel)
+
+	start := time.Now()
+	script, err := sql.ParseScript(r.req.SQL)
+	if err != nil {
+		_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeQuery, Message: err.Error()})
+		return
+	}
+	switch r.kind {
+	case wire.TypeQuery:
+		if len(script) != 1 {
+			_ = s.out.writeError(wire.ErrorMsg{ID: r.req.ID, Code: wire.CodeQuery,
+				Message: fmt.Sprintf("query must be a single statement, got %d", len(script))})
+			return
+		}
+		res, err := s.r.execute(ctx, wire.TypeQuery, script[0].Text, script[0].Stmt)
+		if err != nil {
+			s.writeFailure(r.req.ID, err)
+			return
+		}
+		if err := s.out.writeResult(r.req.ID, res); err != nil {
+			return // connection-level failure; reader will notice too
+		}
+	case wire.TypeExec:
+		var affected int64
+		for _, st := range script {
+			res, err := s.r.execute(ctx, wire.TypeExec, st.Text, st.Stmt)
+			if err != nil {
+				s.writeFailure(r.req.ID, err)
+				return
+			}
+			affected += res.affected
+		}
+		if err := s.out.write(wire.TypeComplete,
+			wire.AppendComplete(nil, wire.Complete{ID: r.req.ID, Rows: affected}), true); err != nil {
+			return
+		}
+	}
+	s.r.m.queries.Inc()
+	s.r.m.queryNs.ObserveSince(start)
+}
+
+// beginRequest publishes the statement as cancellable and derives its
+// context: the router's QueryTimeout, tightened — never loosened — by
+// the request's own TimeoutMillis.
+func (s *rsession) beginRequest(r wire.Request) (context.Context, context.CancelFunc) {
+	timeout := s.r.opts.QueryTimeout
+	if d := time.Duration(r.TimeoutMillis) * time.Millisecond; d > 0 && (timeout == 0 || d < timeout) {
+		timeout = d
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	s.mu.Lock()
+	s.curID, s.curCancel = r.ID, cancel
+	s.mu.Unlock()
+	return ctx, cancel
+}
+
+func (s *rsession) endRequest(cancel context.CancelFunc) {
+	s.mu.Lock()
+	s.curCancel = nil
+	s.mu.Unlock()
+	cancel()
+}
+
+// finishRequest retires one pending request; during a drain, the last
+// answer closes the connection.
+func (s *rsession) finishRequest() {
+	s.mu.Lock()
+	s.pending--
+	closeNow := s.draining && s.pending == 0
+	s.mu.Unlock()
+	if closeNow {
+		s.closeConn()
+	}
+}
+
+// writeFailure answers a failed statement with a typed error code. A
+// shard that stayed unreachable answers "shard_down"; an error the
+// shard itself produced keeps the shard's own code, so busy/timeout/
+// query verdicts pass through the router unchanged.
+func (s *rsession) writeFailure(id uint32, err error) {
+	var sde *ShardDownError
+	var se *client.ServerError
+	var de *denyError
+	code := wire.CodeQuery
+	msg := err.Error()
+	switch {
+	case errors.As(err, &sde):
+		code = wire.CodeShardDown
+	case errors.As(err, &se):
+		code, msg = se.Code, se.Message
+	case errors.As(err, &de):
+		code = wire.CodeQuery
+	case errors.Is(err, context.DeadlineExceeded):
+		code = wire.CodeTimeout
+	case errors.Is(err, context.Canceled):
+		code = wire.CodeCanceled
+	}
+	_ = s.out.writeError(wire.ErrorMsg{ID: id, Code: code, Message: msg})
+}
+
+// cancelRequest interrupts the in-flight statement if it matches id.
+func (s *rsession) cancelRequest(id uint32) {
+	s.mu.Lock()
+	cancel := s.curCancel
+	match := cancel != nil && s.curID == id
+	s.mu.Unlock()
+	if match {
+		cancel()
+	}
+}
+
+// cancelCurrent interrupts whatever statement is running.
+func (s *rsession) cancelCurrent() {
+	s.mu.Lock()
+	cancel := s.curCancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// beginDrain stops the session admitting requests; if none is pending
+// the connection closes now, otherwise the worker closes it after the
+// last pending answer.
+func (s *rsession) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	idle := s.pending == 0
+	s.mu.Unlock()
+	if idle {
+		s.closeConn()
+	}
+}
+
+func (s *rsession) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *rsession) hasPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending > 0
+}
+
+// closeConn is safe to call from any goroutine, repeatedly.
+func (s *rsession) closeConn() {
+	_ = s.conn.Close()
+}
+
+// trackReader counts bytes so the reader goroutine can distinguish an
+// idle timeout from one that interrupted a partial frame.
+type trackReader struct {
+	r io.Reader
+	n int64
+}
+
+func (tr *trackReader) Read(p []byte) (int, error) {
+	n, err := tr.r.Read(p)
+	tr.n += int64(n)
+	return n, err
+}
+
+// frameWriter serializes response frames from the worker and the
+// reader (Pong, protocol errors) onto one buffered connection.
+type frameWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+func newFrameWriter(conn net.Conn, timeout time.Duration) *frameWriter {
+	return &frameWriter{conn: conn, bw: bufio.NewWriter(conn), timeout: timeout}
+}
+
+func (w *frameWriter) write(t wire.Type, payload []byte, flush bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := wire.WriteFrame(w.bw, t, payload); err != nil {
+		return err
+	}
+	if flush {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+func (w *frameWriter) writeError(e wire.ErrorMsg) error {
+	return w.write(wire.TypeError, wire.AppendError(nil, e), true)
+}
+
+// rowBatchTarget is the encoded-tuple budget per RowBatch frame, the
+// same budget recdb-server streams with.
+const rowBatchTarget = 32 << 10
+
+// writeResult streams a merged read answer: RowDescription, the data
+// rows coalesced into RowBatch frames, then CommandComplete — exactly
+// the frame shapes recdb-server emits, so clients cannot tell a router
+// answer from a single server's.
+func (w *frameWriter) writeResult(id uint32, res result) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	desc := wire.RowDesc{ID: id, Strategy: res.strategy, Columns: res.cols}
+	if err := wire.WriteFrame(w.bw, wire.TypeRowDesc, wire.AppendRowDesc(nil, desc)); err != nil {
+		return err
+	}
+	count := 0
+	tuples := make([]byte, 0, 4096)
+	scratch := make([]byte, 0, 256)
+	flushBatch := func() error {
+		if count == 0 {
+			return nil
+		}
+		t := wire.TypeDataRow
+		scratch = wire.AppendID(scratch[:0], id)
+		if count > 1 {
+			t = wire.TypeRowBatch
+			scratch = binary.AppendUvarint(scratch, uint64(count))
+		}
+		scratch = append(scratch, tuples...)
+		tuples, count = tuples[:0], 0
+		if err := wire.WriteFrame(w.bw, t, scratch); err != nil {
+			return err
+		}
+		if w.bw.Buffered() > 1<<16 {
+			return w.flushLocked()
+		}
+		return nil
+	}
+	for _, row := range res.rows {
+		tuples = types.EncodeRow(tuples, row)
+		count++
+		if len(tuples) >= rowBatchTarget {
+			if err := flushBatch(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushBatch(); err != nil {
+		return err
+	}
+	done := wire.AppendComplete(scratch[:0], wire.Complete{ID: id, Rows: int64(len(res.rows))})
+	if err := wire.WriteFrame(w.bw, wire.TypeComplete, done); err != nil {
+		return err
+	}
+	return w.flushLocked()
+}
+
+func (w *frameWriter) flushLocked() error {
+	_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	return w.bw.Flush()
+}

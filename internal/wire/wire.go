@@ -85,6 +85,12 @@ const (
 	CodeQuery    = "query"    // SQL parse/plan/execution error
 	CodeProtocol = "protocol" // malformed frame or handshake
 	CodeInternal = "internal" // server-side panic or invariant failure
+
+	// CodeShardDown is answered by the sharding router (internal/shard)
+	// when the shard owning a statement's user key — or a shard a
+	// fan-out needs — stays unreachable past the router's bounded
+	// retries. Single-shard statements to healthy shards keep serving.
+	CodeShardDown = "shard_down"
 )
 
 // FrameError describes a frame that failed validation (bad CRC, oversized
